@@ -1,0 +1,233 @@
+// Package churntomo reproduces "A Churn for the Better: Localizing
+// Censorship using Network-level Path Churn and Network Tomography"
+// (Cho et al., CoNExT 2017) as a runnable system.
+//
+// The package ties together the full stack: a synthetic AS-level Internet
+// with Gao–Rexford routing and BGP churn, an ICLab-style measurement
+// platform (packet-level DNS/HTTP censorship tests, traceroutes, anomaly
+// detectors), and the paper's boolean-network-tomography pipeline (per
+// URL/time-slice/anomaly CNFs solved with a built-in SAT solver, candidate
+// elimination, censor identification and leakage analysis).
+//
+// Typical use:
+//
+//	p, err := churntomo.Run(churntomo.SmallConfig())
+//	if err != nil { ... }
+//	for asn, c := range p.Identified { ... }
+//
+// Every run is deterministic for a given Config.
+package churntomo
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"churntomo/internal/censor"
+	"churntomo/internal/iclab"
+	"churntomo/internal/ipasmap"
+	"churntomo/internal/leakage"
+	"churntomo/internal/routing"
+	"churntomo/internal/tomo"
+	"churntomo/internal/topology"
+)
+
+// Config scales a full experiment. Zero fields take defaults from
+// DefaultConfig.
+type Config struct {
+	Seed uint64
+
+	// Topology scale.
+	ASes      int
+	Countries int
+
+	// Platform scale.
+	Vantages      int
+	URLs          int
+	Days          int
+	URLsPerDay    int
+	RepeatsPerDay int
+
+	// Start anchors the measurement period; the zero value means
+	// 2016-05-01, matching the paper's window.
+	Start time.Time
+
+	// Progress, when non-nil, receives one line per pipeline stage.
+	Progress io.Writer
+}
+
+// DefaultConfig is a mid-scale year-long run (minutes of CPU).
+func DefaultConfig() Config {
+	return Config{
+		Seed: 1, ASes: 400, Countries: 30,
+		Vantages: 40, URLs: 80, Days: 366, URLsPerDay: 20, RepeatsPerDay: 2,
+	}
+}
+
+// SmallConfig is a seconds-scale run for tests and examples.
+func SmallConfig() Config {
+	return Config{
+		Seed: 1, ASes: 250, Countries: 25,
+		Vantages: 16, URLs: 24, Days: 60, URLsPerDay: 8, RepeatsPerDay: 2,
+	}
+}
+
+// PaperScaleConfig approaches the paper's dataset dimensions (539 vantage
+// ASes, 774 URLs, a year of measurements). Expect a long run.
+func PaperScaleConfig() Config {
+	return Config{
+		Seed: 1, ASes: 1200, Countries: 42,
+		Vantages: 150, URLs: 250, Days: 366, URLsPerDay: 60, RepeatsPerDay: 2,
+	}
+}
+
+func (c *Config) fillDefaults() {
+	d := DefaultConfig()
+	if c.Seed == 0 {
+		c.Seed = d.Seed
+	}
+	if c.ASes == 0 {
+		c.ASes = d.ASes
+	}
+	if c.Countries == 0 {
+		c.Countries = d.Countries
+	}
+	if c.Vantages == 0 {
+		c.Vantages = d.Vantages
+	}
+	if c.URLs == 0 {
+		c.URLs = d.URLs
+	}
+	if c.Days == 0 {
+		c.Days = d.Days
+	}
+	if c.URLsPerDay == 0 {
+		c.URLsPerDay = d.URLsPerDay
+	}
+	if c.RepeatsPerDay == 0 {
+		c.RepeatsPerDay = d.RepeatsPerDay
+	}
+	if c.Start.IsZero() {
+		c.Start = time.Date(2016, 5, 1, 0, 0, 0, 0, time.UTC)
+	}
+}
+
+// identifyMinCNFs is the corroboration threshold for naming a censor: an
+// AS must be the unique solution of at least this many CNFs. See
+// tomo.IdentifyCensors.
+const identifyMinCNFs = 8
+
+// Pipeline holds every artifact of one end-to-end run.
+type Pipeline struct {
+	Config Config
+
+	Graph    *topology.Graph
+	Timeline *routing.Timeline
+	Oracle   *routing.Oracle
+	Censors  *censor.Registry
+	DB       *ipasmap.DB
+	Scenario *iclab.Scenario
+	Dataset  *iclab.Dataset
+
+	Instances  []*tomo.Instance
+	Outcomes   []tomo.Outcome
+	Identified map[topology.ASN]*tomo.IdentifiedCensor
+	Leakage    *leakage.Analysis
+}
+
+// Run executes the full pipeline: generate substrate, measure, build CNFs,
+// solve, identify censors, analyze leakage.
+func Run(cfg Config) (*Pipeline, error) {
+	p, err := Prepare(cfg)
+	if err != nil {
+		return nil, err
+	}
+	p.Measure()
+	p.Localize()
+	return p, nil
+}
+
+// Prepare builds the substrate (topology, churn, censors, mapping DB,
+// scenario) without running measurements — useful when a caller wants to
+// inspect or tweak the scenario first.
+func Prepare(cfg Config) (*Pipeline, error) {
+	cfg.fillDefaults()
+	end := cfg.Start.AddDate(0, 0, cfg.Days)
+	p := &Pipeline{Config: cfg}
+	progress := func(format string, args ...any) {
+		if cfg.Progress != nil {
+			fmt.Fprintf(cfg.Progress, format+"\n", args...)
+		}
+	}
+
+	var err error
+	progress("generating topology (%d ASes, %d countries)", cfg.ASes, cfg.Countries)
+	p.Graph, err = topology.Generate(topology.GenConfig{
+		Seed: cfg.Seed, ASes: cfg.ASes, Countries: cfg.Countries,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("churntomo: topology: %w", err)
+	}
+
+	progress("generating churn timeline (%d days)", cfg.Days)
+	p.Timeline, err = routing.GenTimeline(p.Graph, routing.TimelineConfig{
+		Seed: cfg.Seed + 1, Start: cfg.Start, End: end,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("churntomo: timeline: %w", err)
+	}
+	p.Oracle = routing.NewOracle(p.Graph, p.Timeline, 0)
+
+	progress("placing censors")
+	p.Censors, err = censor.Generate(p.Graph, censor.GenConfig{
+		Seed: cfg.Seed + 2, Start: cfg.Start, End: end,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("churntomo: censors: %w", err)
+	}
+
+	progress("building historical IP-to-AS database")
+	p.DB, err = ipasmap.Build(p.Graph, ipasmap.BuildConfig{
+		Seed: cfg.Seed + 3, Start: cfg.Start, End: end,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("churntomo: ipasmap: %w", err)
+	}
+
+	progress("selecting %d vantages and %d URLs", cfg.Vantages, cfg.URLs)
+	p.Scenario, err = iclab.BuildScenario(p.Graph, p.Oracle, p.Censors, p.DB,
+		cfg.Start, end, iclab.ScenarioConfig{
+			Seed: cfg.Seed + 4, Vantages: cfg.Vantages, URLs: cfg.URLs,
+		})
+	if err != nil {
+		return nil, fmt.Errorf("churntomo: scenario: %w", err)
+	}
+	return p, nil
+}
+
+// Measure runs the measurement platform, populating Dataset.
+func (p *Pipeline) Measure() {
+	if p.Config.Progress != nil {
+		fmt.Fprintln(p.Config.Progress, "running measurement platform")
+	}
+	p.Dataset = iclab.Run(p.Scenario, iclab.PlatformConfig{
+		Seed:          p.Config.Seed + 5,
+		URLsPerDay:    p.Config.URLsPerDay,
+		RepeatsPerDay: p.Config.RepeatsPerDay,
+	})
+}
+
+// Localize builds and solves the tomography CNFs and derives censors and
+// leakage. Requires Measure to have run.
+func (p *Pipeline) Localize() {
+	if p.Dataset == nil {
+		panic("churntomo: Localize before Measure")
+	}
+	if p.Config.Progress != nil {
+		fmt.Fprintln(p.Config.Progress, "building and solving CNFs")
+	}
+	p.Instances = tomo.Build(p.Dataset.Records, tomo.BuildConfig{})
+	p.Outcomes = tomo.SolveAll(p.Instances)
+	p.Identified = tomo.IdentifyCensors(p.Outcomes, identifyMinCNFs)
+	p.Leakage = leakage.Analyze(p.Outcomes, p.Graph)
+}

@@ -1,0 +1,260 @@
+package churntomo
+
+import (
+	"bytes"
+	"testing"
+
+	"churntomo/internal/churn"
+	"churntomo/internal/iclab"
+	"churntomo/internal/sat"
+	"churntomo/internal/timeslice"
+	"churntomo/internal/tomo"
+	"churntomo/internal/topology"
+	"churntomo/internal/traceroute"
+)
+
+// testConfig is a fast end-to-end configuration.
+func testConfig() Config {
+	cfg := SmallConfig()
+	cfg.Days = 30
+	cfg.Vantages = 12
+	cfg.URLs = 16
+	cfg.URLsPerDay = 6
+	return cfg
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end pipeline in -short mode")
+	}
+	var progress bytes.Buffer
+	cfg := testConfig()
+	cfg.Progress = &progress
+	p, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every stage populated.
+	if p.Graph == nil || p.Timeline == nil || p.Oracle == nil || p.Censors == nil ||
+		p.DB == nil || p.Scenario == nil || p.Dataset == nil || p.Leakage == nil {
+		t.Fatal("pipeline stage missing")
+	}
+	if len(p.Dataset.Records) == 0 {
+		t.Fatal("no measurements")
+	}
+	if len(p.Instances) == 0 || len(p.Outcomes) != len(p.Instances) {
+		t.Fatalf("instances %d, outcomes %d", len(p.Instances), len(p.Outcomes))
+	}
+	if progress.Len() == 0 {
+		t.Error("progress writer received nothing")
+	}
+
+	// Structural sanity of outcomes: every class present across a month of
+	// measurements with censors in play.
+	var byClass [3]int
+	for _, o := range p.Outcomes {
+		byClass[o.Class]++
+	}
+	if byClass[sat.Unique] == 0 {
+		t.Error("no unique-solution CNFs; localization inert")
+	}
+	if byClass[sat.Multiple] == 0 {
+		t.Error("no multi-solution CNFs; scenario implausibly over-determined")
+	}
+
+	// Identified censors must be corroborated and mostly real.
+	for asn, c := range p.Identified {
+		if c.CNFs < 3 {
+			t.Errorf("censor %v passed the filter with only %d CNFs", asn, c.CNFs)
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end pipeline in -short mode")
+	}
+	cfg := testConfig()
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Dataset.Records) != len(b.Dataset.Records) {
+		t.Fatalf("record counts differ: %d vs %d", len(a.Dataset.Records), len(b.Dataset.Records))
+	}
+	if len(a.Outcomes) != len(b.Outcomes) {
+		t.Fatalf("outcome counts differ: %d vs %d", len(a.Outcomes), len(b.Outcomes))
+	}
+	for i := range a.Outcomes {
+		if a.Outcomes[i].Class != b.Outcomes[i].Class {
+			t.Fatalf("outcome %d class differs", i)
+		}
+	}
+	if len(a.Identified) != len(b.Identified) {
+		t.Fatalf("identified censors differ: %d vs %d", len(a.Identified), len(b.Identified))
+	}
+}
+
+func TestPrepareWithoutMeasure(t *testing.T) {
+	cfg := testConfig()
+	p, err := Prepare(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Dataset != nil {
+		t.Error("Prepare ran measurements")
+	}
+	if len(p.Scenario.Vantages) != cfg.Vantages {
+		t.Errorf("vantages %d, want %d", len(p.Scenario.Vantages), cfg.Vantages)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Localize before Measure should panic")
+		}
+	}()
+	p.Localize()
+}
+
+func TestConfigDefaults(t *testing.T) {
+	var cfg Config
+	cfg.fillDefaults()
+	d := DefaultConfig()
+	if cfg.ASes != d.ASes || cfg.Vantages != d.Vantages || cfg.Days != d.Days {
+		t.Errorf("zero config did not inherit defaults: %+v", cfg)
+	}
+	if cfg.Start.IsZero() {
+		t.Error("start not defaulted")
+	}
+	if cfg.Start.Year() != 2016 || cfg.Start.Month() != 5 {
+		t.Errorf("default start %v, want 2016-05 (the paper's window)", cfg.Start)
+	}
+}
+
+func TestRunRejectsBrokenConfig(t *testing.T) {
+	cfg := testConfig()
+	cfg.ASes = 20
+	cfg.Vantages = 1000 // more vantages than stubs
+	if _, err := Run(cfg); err == nil {
+		t.Error("oversized vantage count accepted")
+	}
+}
+
+// TestGroundTruthIsolation verifies the tomography path never reads
+// ground-truth fields: scrubbing them from the records must not change any
+// outcome.
+func TestGroundTruthIsolation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end pipeline in -short mode")
+	}
+	cfg := testConfig()
+	p, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scrubbed := make([]int, 0)
+	records := append([]iclab.Record(nil), p.Dataset.Records...)
+	for i := range records {
+		if records[i].TruePath != nil || records[i].TrueActs != nil {
+			scrubbed = append(scrubbed, i)
+		}
+		records[i].TruePath = nil
+		records[i].TrueActs = nil
+	}
+	if len(scrubbed) == 0 {
+		t.Fatal("no ground truth present to scrub; test vacuous")
+	}
+	insts := tomo.Build(records, tomo.BuildConfig{})
+	if len(insts) != len(p.Instances) {
+		t.Fatalf("instance count changed after scrubbing: %d vs %d", len(insts), len(p.Instances))
+	}
+	outcomes := tomo.SolveAll(insts)
+	for i := range outcomes {
+		if outcomes[i].Class != p.Outcomes[i].Class {
+			t.Fatalf("outcome %d changed after ground-truth scrub", i)
+		}
+	}
+}
+
+func TestChurnMonotoneAcrossGranularities(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end pipeline in -short mode")
+	}
+	p, err := Run(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := churn.Measure(p.Dataset.Records, nil)
+	if len(ds) != len(timeslice.All) {
+		t.Fatalf("got %d distributions", len(ds))
+	}
+	for i := 1; i < len(ds); i++ {
+		if ds[i].ChangedFrac()+1e-9 < ds[i-1].ChangedFrac() {
+			t.Errorf("churn not monotone: %v %.3f < %v %.3f",
+				ds[i].Gran, ds[i].ChangedFrac(), ds[i-1].Gran, ds[i-1].ChangedFrac())
+		}
+	}
+	if ds[0].ChangedFrac() == 0 {
+		t.Error("no intra-day churn at all")
+	}
+}
+
+func TestInconclusiveRulesAllFire(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end pipeline in -short mode")
+	}
+	cfg := testConfig()
+	cfg.Days = 45
+	p, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[traceroute.FailReason]int{}
+	for i := range p.Dataset.Records {
+		seen[p.Dataset.Records[i].Fail]++
+	}
+	for _, why := range []traceroute.FailReason{
+		traceroute.ErrTraceFailed, traceroute.ErrSilentBoundary,
+	} {
+		if seen[why] == 0 {
+			t.Errorf("elimination rule %v never fired over 45 days", why)
+		}
+	}
+	if seen[traceroute.OK] == 0 {
+		t.Fatal("no conclusive records")
+	}
+}
+
+func TestIdentifiedCensorsAreOnCensoredPaths(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end pipeline in -short mode")
+	}
+	cfg := testConfig()
+	cfg.Days = 60
+	p, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Identified) == 0 {
+		t.Skip("no censors identified at this scale/seed")
+	}
+	onPath := map[topology.ASN]bool{}
+	for i := range p.Dataset.Records {
+		r := &p.Dataset.Records[i]
+		if r.Anomalies == 0 {
+			continue
+		}
+		for _, as := range r.ASPath {
+			onPath[as] = true
+		}
+	}
+	for asn := range p.Identified {
+		if !onPath[asn] {
+			t.Errorf("identified censor %v never appeared on an anomalous path", asn)
+		}
+	}
+}

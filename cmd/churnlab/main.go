@@ -1,0 +1,272 @@
+// Command churnlab runs the full reproduction pipeline and regenerates
+// every table and figure from the paper's evaluation (§4).
+//
+// Usage:
+//
+//	churnlab [-scale small|default|paper] [-seed N] [-only table1,figure3,...] [-validate]
+//
+// With no -only filter it prints the complete evaluation: Table 1 (dataset
+// characteristics), Figures 1a/1b (CNF solvability), Figure 2 (candidate
+// reduction CDF), Figure 3 (path churn), Figure 4 (no-churn ablation),
+// Table 2 (censoring regions), Table 3 (top leakers) and Figure 5 (country
+// flow), plus the ground-truth validation the paper could not perform.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"churntomo"
+	"churntomo/internal/analysis"
+	"churntomo/internal/anomaly"
+	"churntomo/internal/leakage"
+	"churntomo/internal/report"
+	"churntomo/internal/sat"
+	"churntomo/internal/topology"
+	"churntomo/internal/webcat"
+)
+
+func main() {
+	scale := flag.String("scale", "default", "experiment scale: small, default or paper")
+	seed := flag.Uint64("seed", 1, "master random seed")
+	only := flag.String("only", "", "comma-separated subset: table1,figure1a,figure1b,figure2,figure3,figure4,table2,table3,figure5")
+	validate := flag.Bool("validate", true, "score identified censors against ground truth")
+	quiet := flag.Bool("quiet", false, "suppress progress output")
+	flag.Parse()
+
+	cfg := churntomo.DefaultConfig()
+	switch *scale {
+	case "small":
+		cfg = churntomo.SmallConfig()
+	case "default":
+	case "paper":
+		cfg = churntomo.PaperScaleConfig()
+	default:
+		fmt.Fprintf(os.Stderr, "churnlab: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	cfg.Seed = *seed
+	if !*quiet {
+		cfg.Progress = os.Stderr
+	}
+
+	p, err := churntomo.Run(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "churnlab: %v\n", err)
+		os.Exit(1)
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, s := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(s)] = true
+		}
+	}
+	show := func(name string) bool { return len(want) == 0 || want[name] }
+
+	if show("table1") {
+		fmt.Println("== Table 1: dataset characteristics ==")
+		fmt.Println(p.Dataset.Stats.String())
+	}
+	if show("figure1a") {
+		fmt.Println("== Figure 1a: CNF solutions by granularity ==")
+		printSolvability(analysis.Figure1a(p.Outcomes))
+	}
+	if show("figure1b") {
+		fmt.Println("== Figure 1b: CNF solutions by anomaly ==")
+		printSolvability(analysis.Figure1b(p.Outcomes))
+	}
+	if show("figure1a") || show("figure1b") {
+		frac, n := analysis.OverallSolvability(p.Outcomes)
+		fmt.Printf("overall (%d CNFs): unique %.1f%%, none %.1f%%, multiple %.1f%%\n\n",
+			n, 100*frac[sat.Unique], 100*frac[sat.Unsat], 100*frac[sat.Multiple])
+	}
+	if show("figure2") {
+		fmt.Println("== Figure 2: candidate-set reduction (2+ solution CNFs) ==")
+		d := analysis.Figure2(p.Outcomes)
+		fmt.Print(report.CDF(d.CDF, "reduction %"))
+		fmt.Printf("mean reduction %.1f%%, no-elimination fraction %.1f%% over %d CNFs\n\n",
+			100*d.Mean, 100*d.NoElimFrac, d.Samples)
+	}
+	if show("figure3") {
+		fmt.Println("== Figure 3: distinct AS paths per (src,dst) pair ==")
+		printChurn(p)
+	}
+	if show("figure4") {
+		fmt.Println("== Figure 4: solutions without path churn (ablation) ==")
+		rows := analysis.Figure4(p.Dataset.Records)
+		var groups []string
+		var values [][]float64
+		for _, r := range rows {
+			groups = append(groups, r.Gran.String())
+			values = append(values, r.Frac[:])
+		}
+		fmt.Print(report.Bars(groups, []string{"0", "1", "2", "3", "4", "5+"}, values))
+		fmt.Println()
+	}
+	if show("table2") {
+		fmt.Println("== Table 2: regions with most censoring ASes ==")
+		printTable2(p)
+	}
+	if show("table3") {
+		fmt.Println("== Table 3: censoring ASes with the most leakage ==")
+		printTable3(p)
+	}
+	if show("figure5") {
+		fmt.Println("== Figure 5: flow of censorship (country level) ==")
+		printFigure5(p)
+	}
+	if len(want) == 0 {
+		printHeadline(p)
+		printCategories(p)
+	}
+	if *validate && len(want) == 0 {
+		printValidation(p)
+	}
+}
+
+func printSolvability(rows []analysis.SolvabilityRow) {
+	var groups []string
+	var values [][]float64
+	for _, r := range rows {
+		groups = append(groups, fmt.Sprintf("%s (%d CNFs)", r.Group, r.CNFs))
+		values = append(values, r.Frac[:])
+	}
+	fmt.Print(report.Bars(groups, []string{"0", "1", "2+"}, values))
+	fmt.Println()
+}
+
+func printChurn(p *churntomo.Pipeline) {
+	rows := [][]string{}
+	for _, d := range analysis.Figure3(p.Dataset.Records) {
+		row := []string{d.Gran.String()}
+		for b := 1; b <= 5; b++ {
+			row = append(row, fmt.Sprintf("%.1f%%", 100*d.Buckets[b]))
+		}
+		row = append(row, fmt.Sprintf("%.1f%%", 100*d.ChangedFrac()), fmt.Sprint(d.Samples))
+		rows = append(rows, row)
+	}
+	fmt.Print(report.Table(
+		[]string{"period", "1", "2", "3", "4", "5+", "changed", "samples"}, rows))
+	fmt.Println()
+}
+
+func printTable2(p *churntomo.Pipeline) {
+	rows := [][]string{}
+	for _, r := range analysis.Table2(p.Identified, p.Graph, 8) {
+		asns := make([]string, len(r.ASNs))
+		for i, a := range r.ASNs {
+			asns[i] = a.String()
+		}
+		name := r.Country
+		if c, ok := topology.CountryByCode(r.Country); ok {
+			name = c.Name
+		}
+		rows = append(rows, []string{name, strings.Join(asns, ", "), r.Kinds.String()})
+	}
+	fmt.Print(report.Table([]string{"Region", "Censoring ASes", "Anomalies"}, rows))
+	fmt.Println()
+}
+
+func printTable3(p *churntomo.Pipeline) {
+	rows := [][]string{}
+	for _, l := range analysis.Table3(p.Leakage, p.Graph, 10) {
+		name := l.Country
+		if c, ok := topology.CountryByCode(l.Country); ok {
+			name = c.Name
+		}
+		rows = append(rows, []string{
+			l.ASN.String() + " " + l.Name, name,
+			fmt.Sprint(l.LeakedASes), fmt.Sprint(l.LeakedCountries),
+		})
+	}
+	fmt.Print(report.Table([]string{"AS", "Region", "Leaks (AS)", "Leaks (Country)"}, rows))
+	fmt.Println()
+}
+
+func printFigure5(p *churntomo.Pipeline) {
+	edges := p.Leakage.FlowEdges()
+	fromSet, toSet := map[string]bool{}, map[string]bool{}
+	for _, e := range edges {
+		fromSet[e.Edge.From] = true
+		toSet[e.Edge.To] = true
+	}
+	froms := sortedKeys(fromSet)
+	tos := sortedKeys(toSet)
+	fmt.Print(report.Matrix("src", "dst", froms, tos, func(r, c string) int {
+		return p.Leakage.Flow[leakage.FlowEdge{From: r, To: c}]
+	}))
+	fmt.Printf("regional fraction of non-CN leakage: %.0f%%\n\n",
+		100*p.Leakage.RegionalFrac(p.Graph, "CN"))
+}
+
+func printHeadline(p *churntomo.Pipeline) {
+	fmt.Println("== Headline results ==")
+	fmt.Printf("censoring ASes exactly identified: %d (in %d countries)\n",
+		len(p.Identified), analysis.CensorCountries(p.Identified, p.Graph))
+	fmt.Printf("censors leaking to other ASes: %d; to other countries: %d\n",
+		p.Leakage.LeakToOtherASes(), p.Leakage.LeakToOtherCountries())
+	fmt.Println()
+}
+
+func printCategories(p *churntomo.Pipeline) {
+	urlCat := map[string]webcat.Category{}
+	for _, t := range p.Scenario.Targets {
+		urlCat[t.URL.Host] = t.URL.Category
+	}
+	counts := analysis.CategoryCensorship(p.Identified, urlCat)
+	type kv struct {
+		cat webcat.Category
+		n   int
+	}
+	var all []kv
+	for c, n := range counts {
+		all = append(all, kv{c, n})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].n != all[j].n {
+			return all[i].n > all[j].n
+		}
+		return all[i].cat < all[j].cat
+	})
+	fmt.Println("== Most-censored URL categories ==")
+	rows := [][]string{}
+	for _, e := range all {
+		rows = append(rows, []string{e.cat.String(), fmt.Sprint(e.n)})
+	}
+	fmt.Print(report.Table([]string{"Category", "(censor, URL) findings"}, rows))
+	fmt.Println()
+}
+
+func printValidation(p *churntomo.Pipeline) {
+	v := analysis.Validate(p.Identified, p.Censors)
+	fmt.Println("== Ground-truth validation (not possible in the paper) ==")
+	fmt.Printf("identified: %d true censors, %d spurious; precision %.1f%%, registry recall %.1f%%\n",
+		v.TruePositives, v.FalsePositives, 100*v.Precision, 100*v.Recall)
+	if len(v.Spurious) > 0 {
+		names := make([]string, len(v.Spurious))
+		for i, a := range v.Spurious {
+			names[i] = fmt.Sprintf("%v(%d cnfs)", a, p.Identified[a].CNFs)
+		}
+		fmt.Printf("spurious: %s\n", strings.Join(names, ", "))
+	}
+	for asn, c := range p.Identified {
+		if _, ok := p.Censors.Policy(asn); ok {
+			fmt.Printf("true censor %v corroborated by %d CNFs\n", asn, c.CNFs)
+		}
+	}
+	fmt.Println()
+	_ = anomaly.Kinds // keep the import for future per-kind validation output
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,97 @@
+// Command genlab generates a measurement dataset and exports it as JSON
+// lines (one record per line) for offline analysis with external tools.
+//
+//	genlab [-scale small|default] [-seed N] [-truth] > records.jsonl
+//
+// Without -truth, ground-truth fields are stripped, producing exactly what
+// a real platform would publish.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"churntomo"
+	"churntomo/internal/anomaly"
+	"churntomo/internal/traceroute"
+)
+
+// exportRecord is the JSON shape of one measurement.
+type exportRecord struct {
+	ID             int32    `json:"id"`
+	Vantage        uint32   `json:"vantage_asn"`
+	VantageCountry string   `json:"vantage_country"`
+	URL            string   `json:"url"`
+	Category       string   `json:"category"`
+	At             string   `json:"at"`
+	Anomalies      []string `json:"anomalies,omitempty"`
+	ASPath         []uint32 `json:"as_path,omitempty"`
+	Fail           string   `json:"path_fail,omitempty"`
+
+	TruePath    []uint32 `json:"true_path,omitempty"`
+	TrueCensors []uint32 `json:"true_censors,omitempty"`
+}
+
+func main() {
+	scale := flag.String("scale", "small", "small or default")
+	seed := flag.Uint64("seed", 1, "master seed")
+	truth := flag.Bool("truth", false, "include ground-truth fields")
+	flag.Parse()
+
+	cfg := churntomo.SmallConfig()
+	if *scale == "default" {
+		cfg = churntomo.DefaultConfig()
+	}
+	cfg.Seed = *seed
+	cfg.Progress = os.Stderr
+
+	p, err := churntomo.Prepare(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "genlab: %v\n", err)
+		os.Exit(1)
+	}
+	p.Measure()
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	enc := json.NewEncoder(w)
+	for i := range p.Dataset.Records {
+		r := &p.Dataset.Records[i]
+		out := exportRecord{
+			ID:             r.ID,
+			Vantage:        uint32(r.Vantage),
+			VantageCountry: r.VantageCountry,
+			URL:            r.URL,
+			Category:       r.Category.String(),
+			At:             r.At.Format("2006-01-02T15:04:05Z"),
+		}
+		for _, k := range anomaly.Kinds {
+			if r.Anomalies.Has(k) {
+				out.Anomalies = append(out.Anomalies, k.String())
+			}
+		}
+		if r.Fail == traceroute.OK {
+			for _, a := range r.ASPath {
+				out.ASPath = append(out.ASPath, uint32(a))
+			}
+		} else {
+			out.Fail = r.Fail.String()
+		}
+		if *truth {
+			for _, a := range r.TruePath {
+				out.TruePath = append(out.TruePath, uint32(a))
+			}
+			for _, act := range r.TrueActs {
+				out.TrueCensors = append(out.TrueCensors, uint32(act.ASN))
+			}
+		}
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "genlab: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "genlab: wrote %d records\n", len(p.Dataset.Records))
+}

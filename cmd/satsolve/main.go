@@ -1,0 +1,70 @@
+// Command satsolve runs the built-in SAT solver on DIMACS CNF input —
+// handy for poking at exported tomography instances.
+//
+//	satsolve [-count N] [-backbone] [file.cnf]
+//
+// With no flags it reports SAT/UNSAT and a model. -count enumerates models
+// up to N. -backbone prints, per variable, whether any model assigns it
+// true (the tomography's potential-censor query).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"churntomo/internal/sat"
+)
+
+func main() {
+	count := flag.Int("count", 0, "enumerate models up to this cap")
+	backbone := flag.Bool("backbone", false, "report per-variable potential-true")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "satsolve: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	cnf, err := sat.ParseDIMACS(in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "satsolve: %v\n", err)
+		os.Exit(1)
+	}
+
+	switch {
+	case *count > 0:
+		n := sat.CountModels(cnf, *count)
+		suffix := ""
+		if n == *count {
+			suffix = " (cap reached)"
+		}
+		fmt.Printf("models: %d%s\n", n, suffix)
+	case *backbone:
+		pot := sat.PotentialTrue(cnf)
+		for v := 1; v <= cnf.NumVars; v++ {
+			fmt.Printf("x%d potential-true=%v\n", v, pot[v])
+		}
+	default:
+		m, ok := sat.NewSolver(cnf).Solve()
+		if !ok {
+			fmt.Println("UNSAT")
+			os.Exit(20) // conventional UNSAT exit code
+		}
+		fmt.Println("SAT")
+		for v := 1; v <= cnf.NumVars; v++ {
+			lit := v
+			if !m[v] {
+				lit = -v
+			}
+			fmt.Printf("%d ", lit)
+		}
+		fmt.Println("0")
+	}
+}

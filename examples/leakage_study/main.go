@@ -1,0 +1,61 @@
+// Leakage study: reproduce the paper's §3.3 analysis — which censoring ASes
+// leak their policies to users in other networks and countries (Tables 3
+// and Figure 5), and how regional that leakage is.
+//
+//	go run ./examples/leakage_study
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"churntomo"
+	"churntomo/internal/leakage"
+	"churntomo/internal/report"
+	"churntomo/internal/topology"
+)
+
+func main() {
+	cfg := churntomo.SmallConfig()
+	cfg.Days = 120 // leakage needs unique solutions; give churn time to accrue
+	cfg.Progress = os.Stderr
+
+	p, err := churntomo.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\ncensors identified: %d; leaking to other ASes: %d; to other countries: %d\n\n",
+		len(p.Identified), p.Leakage.LeakToOtherASes(), p.Leakage.LeakToOtherCountries())
+
+	fmt.Println("top leakers (paper Table 3):")
+	rows := [][]string{}
+	for _, l := range p.Leakage.TopLeakers(p.Graph, 8) {
+		rows = append(rows, []string{
+			l.ASN.String(), l.Name, l.Country,
+			fmt.Sprint(l.LeakedASes), fmt.Sprint(l.LeakedCountries),
+		})
+	}
+	fmt.Print(report.Table([]string{"AS", "Name", "Country", "Leaks(AS)", "Leaks(Country)"}, rows))
+
+	fmt.Println("\ncountry-level flow (paper Figure 5):")
+	for _, e := range p.Leakage.FlowEdges() {
+		from, _ := topology.CountryByCode(e.Edge.From)
+		to, _ := topology.CountryByCode(e.Edge.To)
+		fmt.Printf("  %-20s -> %-20s weight %d\n", from.Name, to.Name, e.Weight)
+	}
+	fmt.Printf("\nregional fraction of non-CN leakage: %.0f%% (paper: mostly regional outside China)\n",
+		100*p.Leakage.RegionalFrac(p.Graph, "CN"))
+
+	// Inspect one leak in detail.
+	for _, l := range p.Leakage.TopLeakers(p.Graph, 1) {
+		detail := p.Leakage.ByCensor[l.ASN]
+		fmt.Printf("\nvictims of %v (%s):\n", l.ASN, l.Country)
+		for victim := range detail.VictimASes {
+			as, _ := p.Graph.ByASN(victim)
+			fmt.Printf("  %-9v %-20s %s\n", victim, as.Name, as.Country)
+		}
+	}
+	_ = leakage.FlowEdge{}
+}

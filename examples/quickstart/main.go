@@ -1,0 +1,49 @@
+// Quickstart: run the full churn-tomography pipeline on a small synthetic
+// Internet and print which ASes were localized as censors, compared against
+// the scenario's ground truth.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"churntomo"
+	"churntomo/internal/topology"
+)
+
+func main() {
+	cfg := churntomo.SmallConfig()
+	cfg.Progress = os.Stderr
+
+	p, err := churntomo.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nmeasurements: %d, usable CNFs: %d\n\n",
+		p.Dataset.Stats.Measurements, len(p.Outcomes))
+
+	var asns []topology.ASN
+	for asn := range p.Identified {
+		asns = append(asns, asn)
+	}
+	sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+
+	fmt.Println("localized censoring ASes:")
+	for _, asn := range asns {
+		c := p.Identified[asn]
+		as, _ := p.Graph.ByASN(asn)
+		truth := "SPURIOUS (noise artifact)"
+		if _, ok := p.Censors.Policy(asn); ok {
+			truth = "confirmed by ground truth"
+		}
+		fmt.Printf("  %-9v %-20s %s  kinds=%-14v via %d CNFs  [%s]\n",
+			asn, as.Name, as.Country, c.Kinds, c.CNFs, truth)
+	}
+	fmt.Printf("\ncensors leaking across ASes: %d, across countries: %d\n",
+		p.Leakage.LeakToOtherASes(), p.Leakage.LeakToOtherCountries())
+}

@@ -1,0 +1,114 @@
+// Package anomaly defines the five censorship anomaly kinds shared across
+// the whole pipeline: the censor injectors that cause them, the detectors
+// that recover them from captures, and the tomography that localizes them
+// (the paper builds one CNF per anomaly kind per URL per time slice).
+package anomaly
+
+import "fmt"
+
+// Kind is one of ICLab's censorship anomaly classes.
+type Kind uint8
+
+// The five anomaly kinds measured by the platform (paper §2.1 / Table 1).
+const (
+	DNS   Kind = iota // injected DNS responses (dual replies within 2s)
+	RST               // spurious TCP reset injection
+	SEQ               // overlapping/gapped TCP sequence numbers
+	TTL               // IP TTL inconsistent with the connection's SYNACK
+	Block             // censor blockpage in the HTTP response
+	NumKinds
+)
+
+// Kinds lists every anomaly kind in canonical order.
+var Kinds = []Kind{DNS, RST, SEQ, TTL, Block}
+
+// String returns the short lower-case name used in figures ("dns", "rst",
+// "seq", "ttl", "block" — matching the paper's Figure 1b legend).
+func (k Kind) String() string {
+	switch k {
+	case DNS:
+		return "dns"
+	case RST:
+		return "rst"
+	case SEQ:
+		return "seq"
+	case TTL:
+		return "ttl"
+	case Block:
+		return "block"
+	default:
+		return fmt.Sprintf("anomaly(%d)", uint8(k))
+	}
+}
+
+// Parse converts a name produced by String back to a Kind.
+func Parse(s string) (Kind, error) {
+	for _, k := range Kinds {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("anomaly: unknown kind %q", s)
+}
+
+// Set is a bitmask of anomaly kinds.
+type Set uint8
+
+// MakeSet builds a Set from members.
+func MakeSet(kinds ...Kind) Set {
+	var s Set
+	for _, k := range kinds {
+		s |= 1 << k
+	}
+	return s
+}
+
+// AllKinds contains every anomaly kind.
+const AllKinds Set = 1<<NumKinds - 1
+
+// Has reports membership.
+func (s Set) Has(k Kind) bool { return s&(1<<k) != 0 }
+
+// Add returns s with k added.
+func (s Set) Add(k Kind) Set { return s | 1<<k }
+
+// Len counts members.
+func (s Set) Len() int {
+	n := 0
+	for _, k := range Kinds {
+		if s.Has(k) {
+			n++
+		}
+	}
+	return n
+}
+
+// Members lists member kinds in canonical order.
+func (s Set) Members() []Kind {
+	var out []Kind
+	for _, k := range Kinds {
+		if s.Has(k) {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// String renders the set the way the paper's Table 2 does: "All" when every
+// technique is present, otherwise a comma-separated list.
+func (s Set) String() string {
+	if s == AllKinds {
+		return "All"
+	}
+	out := ""
+	for _, k := range s.Members() {
+		if out != "" {
+			out += ", "
+		}
+		out += k.String()
+	}
+	if out == "" {
+		return "none"
+	}
+	return out
+}

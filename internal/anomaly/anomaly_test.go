@@ -1,0 +1,68 @@
+package anomaly
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKindStringsAndParse(t *testing.T) {
+	want := map[Kind]string{DNS: "dns", RST: "rst", SEQ: "seq", TTL: "ttl", Block: "block"}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), s)
+		}
+		back, err := Parse(s)
+		if err != nil || back != k {
+			t.Errorf("Parse(%q) = %v, %v", s, back, err)
+		}
+	}
+	if _, err := Parse("bogus"); err == nil {
+		t.Error("Parse(bogus) succeeded")
+	}
+	if Kind(99).String() == "" {
+		t.Error("out-of-range kind renders empty")
+	}
+}
+
+func TestSetBasics(t *testing.T) {
+	s := MakeSet(DNS, TTL)
+	if !s.Has(DNS) || !s.Has(TTL) || s.Has(RST) {
+		t.Errorf("membership wrong: %v", s)
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if got := s.String(); got != "dns, ttl" {
+		t.Errorf("String = %q", got)
+	}
+	if AllKinds.String() != "All" {
+		t.Errorf("AllKinds.String = %q", AllKinds.String())
+	}
+	if Set(0).String() != "none" {
+		t.Errorf("empty String = %q", Set(0).String())
+	}
+	if AllKinds.Len() != int(NumKinds) {
+		t.Errorf("AllKinds.Len = %d", AllKinds.Len())
+	}
+}
+
+func TestSetRoundTrip(t *testing.T) {
+	f := func(raw uint8) bool {
+		s := Set(raw) & AllKinds
+		return MakeSet(s.Members()...) == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKindsOrder(t *testing.T) {
+	if len(Kinds) != int(NumKinds) {
+		t.Fatalf("Kinds has %d entries", len(Kinds))
+	}
+	for i, k := range Kinds {
+		if int(k) != i {
+			t.Errorf("Kinds[%d] = %v", i, k)
+		}
+	}
+}

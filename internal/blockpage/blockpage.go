@@ -1,0 +1,109 @@
+// Package blockpage models censor blockpages and their fingerprinting.
+//
+// The detection side mirrors ICLab's two mechanisms (paper §2.1): regular-
+// expression matching against known blockpage corpora (OONI's lists in the
+// paper), and the Jones et al. page-length comparison against a fetch from
+// a censor-free US vantage point. The corpus is deliberately incomplete —
+// some censors' pages are unknown to the fingerprint DB and are only caught
+// by the length heuristic, and a few slip through entirely, exactly the
+// kind of detector imperfection the tomography has to live with.
+package blockpage
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"regexp"
+)
+
+// Render produces the blockpage body a censor with the given template ID
+// serves. The authority marker is what fingerprints key on.
+func Render(id int, country string) []byte {
+	// Vary page size by template so the length heuristic sees a spread.
+	pad := (id*577 + 211) % 1800
+	return fmt.Appendf(nil,
+		"<html><head><title>Access Denied</title></head><body>"+
+			"<h1>This content is not available in your region.</h1>"+
+			"<p>Blocked by order of authority %s-FILTER-%04d.</p>"+
+			"<!-- %s --></body></html>",
+		country, id, filler(pad))
+}
+
+func filler(n int) string {
+	const chunk = "filter-notice "
+	out := make([]byte, 0, n)
+	for len(out) < n {
+		out = append(out, chunk...)
+	}
+	return string(out[:n])
+}
+
+// markerPattern matches the authority marker of template id.
+func markerPattern(id int) string {
+	return fmt.Sprintf(`FILTER-%04d`, id)
+}
+
+// FingerprintDB is the corpus of known blockpage signatures.
+type FingerprintDB struct {
+	patterns []*regexp.Regexp
+	known    map[int]bool
+}
+
+// NewFingerprintDB builds a corpus covering a fraction of the template IDs
+// in [0, numTemplates). Coverage below 1 models censors whose pages the
+// public corpora have not catalogued. Deterministic per seed.
+func NewFingerprintDB(numTemplates int, coverage float64, seed uint64) *FingerprintDB {
+	rng := rand.New(rand.NewPCG(seed, 0x626c6f636b)) // "block"
+	db := &FingerprintDB{known: make(map[int]bool)}
+	for id := 0; id < numTemplates; id++ {
+		if rng.Float64() < coverage {
+			db.patterns = append(db.patterns, regexp.MustCompile(markerPattern(id)))
+			db.known[id] = true
+		}
+	}
+	// A generic pattern shared by many real-world products.
+	db.patterns = append(db.patterns, regexp.MustCompile(`(?i)<title>Access Denied</title>.*not available in your region`))
+	return db
+}
+
+// Empty returns a DB with no signatures at all (length heuristic only).
+func Empty() *FingerprintDB {
+	return &FingerprintDB{known: map[int]bool{}}
+}
+
+// Knows reports whether template id is in the corpus.
+func (db *FingerprintDB) Knows(id int) bool { return db.known[id] }
+
+// Len returns the number of catalogued signatures.
+func (db *FingerprintDB) Len() int { return len(db.patterns) }
+
+// Match reports whether the body matches any known signature.
+func (db *FingerprintDB) Match(body []byte) bool {
+	for _, p := range db.patterns {
+		if p.Match(body) {
+			return true
+		}
+	}
+	return false
+}
+
+// LengthDelta implements the Jones et al. heuristic: a response whose
+// length differs from the censorship-free baseline by more than the
+// threshold fraction (0.30 in the paper's lineage) is a blockpage
+// candidate.
+func LengthDelta(bodyLen, baselineLen int, threshold float64) bool {
+	if bodyLen == baselineLen {
+		return false
+	}
+	max := bodyLen
+	if baselineLen > max {
+		max = baselineLen
+	}
+	if max == 0 {
+		return false
+	}
+	diff := bodyLen - baselineLen
+	if diff < 0 {
+		diff = -diff
+	}
+	return float64(diff)/float64(max) > threshold
+}

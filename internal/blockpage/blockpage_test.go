@@ -1,0 +1,100 @@
+package blockpage
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestRenderVariesByID(t *testing.T) {
+	a := Render(1, "CN")
+	b := Render(2, "CN")
+	if bytes.Equal(a, b) {
+		t.Error("different templates render identically")
+	}
+	if !bytes.Contains(a, []byte("Access Denied")) {
+		t.Error("blockpage missing title")
+	}
+	if !bytes.Contains(a, []byte("CN-FILTER-0001")) {
+		t.Errorf("marker missing: %s", a)
+	}
+	// Deterministic.
+	if !bytes.Equal(a, Render(1, "CN")) {
+		t.Error("Render not deterministic")
+	}
+}
+
+func TestFingerprintDBCoverage(t *testing.T) {
+	db := NewFingerprintDB(100, 0.8, 1)
+	known := 0
+	for id := 0; id < 100; id++ {
+		if db.Knows(id) {
+			known++
+		}
+	}
+	if known < 60 || known > 95 {
+		t.Errorf("coverage %d/100 far from configured 0.8", known)
+	}
+	full := NewFingerprintDB(50, 1.0, 2)
+	for id := 0; id < 50; id++ {
+		if !full.Knows(id) {
+			t.Errorf("full-coverage DB missing id %d", id)
+		}
+		if !full.Match(Render(id, "XX")) {
+			t.Errorf("full DB failed to match template %d", id)
+		}
+	}
+}
+
+func TestGenericPatternCatchesUnknownTemplates(t *testing.T) {
+	db := NewFingerprintDB(10, 0.0, 3) // no specific signatures
+	if db.Len() != 1 {
+		t.Fatalf("expected only the generic pattern, got %d", db.Len())
+	}
+	if !db.Match(Render(999, "ZZ")) {
+		t.Error("generic pattern should match our standard template shape")
+	}
+	if db.Match([]byte("<html><body>hello world</body></html>")) {
+		t.Error("generic pattern matched an innocent page")
+	}
+}
+
+func TestEmptyDB(t *testing.T) {
+	db := Empty()
+	if db.Match(Render(1, "CN")) {
+		t.Error("empty DB matched")
+	}
+	if db.Knows(1) || db.Len() != 0 {
+		t.Error("empty DB knows things")
+	}
+}
+
+func TestLengthDelta(t *testing.T) {
+	cases := []struct {
+		body, baseline int
+		want           bool
+	}{
+		{1000, 1000, false},
+		{1000, 1100, false}, // 9% — dynamic content territory
+		{1000, 1400, false}, // 28.6%
+		{500, 10000, true},  // classic tiny blockpage
+		{10000, 500, true},  // or a huge interstitial
+		{1000, 1500, true},  // 33%
+		{0, 0, false},       // degenerate
+		{0, 100, true},      // empty body vs real baseline
+	}
+	for _, c := range cases {
+		if got := LengthDelta(c.body, c.baseline, 0.30); got != c.want {
+			t.Errorf("LengthDelta(%d,%d) = %v, want %v", c.body, c.baseline, got, c.want)
+		}
+	}
+}
+
+func TestFingerprintDeterministic(t *testing.T) {
+	a := NewFingerprintDB(40, 0.5, 7)
+	b := NewFingerprintDB(40, 0.5, 7)
+	for id := 0; id < 40; id++ {
+		if a.Knows(id) != b.Knows(id) {
+			t.Fatalf("nondeterministic coverage at id %d", id)
+		}
+	}
+}

@@ -1,0 +1,230 @@
+package censor
+
+import (
+	"testing"
+	"time"
+
+	"churntomo/internal/anomaly"
+	"churntomo/internal/topology"
+	"churntomo/internal/webcat"
+)
+
+var (
+	start = time.Date(2016, 5, 1, 0, 0, 0, 0, time.UTC)
+	end   = start.AddDate(1, 0, 0)
+)
+
+func TestPolicyEpochs(t *testing.T) {
+	p := NewPolicy(100, "CN", Behavior{}, anomaly.MakeSet(anomaly.DNS), webcat.MakeSet(webcat.News))
+	mid := start.AddDate(0, 6, 0)
+	p.AddChange(mid, anomaly.MakeSet(anomaly.DNS, anomaly.RST), webcat.MakeSet(webcat.News, webcat.Politics))
+
+	if !p.Applies(anomaly.DNS, webcat.News, start) {
+		t.Error("initial epoch should fire DNS on News")
+	}
+	if p.Applies(anomaly.RST, webcat.News, start) {
+		t.Error("RST should not fire before the change")
+	}
+	if !p.Applies(anomaly.RST, webcat.Politics, mid.Add(time.Hour)) {
+		t.Error("RST on Politics should fire after the change")
+	}
+	if p.Applies(anomaly.DNS, webcat.Adult, end) {
+		t.Error("untargeted category fired")
+	}
+	if !p.Changed(start, end) {
+		t.Error("Changed over the full span should be true")
+	}
+	if p.Changed(start, start.AddDate(0, 1, 0)) {
+		t.Error("Changed in a quiet month should be false")
+	}
+	if got := p.TechniquesEver(); got != anomaly.MakeSet(anomaly.DNS, anomaly.RST) {
+		t.Errorf("TechniquesEver = %v", got)
+	}
+	if got := p.CategoriesEver(); !got.Has(webcat.Politics) || !got.Has(webcat.News) {
+		t.Errorf("CategoriesEver = %v", got)
+	}
+}
+
+func TestRegistryActiveOn(t *testing.T) {
+	r := NewRegistry()
+	r.Add(NewPolicy(200, "CN", Behavior{}, anomaly.MakeSet(anomaly.TTL), webcat.MakeSet(webcat.Shopping)))
+	r.Add(NewPolicy(300, "GB", Behavior{}, anomaly.MakeSet(anomaly.Block), webcat.MakeSet(webcat.Ads)))
+
+	path := []topology.ASN{100, 200, 300, 400}
+	acts := r.ActiveOn(path, webcat.Shopping, start)
+	if len(acts) != 1 || acts[0].ASN != 200 || acts[0].PathIndex != 1 {
+		t.Fatalf("ActiveOn(Shopping) = %+v", acts)
+	}
+	if acts[0].Techniques != anomaly.MakeSet(anomaly.TTL) {
+		t.Errorf("techniques = %v", acts[0].Techniques)
+	}
+	if got := r.ActiveOn(path, webcat.Health, start); got != nil {
+		t.Errorf("untargeted category matched: %+v", got)
+	}
+	if r.Len() != 2 {
+		t.Errorf("Len = %d", r.Len())
+	}
+	asns := r.ASNs()
+	if len(asns) != 2 || asns[0] != 200 || asns[1] != 300 {
+		t.Errorf("ASNs = %v", asns)
+	}
+}
+
+func genGraph(t testing.TB) *topology.Graph {
+	t.Helper()
+	g, err := topology.Generate(topology.GenConfig{Seed: 1, ASes: 500, Countries: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	g := genGraph(t)
+	cfg := GenConfig{Seed: 5, Start: start, End: end}
+	a, err := Generate(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	as, bs := a.ASNs(), b.ASNs()
+	if len(as) != len(bs) {
+		t.Fatalf("nondeterministic censor counts: %d vs %d", len(as), len(bs))
+	}
+	for i := range as {
+		if as[i] != bs[i] {
+			t.Fatalf("censor %d differs: %v vs %v", i, as[i], bs[i])
+		}
+	}
+}
+
+func TestGeneratePlacesPaperRegions(t *testing.T) {
+	g := genGraph(t)
+	reg, err := Generate(g, GenConfig{Seed: 2, Start: start, End: end})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byCountry := map[string]int{}
+	transitCensors := 0
+	for _, asn := range reg.ASNs() {
+		p, _ := reg.Policy(asn)
+		byCountry[p.Country]++
+		if as, ok := g.ByASN(asn); ok {
+			if as.Role != topology.RoleStub {
+				transitCensors++
+			}
+			if as.Country != p.Country {
+				t.Errorf("censor %v country mismatch: policy %s, AS %s", asn, p.Country, as.Country)
+			}
+		} else {
+			t.Errorf("censor %v not in topology", asn)
+		}
+	}
+	for _, c := range []string{"CN", "GB", "SG", "PL", "CY"} {
+		if byCountry[c] == 0 {
+			t.Errorf("no censors in %s", c)
+		}
+	}
+	if byCountry["CN"] < 3 {
+		t.Errorf("CN has only %d censors", byCountry["CN"])
+	}
+	if transitCensors == 0 {
+		t.Error("no transit censors; leakage experiments would be vacuous")
+	}
+	if len(byCountry) < 15 {
+		t.Errorf("censors span only %d countries", len(byCountry))
+	}
+	if reg.Len() < 20 {
+		t.Errorf("only %d censors generated", reg.Len())
+	}
+}
+
+func TestGenerateResolverNeverCensors(t *testing.T) {
+	g := genGraph(t)
+	reg, err := Generate(g, GenConfig{Seed: 3, Start: start, End: end})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := reg.Policy(topology.ResolverASN); ok {
+		t.Error("resolver AS was made a censor")
+	}
+}
+
+func TestGeneratePolicyChanges(t *testing.T) {
+	g := genGraph(t)
+	reg, err := Generate(g, GenConfig{Seed: 4, Start: start, End: end, PolicyChangeProb: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed := 0
+	for _, asn := range reg.ASNs() {
+		p, _ := reg.Policy(asn)
+		if p.Changed(start, end) {
+			changed++
+			// The change must land strictly inside the window.
+			for _, e := range p.Epochs()[1:] {
+				if e.Start.Before(start) || !e.Start.Before(end) {
+					t.Errorf("change for %v at %v outside window", asn, e.Start)
+				}
+			}
+		}
+		// Every epoch must keep at least one technique and one category.
+		for _, e := range p.Epochs() {
+			if e.Techniques == 0 {
+				t.Errorf("censor %v epoch with no techniques", asn)
+			}
+			if e.Categories == 0 {
+				t.Errorf("censor %v epoch with no categories", asn)
+			}
+		}
+	}
+	if changed < reg.Len()/2 {
+		t.Errorf("only %d/%d censors changed policy at prob 0.9", changed, reg.Len())
+	}
+}
+
+func TestGenerateCNImplementsAll(t *testing.T) {
+	g := genGraph(t)
+	reg, err := Generate(g, GenConfig{Seed: 6, Start: start, End: end})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cnUnion anomaly.Set
+	for _, asn := range reg.ASNs() {
+		p, _ := reg.Policy(asn)
+		if p.Country == "CN" {
+			cnUnion |= p.TechniquesEver()
+		}
+	}
+	if cnUnion != anomaly.AllKinds {
+		t.Errorf("CN censors union = %v, want All (paper: China implements all forms)", cnUnion)
+	}
+}
+
+func TestGenerateInvalidWindow(t *testing.T) {
+	g := genGraph(t)
+	if _, err := Generate(g, GenConfig{Seed: 1, Start: end, End: start}); err == nil {
+		t.Error("inverted window accepted")
+	}
+}
+
+func TestGenerateAdsOnlyProfiles(t *testing.T) {
+	g := genGraph(t)
+	reg, err := Generate(g, GenConfig{Seed: 7, Start: start, End: end})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adsOnly := 0
+	for _, asn := range reg.ASNs() {
+		p, _ := reg.Policy(asn)
+		if (p.Country == "IE" || p.Country == "ES") && p.Epochs()[0].Categories == webcat.MakeSet(webcat.Ads) {
+			adsOnly++
+		}
+	}
+	if adsOnly == 0 {
+		t.Error("no ad-vendor-only censors (paper: IE/ES censor only ad URLs)")
+	}
+}

@@ -1,0 +1,295 @@
+package censor
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"churntomo/internal/anomaly"
+	"churntomo/internal/topology"
+	"churntomo/internal/webcat"
+)
+
+// CountryProfile declares how one country censors. Profiles steer the
+// generator toward the paper's findings: China and Cyprus run every
+// technique, the UK censors blockpage+TTL style, Singapore SEQ+TTL, Poland
+// block/DNS/SEQ, and a few western European ASes censor only ad networks.
+type CountryProfile struct {
+	Country    string
+	ASes       int         // how many censoring ASes to create there
+	Techniques anomaly.Set // envelope; each AS draws a subset
+	// PreferTransit places censors at transit/tier-1 ASes, the structural
+	// precondition for cross-border leakage.
+	PreferTransit bool
+	// AllCategories makes every AS censor the whole test list (the
+	// "Cyprus" behaviour in the paper).
+	AllCategories bool
+	// AdsOnly restricts targeting to the Ads category (the paper's
+	// Ireland/Spain/UK ad-vendor censors).
+	AdsOnly bool
+	// CatMin/CatMax bound the number of targeted categories otherwise.
+	CatMin, CatMax int
+}
+
+// DefaultProfiles mirrors the regional structure of the paper's Table 2 and
+// Table 3: a dominant exporter (CN) censoring at transit, plus regional
+// censors with distinctive technique subsets.
+var DefaultProfiles = []CountryProfile{
+	{Country: "CN", ASes: 6, Techniques: anomaly.AllKinds, PreferTransit: true, CatMin: 1, CatMax: 3},
+	{Country: "GB", ASes: 6, Techniques: anomaly.MakeSet(anomaly.Block, anomaly.TTL), CatMin: 1, CatMax: 3},
+	{Country: "SG", ASes: 4, Techniques: anomaly.MakeSet(anomaly.SEQ, anomaly.TTL), CatMin: 1, CatMax: 3},
+	{Country: "PL", ASes: 3, Techniques: anomaly.MakeSet(anomaly.Block, anomaly.DNS, anomaly.SEQ), PreferTransit: true, CatMin: 1, CatMax: 3},
+	{Country: "CY", ASes: 3, Techniques: anomaly.AllKinds, AllCategories: true},
+	{Country: "SE", ASes: 1, Techniques: anomaly.MakeSet(anomaly.DNS, anomaly.RST, anomaly.SEQ, anomaly.TTL), PreferTransit: true, CatMin: 2, CatMax: 3},
+	{Country: "UA", ASes: 1, Techniques: anomaly.MakeSet(anomaly.DNS, anomaly.RST, anomaly.SEQ, anomaly.Block), CatMin: 2, CatMax: 3},
+	{Country: "AE", ASes: 1, Techniques: anomaly.MakeSet(anomaly.RST, anomaly.SEQ, anomaly.TTL, anomaly.Block), PreferTransit: true, CatMin: 2, CatMax: 4},
+	{Country: "IE", ASes: 1, Techniques: anomaly.MakeSet(anomaly.Block), AdsOnly: true},
+	{Country: "ES", ASes: 1, Techniques: anomaly.MakeSet(anomaly.Block), AdsOnly: true},
+	{Country: "RU", ASes: 2, Techniques: anomaly.MakeSet(anomaly.DNS, anomaly.RST, anomaly.Block), PreferTransit: true, CatMin: 1, CatMax: 3},
+	{Country: "JP", ASes: 1, Techniques: anomaly.MakeSet(anomaly.SEQ, anomaly.TTL), PreferTransit: true, CatMin: 1, CatMax: 2},
+	{Country: "IR", ASes: 2, Techniques: anomaly.AllKinds, CatMin: 3, CatMax: 6},
+	{Country: "TR", ASes: 2, Techniques: anomaly.MakeSet(anomaly.DNS, anomaly.Block), CatMin: 1, CatMax: 3},
+	{Country: "PK", ASes: 1, Techniques: anomaly.MakeSet(anomaly.DNS, anomaly.Block), CatMin: 1, CatMax: 2},
+	{Country: "IN", ASes: 1, Techniques: anomaly.MakeSet(anomaly.Block, anomaly.TTL), CatMin: 1, CatMax: 2},
+	{Country: "SA", ASes: 1, Techniques: anomaly.MakeSet(anomaly.RST, anomaly.Block), CatMin: 1, CatMax: 3},
+	{Country: "KR", ASes: 1, Techniques: anomaly.MakeSet(anomaly.DNS, anomaly.Block), CatMin: 1, CatMax: 2},
+	{Country: "TH", ASes: 1, Techniques: anomaly.MakeSet(anomaly.Block, anomaly.TTL), CatMin: 1, CatMax: 2},
+	{Country: "VN", ASes: 1, Techniques: anomaly.MakeSet(anomaly.RST, anomaly.TTL), CatMin: 1, CatMax: 2},
+	{Country: "EG", ASes: 1, Techniques: anomaly.MakeSet(anomaly.RST), CatMin: 1, CatMax: 2},
+	{Country: "MY", ASes: 1, Techniques: anomaly.MakeSet(anomaly.DNS), CatMin: 1, CatMax: 2},
+}
+
+// GenConfig parameterizes censor generation.
+type GenConfig struct {
+	Seed     uint64
+	Profiles []CountryProfile // nil = DefaultProfiles
+
+	// ExtraCountries adds this many randomly-chosen additional censoring
+	// countries with one stub censor each, so the identified-censor count
+	// spreads over ~30 countries like the paper's. Default 8.
+	ExtraCountries int
+	// PolicyChangeProb is the probability that a censor changes policy once
+	// during [Start, End). Default 0.35. Changes inside a time slice are
+	// the mechanism behind the paper's unsolvable coarse-granularity CNFs.
+	PolicyChangeProb float64
+	// Start and End bound the scenario (for scheduling policy changes).
+	Start, End time.Time
+}
+
+func (c *GenConfig) fillDefaults() {
+	if c.Profiles == nil {
+		c.Profiles = DefaultProfiles
+	}
+	if c.ExtraCountries == 0 {
+		c.ExtraCountries = 8
+	}
+	if c.PolicyChangeProb == 0 {
+		c.PolicyChangeProb = 0.35
+	}
+}
+
+// Generate places censors into the topology per the configuration. The same
+// inputs always produce the same registry.
+func Generate(g *topology.Graph, cfg GenConfig) (*Registry, error) {
+	cfg.fillDefaults()
+	if !cfg.Start.Before(cfg.End) {
+		return nil, fmt.Errorf("censor: start %v not before end %v", cfg.Start, cfg.End)
+	}
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0x63656e736f72)) // "censor"
+	reg := NewRegistry()
+	blockpageID := 0
+
+	// Index candidate ASes per country.
+	transitByCountry := map[string][]int32{}
+	stubByCountry := map[string][]int32{}
+	var allCountries []string
+	seenCountry := map[string]bool{}
+	for i := range g.ASes {
+		as := &g.ASes[i]
+		if as.ASN == topology.ResolverASN {
+			continue // never censor the resolver itself
+		}
+		switch as.Role {
+		case topology.RoleTier1, topology.RoleTransit:
+			transitByCountry[as.Country] = append(transitByCountry[as.Country], int32(i))
+		default:
+			stubByCountry[as.Country] = append(stubByCountry[as.Country], int32(i))
+		}
+		if !seenCountry[as.Country] {
+			seenCountry[as.Country] = true
+			allCountries = append(allCountries, as.Country)
+		}
+	}
+
+	place := func(p CountryProfile) {
+		transit := transitByCountry[p.Country]
+		stubs := stubByCountry[p.Country]
+		for n := 0; n < p.ASes; n++ {
+			var idx int32 = -1
+			pickTransit := p.PreferTransit && len(transit) > 0 && (len(stubs) == 0 || rng.Float64() < 0.75)
+			switch {
+			case pickTransit:
+				k := rng.IntN(len(transit))
+				idx, transit = transit[k], append(transit[:k:k], transit[k+1:]...)
+			case len(stubs) > 0:
+				k := rng.IntN(len(stubs))
+				idx, stubs = stubs[k], append(stubs[:k:k], stubs[k+1:]...)
+			case len(transit) > 0:
+				k := rng.IntN(len(transit))
+				idx, transit = transit[k], append(transit[:k:k], transit[k+1:]...)
+			default:
+				return // country absent from this topology scale
+			}
+			as := &g.ASes[idx]
+
+			techs := drawTechniques(rng, p.Techniques)
+			cats := drawCategories(rng, p)
+			if as.Role == topology.RoleTier1 {
+				// Backbone censors act under narrow mandates (single
+				// category): a tier-1 carries a huge share of paths, and an
+				// unconstrained policy there would censor a large fraction
+				// of the whole measurement set — unlike anything observed.
+				cats = webcat.MakeSet(tier1Categories[rng.IntN(len(tier1Categories))])
+				// And no backbone runs DNS injection: resolver-path
+				// injection from a transit core would poison half the
+				// Internet's lookups, not a jurisdiction's.
+				techs &^= anomaly.MakeSet(anomaly.DNS)
+				if techs == 0 {
+					techs = anomaly.MakeSet(anomaly.TTL)
+				}
+			}
+			b := Behavior{
+				InitTTL:   netTTL(rng),
+				SeqSkew:   rng.Float64() < 0.7,
+				InPath:    rng.Float64() < 0.75,
+				MimicTTL:  rng.Float64() < 0.7,
+				KillsConn: rng.Float64() < 0.6,
+				Blockpage: blockpageID,
+			}
+			blockpageID++
+			pol := NewPolicy(as.ASN, as.Country, b, techs, cats)
+			schedulePolicyChange(rng, pol, cfg)
+			reg.Add(pol)
+		}
+		transitByCountry[p.Country] = transit
+		stubByCountry[p.Country] = stubs
+	}
+
+	profiled := map[string]bool{}
+	for _, p := range cfg.Profiles {
+		place(p)
+		profiled[p.Country] = true
+	}
+
+	// Extra censoring countries: one stub censor each, drawn from countries
+	// without a profile.
+	var pool []string
+	for _, c := range allCountries {
+		if !profiled[c] && (len(stubByCountry[c]) > 0 || len(transitByCountry[c]) > 0) {
+			pool = append(pool, c)
+		}
+	}
+	for n := 0; n < cfg.ExtraCountries && len(pool) > 0; n++ {
+		k := rng.IntN(len(pool))
+		country := pool[k]
+		pool = append(pool[:k:k], pool[k+1:]...)
+		kinds := []anomaly.Kind{anomaly.DNS, anomaly.RST, anomaly.SEQ, anomaly.TTL, anomaly.Block}
+		t1 := kinds[rng.IntN(len(kinds))]
+		t2 := kinds[rng.IntN(len(kinds))]
+		place(CountryProfile{
+			Country:    country,
+			ASes:       1,
+			Techniques: anomaly.MakeSet(t1, t2),
+			CatMin:     1, CatMax: 2,
+		})
+	}
+	return reg, nil
+}
+
+// drawTechniques picks a non-empty subset of the envelope: usually the full
+// set (real deployments are products with fixed feature sets), sometimes a
+// strict subset.
+func drawTechniques(rng *rand.Rand, envelope anomaly.Set) anomaly.Set {
+	if rng.Float64() < 0.6 {
+		return envelope
+	}
+	members := envelope.Members()
+	rng.Shuffle(len(members), func(i, j int) { members[i], members[j] = members[j], members[i] })
+	keep := 1 + rng.IntN(len(members))
+	return anomaly.MakeSet(members[:keep]...)
+}
+
+// drawCategories picks targeted categories, weighted toward the head of the
+// category list (Shopping, Classifieds — the paper's most-censored).
+func drawCategories(rng *rand.Rand, p CountryProfile) webcat.Set {
+	if p.AllCategories {
+		return webcat.AllCategories
+	}
+	if p.AdsOnly {
+		return webcat.MakeSet(webcat.Ads)
+	}
+	lo, hi := p.CatMin, p.CatMax
+	if lo <= 0 {
+		lo = 1
+	}
+	if hi < lo {
+		hi = lo
+	}
+	n := lo + rng.IntN(hi-lo+1)
+	var s webcat.Set
+	for s.Len() < n {
+		// Geometric-ish head bias.
+		c := webcat.Category(0)
+		for c < webcat.NumCategories-1 && rng.Float64() < 0.72 {
+			c++
+		}
+		s = s.Add(c)
+	}
+	return s
+}
+
+// tier1Categories are the narrow-mandate categories a backbone censor may
+// filter (court-ordered gambling/adult blocking, ad-network filtering).
+var tier1Categories = []webcat.Category{
+	webcat.Gambling, webcat.Adult, webcat.Circumvention, webcat.Ads,
+}
+
+func netTTL(rng *rand.Rand) uint8 {
+	if rng.Float64() < 0.55 {
+		return 64 // mimics a Linux server
+	}
+	return 255 // maximizes delivery, maximally fingerprintable
+}
+
+// schedulePolicyChange maybe adds one mid-scenario policy change: a category
+// set tweak or a technique toggle.
+func schedulePolicyChange(rng *rand.Rand, p *Policy, cfg GenConfig) {
+	if rng.Float64() >= cfg.PolicyChangeProb {
+		return
+	}
+	span := cfg.End.Sub(cfg.Start)
+	// Keep changes away from the edges so both epochs get measured.
+	at := cfg.Start.Add(time.Duration((0.15 + 0.7*rng.Float64()) * float64(span)))
+	e := p.EpochAt(at)
+	techs, cats := e.Techniques, e.Categories
+
+	switch rng.IntN(3) {
+	case 0: // drop a category
+		members := cats.Members()
+		if len(members) > 1 {
+			cats = webcat.MakeSet(members[:len(members)-1]...)
+		} else {
+			cats = cats.Add(webcat.Category(rng.IntN(int(webcat.NumCategories))))
+		}
+	case 1: // add a category
+		cats = cats.Add(webcat.Category(rng.IntN(int(webcat.NumCategories))))
+	default: // toggle a technique
+		k := anomaly.Kind(rng.IntN(int(anomaly.NumKinds)))
+		if techs.Has(k) && techs.Len() > 1 {
+			techs &^= anomaly.MakeSet(k)
+		} else {
+			techs = techs.Add(k)
+		}
+	}
+	p.AddChange(at, techs, cats)
+}

@@ -1,0 +1,175 @@
+// Package churn measures network-level path churn, the phenomenon the
+// paper exploits in place of strategically-placed tomography monitors: how
+// many distinct AS-level paths a (vantage, URL) pair traverses within a
+// day, week, month or year (Figure 3), and the first-observed-path filter
+// behind the paper's no-churn ablation (Figure 4).
+package churn
+
+import (
+	"sort"
+
+	"churntomo/internal/iclab"
+	"churntomo/internal/timeslice"
+	"churntomo/internal/topology"
+	"churntomo/internal/traceroute"
+)
+
+// pairKey identifies a (vantage, URL) pair.
+type pairKey struct {
+	vantage topology.ASN
+	url     string
+}
+
+// pathID folds an AS path to a comparable key.
+func pathID(p []topology.ASN) string {
+	b := make([]byte, 0, len(p)*4)
+	for _, a := range p {
+		b = append(b, byte(a>>24), byte(a>>16), byte(a>>8), byte(a))
+	}
+	return string(b)
+}
+
+// MaxBucket is the top histogram bucket ("5+" in Figure 3).
+const MaxBucket = 5
+
+// Distribution is, per granularity, the fraction of (src,dst) pair-periods
+// that observed exactly 1, 2, 3, 4 or 5+ distinct AS paths. Index 0 of
+// Buckets is unused; Buckets[b] is the fraction with b distinct paths
+// (b = MaxBucket means "MaxBucket or more").
+type Distribution struct {
+	Gran    timeslice.Granularity
+	Buckets [MaxBucket + 1]float64
+	Samples int
+}
+
+// ChangedFrac returns the fraction of pair-periods with 2+ distinct paths —
+// the headline churn quantities (25%/30%/38%/67% in the paper).
+func (d Distribution) ChangedFrac() float64 {
+	f := 0.0
+	for b := 2; b <= MaxBucket; b++ {
+		f += d.Buckets[b]
+	}
+	return f
+}
+
+// Measure computes Figure 3's distributions from the dataset. Only
+// conclusive records (usable AS paths) count, since the paper observes
+// churn through the same traceroutes the tomography uses. Pair-periods with
+// a single measurement are excluded per granularity — one observation
+// cannot witness a change.
+func Measure(records []iclab.Record, grans []timeslice.Granularity) []Distribution {
+	if grans == nil {
+		grans = timeslice.All
+	}
+	out := make([]Distribution, 0, len(grans))
+	for _, g := range grans {
+		type cell struct {
+			paths map[string]bool
+			n     int
+		}
+		cells := map[pairKey]map[timeslice.Key]*cell{}
+		for i := range records {
+			r := &records[i]
+			if r.Fail != traceroute.OK {
+				continue
+			}
+			pk := pairKey{r.Vantage, r.URL}
+			slice := timeslice.KeyFor(g, r.At)
+			bySlice := cells[pk]
+			if bySlice == nil {
+				bySlice = map[timeslice.Key]*cell{}
+				cells[pk] = bySlice
+			}
+			c := bySlice[slice]
+			if c == nil {
+				c = &cell{paths: map[string]bool{}}
+				bySlice[slice] = c
+			}
+			c.paths[pathID(r.ASPath)] = true
+			c.n++
+		}
+		d := Distribution{Gran: g}
+		for _, bySlice := range cells {
+			for _, c := range bySlice {
+				if c.n < 2 {
+					continue
+				}
+				b := len(c.paths)
+				if b > MaxBucket {
+					b = MaxBucket
+				}
+				d.Buckets[b]++
+				d.Samples++
+			}
+		}
+		if d.Samples > 0 {
+			for b := 1; b <= MaxBucket; b++ {
+				d.Buckets[b] /= float64(d.Samples)
+			}
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// FirstPathOnly returns the subset of records that used the first AS path
+// ever observed for their (vantage, URL) pair — the paper's Figure 4
+// ablation, which freezes out churn's contribution and shows the CNFs
+// collapse to many solutions. Records must be passed in measurement order
+// (Dataset.Records already is); inconclusive records pass through
+// unchanged so elimination statistics stay comparable.
+func FirstPathOnly(records []iclab.Record) []iclab.Record {
+	first := map[pairKey]string{}
+	var out []iclab.Record
+	for i := range records {
+		r := records[i]
+		if r.Fail != traceroute.OK {
+			out = append(out, r)
+			continue
+		}
+		pk := pairKey{r.Vantage, r.URL}
+		id := pathID(r.ASPath)
+		want, seen := first[pk]
+		if !seen {
+			first[pk] = id
+			want = id
+		}
+		if id == want {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// ByDestinationClass splits churn by CAIDA-style class of the destination
+// AS, the paper's check that churn does not depend on destination type.
+func ByDestinationClass(records []iclab.Record, g *topology.Graph, gran timeslice.Granularity) map[topology.Class]Distribution {
+	byClass := map[topology.Class][]iclab.Record{}
+	for i := range records {
+		r := records[i]
+		as, ok := g.ByASN(r.TargetASN)
+		if !ok {
+			continue
+		}
+		byClass[as.Class] = append(byClass[as.Class], r)
+	}
+	out := map[topology.Class]Distribution{}
+	for class, recs := range byClass {
+		ds := Measure(recs, []timeslice.Granularity{gran})
+		if len(ds) == 1 {
+			out[class] = ds[0]
+		}
+	}
+	return out
+}
+
+// Classes returns the classes present in a ByDestinationClass result,
+// sorted for deterministic rendering.
+func Classes(m map[topology.Class]Distribution) []topology.Class {
+	out := make([]topology.Class, 0, len(m))
+	for c := range m {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

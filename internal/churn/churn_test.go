@@ -1,0 +1,145 @@
+package churn
+
+import (
+	"testing"
+	"time"
+
+	"churntomo/internal/iclab"
+	"churntomo/internal/timeslice"
+	"churntomo/internal/topology"
+	"churntomo/internal/traceroute"
+)
+
+var t0 = time.Date(2016, 5, 10, 6, 0, 0, 0, time.UTC)
+
+func rec(v topology.ASN, url string, at time.Time, path []topology.ASN) iclab.Record {
+	return iclab.Record{Vantage: v, URL: url, At: at, ASPath: path, Fail: traceroute.OK}
+}
+
+func TestMeasureCountsDistinctPaths(t *testing.T) {
+	p1 := []topology.ASN{1, 2, 3}
+	p2 := []topology.ASN{1, 4, 3}
+	records := []iclab.Record{
+		// Pair (1, a.com): two paths same day.
+		rec(1, "a.com", t0, p1),
+		rec(1, "a.com", t0.Add(8*time.Hour), p2),
+		// Pair (2, a.com): stable, two measurements.
+		rec(2, "a.com", t0, p1),
+		rec(2, "a.com", t0.Add(8*time.Hour), p1),
+		// Pair (3, a.com): single measurement — excluded.
+		rec(3, "a.com", t0, p1),
+	}
+	ds := Measure(records, []timeslice.Granularity{timeslice.Day})
+	d := ds[0]
+	if d.Samples != 2 {
+		t.Fatalf("samples %d, want 2 (single-measurement cells excluded)", d.Samples)
+	}
+	if d.Buckets[1] != 0.5 || d.Buckets[2] != 0.5 {
+		t.Errorf("buckets %v", d.Buckets)
+	}
+	if d.ChangedFrac() != 0.5 {
+		t.Errorf("ChangedFrac %.2f", d.ChangedFrac())
+	}
+}
+
+func TestMeasureGranularityAccumulates(t *testing.T) {
+	// One path per day, five days, all different: day cells see 1 path
+	// each (no change), the month cell sees 5 (5+ bucket).
+	var records []iclab.Record
+	for day := 0; day < 5; day++ {
+		p := []topology.ASN{1, topology.ASN(10 + day), 3}
+		records = append(records, rec(1, "a.com", t0.AddDate(0, 0, day), p))
+		records = append(records, rec(1, "a.com", t0.AddDate(0, 0, day).Add(6*time.Hour), p))
+	}
+	day := Measure(records, []timeslice.Granularity{timeslice.Day})[0]
+	month := Measure(records, []timeslice.Granularity{timeslice.Month})[0]
+	if day.ChangedFrac() != 0 {
+		t.Errorf("day ChangedFrac %.2f, want 0", day.ChangedFrac())
+	}
+	if month.Buckets[MaxBucket] != 1.0 {
+		t.Errorf("month 5+ bucket %.2f, want 1", month.Buckets[MaxBucket])
+	}
+}
+
+func TestMeasureSkipsInconclusive(t *testing.T) {
+	bad := rec(1, "a.com", t0, []topology.ASN{1, 2})
+	bad.Fail = traceroute.ErrTraceFailed
+	ds := Measure([]iclab.Record{bad, bad}, []timeslice.Granularity{timeslice.Day})
+	if ds[0].Samples != 0 {
+		t.Errorf("inconclusive records counted: %d samples", ds[0].Samples)
+	}
+}
+
+func TestFirstPathOnly(t *testing.T) {
+	p1 := []topology.ASN{1, 2, 3}
+	p2 := []topology.ASN{1, 4, 3}
+	records := []iclab.Record{
+		rec(1, "a.com", t0, p1),
+		rec(1, "a.com", t0.Add(time.Hour), p2),   // filtered: new path
+		rec(1, "a.com", t0.Add(2*time.Hour), p1), // kept: first path again
+		rec(2, "a.com", t0, p2),                  // kept: pair 2's first path
+		rec(2, "a.com", t0.Add(time.Hour), p1),   // filtered
+	}
+	bad := rec(1, "a.com", t0.Add(3*time.Hour), nil)
+	bad.Fail = traceroute.ErrNoMapping
+	records = append(records, bad) // inconclusive: passes through
+
+	out := FirstPathOnly(records)
+	if len(out) != 4 {
+		t.Fatalf("kept %d records, want 4", len(out))
+	}
+	// The surviving conclusive records for pair 1 all use p1.
+	for _, r := range out {
+		if r.Fail != traceroute.OK {
+			continue
+		}
+		if r.Vantage == 1 && pathID(r.ASPath) != pathID(p1) {
+			t.Errorf("pair 1 kept a non-first path")
+		}
+		if r.Vantage == 2 && pathID(r.ASPath) != pathID(p2) {
+			t.Errorf("pair 2 kept a non-first path")
+		}
+	}
+}
+
+func TestByDestinationClass(t *testing.T) {
+	g, err := topology.Generate(topology.GenConfig{Seed: 1, ASes: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two targets of different classes.
+	var content, transit topology.ASN
+	for i := range g.ASes {
+		switch {
+		case content == 0 && g.ASes[i].Class == topology.ClassContent:
+			content = g.ASes[i].ASN
+		case transit == 0 && g.ASes[i].Class == topology.ClassTransit:
+			transit = g.ASes[i].ASN
+		}
+	}
+	if content == 0 || transit == 0 {
+		t.Fatal("fixture classes missing")
+	}
+	mk := func(dst topology.ASN, paths ...[]topology.ASN) []iclab.Record {
+		var out []iclab.Record
+		for i, p := range paths {
+			r := rec(1, "u.com", t0.Add(time.Duration(i)*time.Hour), p)
+			r.TargetASN = dst
+			out = append(out, r)
+		}
+		return out
+	}
+	records := append(
+		mk(content, []topology.ASN{1, 2}, []topology.ASN{1, 3}),    // churns
+		mk(transit, []topology.ASN{1, 2}, []topology.ASN{1, 2})...) // stable
+	byClass := ByDestinationClass(records, g, timeslice.Day)
+	if byClass[topology.ClassContent].ChangedFrac() != 1 {
+		t.Errorf("content class ChangedFrac %.2f", byClass[topology.ClassContent].ChangedFrac())
+	}
+	if byClass[topology.ClassTransit].ChangedFrac() != 0 {
+		t.Errorf("transit class ChangedFrac %.2f", byClass[topology.ClassTransit].ChangedFrac())
+	}
+	if got := Classes(byClass); len(got) != 2 || got[0] != topology.ClassTransit {
+		t.Errorf("Classes = %v", got)
+	}
+}

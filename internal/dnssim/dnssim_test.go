@@ -1,0 +1,89 @@
+package dnssim
+
+import (
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"churntomo/internal/netaddr"
+	"churntomo/internal/netsim"
+)
+
+func params() Params {
+	return Params{
+		At:           time.Date(2016, 5, 1, 12, 0, 0, 0, time.UTC),
+		ClientIP:     netaddr.MustParseIP("20.0.0.5"),
+		ResolverIP:   netaddr.MustParseIP("8.8.8.8"),
+		Host:         "h.example.com",
+		QueryID:      77,
+		ResolverDist: 9,
+		TrueAnswer:   netaddr.MustParseIP("21.0.0.9"),
+		ResolverTTL:  64,
+	}
+}
+
+func TestSimulateCleanShape(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	c := Simulate(params(), nil, Noise{}, rng)
+	if c.Len() != 2 {
+		t.Fatalf("clean lookup has %d packets, want query+answer", c.Len())
+	}
+	q, err := netsim.UnmarshalDNS(c.Packets[0].Payload)
+	if err != nil || q.Response {
+		t.Fatalf("first packet not a query: %v %v", q, err)
+	}
+	a, err := netsim.UnmarshalDNS(c.Packets[1].Payload)
+	if err != nil || !a.Response || a.Answer != params().TrueAnswer {
+		t.Fatalf("answer wrong: %v %v", a, err)
+	}
+	if a.ID != q.ID {
+		t.Error("query ID mismatch")
+	}
+	// Resolver answer TTL reflects the hop distance.
+	if want := netsim.ArrivalTTL(64, 9); c.Packets[1].TTL != want {
+		t.Errorf("answer TTL %d, want %d", c.Packets[1].TTL, want)
+	}
+}
+
+func TestSimulateInjectionWinsRace(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	inj := []Injector{{ASN: 4134, Dist: 3, Answer: netaddr.MustParseIP("10.0.0.1"), InitTTL: 255}}
+	c := Simulate(params(), inj, Noise{}, rng)
+	if c.Len() != 3 {
+		t.Fatalf("packets %d, want 3", c.Len())
+	}
+	first := c.Packets[1] // after the query
+	if !first.Injected || first.InjectedBy != 4134 {
+		t.Fatalf("injected answer did not arrive first: %+v", first)
+	}
+	m, _ := netsim.UnmarshalDNS(first.Payload)
+	if m.Answer != netaddr.MustParseIP("10.0.0.1") {
+		t.Errorf("sinkhole answer wrong: %v", m.Answer)
+	}
+	if want := netsim.ArrivalTTL(255, 3); first.TTL != want {
+		t.Errorf("injected TTL %d, want %d", first.TTL, want)
+	}
+}
+
+func TestSimulateInjectorBeyondTTLReach(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	// An injector whose TTL cannot reach the client emits nothing.
+	inj := []Injector{{ASN: 1, Dist: 70, Answer: 1, InitTTL: 64}}
+	c := Simulate(params(), inj, Noise{}, rng)
+	if c.Len() != 2 {
+		t.Fatalf("unreachable injector still injected: %d packets", c.Len())
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	a := Simulate(params(), nil, Noise{}, rand.New(rand.NewPCG(9, 9)))
+	b := Simulate(params(), nil, Noise{}, rand.New(rand.NewPCG(9, 9)))
+	if a.Len() != b.Len() {
+		t.Fatal("nondeterministic")
+	}
+	for i := range a.Packets {
+		if !a.Packets[i].At.Equal(b.Packets[i].At) || a.Packets[i].TTL != b.Packets[i].TTL {
+			t.Fatalf("packet %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,344 @@
+package iclab
+
+import (
+	"math/rand/v2"
+	"time"
+
+	"churntomo/internal/anomaly"
+	"churntomo/internal/blockpage"
+	"churntomo/internal/censor"
+	"churntomo/internal/detect"
+	"churntomo/internal/dnssim"
+	"churntomo/internal/httpsim"
+	"churntomo/internal/netaddr"
+	"churntomo/internal/topology"
+	"churntomo/internal/traceroute"
+	"churntomo/internal/webcat"
+)
+
+// TracesPerTest is the number of traceroutes recorded per measurement
+// (paper §3.1: "three traceroutes between the vantage point and the URL").
+const TracesPerTest = 3
+
+// GroundTruthAct records, for validation only, one censor that acted on a
+// measurement and with which techniques.
+type GroundTruthAct struct {
+	ASN   topology.ASN
+	Kinds anomaly.Set
+}
+
+// Record is one measurement: the tuple the paper's §3.1 lists — vantage AS,
+// URL, anomaly outcomes, three traceroutes, timestamp — plus the inferred
+// AS-level path (or the elimination reason).
+type Record struct {
+	ID             int32
+	Vantage        topology.ASN
+	VantageCountry string
+	TargetASN      topology.ASN
+	TargetIdx      int32 // index into Scenario.Targets
+	URL            string
+	Category       webcat.Category
+	At             time.Time
+
+	// Anomalies holds the detector outcomes (never ground truth).
+	Anomalies anomaly.Set
+
+	Traces [TracesPerTest]traceroute.Trace
+	// ASPath is the AS-level path inferred from the traces via the
+	// IP-to-AS database; nil when the record is inconclusive.
+	ASPath []topology.ASN
+	Fail   traceroute.FailReason
+
+	// Ground truth, for validation only — the tomography must not read
+	// these fields.
+	TruePath    []topology.ASN
+	TrueActs    []GroundTruthAct
+	Unreachable bool // routing offered no path at measurement time
+}
+
+// PlatformConfig tunes the measurement schedule and noise.
+type PlatformConfig struct {
+	Seed uint64
+
+	// URLsPerDay is how many URLs the fleet tests each day. Vantages are
+	// synchronized (the fleet works through the list in lockstep), so each
+	// tested URL gets clauses from every vantage that day — the paper's
+	// per-URL CNFs depend on that breadth. Default 6.
+	URLsPerDay int
+	// RepeatsPerDay is how many times each (vantage, URL) pair is measured
+	// on a testing day; repeats at different hours are what let a single
+	// day observe path churn (Figure 3's per-day series). Default 2.
+	RepeatsPerDay int
+
+	Traceroute traceroute.Config
+	HTTPNoise  httpsim.Noise
+	DNSNoise   dnssim.Noise
+
+	// MidTestChurnWindow is how far apart a test's traceroutes are spread;
+	// a routing change inside the window yields disagreeing traces (the
+	// paper's rule-4 eliminations). Default 10 minutes.
+	MidTestChurnWindow time.Duration
+}
+
+func (c *PlatformConfig) fillDefaults() {
+	if c.URLsPerDay == 0 {
+		c.URLsPerDay = 6
+	}
+	if c.RepeatsPerDay == 0 {
+		c.RepeatsPerDay = 2
+	}
+	if c.HTTPNoise == (httpsim.Noise{}) {
+		c.HTTPNoise = httpsim.DefaultNoise()
+	}
+	if c.DNSNoise == (dnssim.Noise{}) {
+		c.DNSNoise = dnssim.Noise{DupResponseProb: 0.0002, SlowInjectorProb: 0.001}
+	}
+	if c.MidTestChurnWindow == 0 {
+		c.MidTestChurnWindow = 10 * time.Minute
+	}
+}
+
+// Dataset is a platform run's output.
+type Dataset struct {
+	Scenario *Scenario
+	Records  []Record
+	Stats    Table1
+}
+
+// Run executes the measurement schedule over the scenario. Deterministic
+// for identical scenario and config.
+func Run(s *Scenario, cfg PlatformConfig) *Dataset {
+	cfg.fillDefaults()
+	rng := rand.New(rand.NewPCG(cfg.Seed^s.Seed, 0x706c6174666f726d)) // "platform"
+	ds := &Dataset{Scenario: s}
+
+	day := 0
+	for at := s.Start; at.Before(s.End); at = at.AddDate(0, 0, 1) {
+		// The fleet works through the URL list in lockstep, URLsPerDay at a
+		// time, wrapping around the list.
+		for k := 0; k < cfg.URLsPerDay; k++ {
+			ti := (day*cfg.URLsPerDay + k) % len(s.Targets)
+			target := &s.Targets[ti]
+			for vi := range s.Vantages {
+				v := &s.Vantages[vi]
+				for r := 0; r < cfg.RepeatsPerDay; r++ {
+					// Spread repeats across the day (early morning / late
+					// evening) so intra-day churn is observable.
+					hour := (4 + r*15 + rng.IntN(4)) % 24
+					when := at.Add(time.Duration(hour)*time.Hour + time.Duration(rng.IntN(3600))*time.Second)
+					rec := s.measure(v, target, int32(ti), when, cfg, rng)
+					rec.ID = int32(len(ds.Records))
+					ds.Records = append(ds.Records, rec)
+				}
+			}
+		}
+		day++
+	}
+	ds.Stats = ComputeTable1(ds)
+	return ds
+}
+
+// measure runs one full test: DNS via two resolvers, HTTP with capture
+// analysis, blockpage comparison, and three traceroutes.
+func (s *Scenario) measure(v *Vantage, target *Target, targetIdx int32,
+	at time.Time, cfg PlatformConfig, rng *rand.Rand) Record {
+	rec := Record{
+		Vantage:        v.ASN,
+		VantageCountry: v.Country,
+		TargetASN:      target.ASN,
+		TargetIdx:      targetIdx,
+		URL:            target.URL.Host,
+		Category:       target.URL.Category,
+		At:             at,
+	}
+
+	idxPath, ok := s.Oracle.PathIdxAt(v.Idx, target.Idx, at)
+	if !ok {
+		// No route: every sub-test errors out; the record is eliminated by
+		// rule 2 during clause construction.
+		rec.Fail = traceroute.ErrTraceFailed
+		rec.Unreachable = true
+		for i := range rec.Traces {
+			rec.Traces[i] = traceroute.Trace{Err: true}
+		}
+		return rec
+	}
+	asnPath := s.Oracle.ToASNs(idxPath)
+	rec.TruePath = asnPath
+
+	// The router-level expansion is derived from a path-keyed RNG: the same
+	// AS path always yields the same hop distances, so middlebox
+	// detectability is a stable property of a path rather than a
+	// per-measurement coin flip (see censor.Behavior's doc).
+	expRng := rand.New(rand.NewPCG(s.Seed^0x657870, pathHash(idxPath)))
+	exp := traceroute.Expand(s.Graph, idxPath, target.IP, expRng)
+
+	active := s.Censors.ActiveOn(asnPath, target.URL.Category, at)
+
+	// --- DNS test: default resolver (inside the vantage AS) and the open
+	// anycast resolver, mirroring ICLab's dual-resolver methodology.
+	dnsAnom, dnsActs := s.dnsTest(v, target, at, active, cfg, rng)
+	if dnsAnom {
+		rec.Anomalies = rec.Anomalies.Add(anomaly.DNS)
+	}
+	rec.TrueActs = append(rec.TrueActs, dnsActs...)
+
+	// --- HTTP test with packet capture analysis.
+	var injectors []httpsim.Injector
+	for _, act := range active {
+		for _, k := range act.Techniques.Members() {
+			if k == anomaly.DNS {
+				continue
+			}
+			b := act.Policy.Behavior
+			inj := httpsim.Injector{
+				ASN:       uint32(act.ASN),
+				Dist:      exp.DistOfAS(act.PathIndex),
+				Technique: k,
+				InitTTL:   b.InitTTL,
+				SeqSkew:   b.SeqSkew,
+				InPath:    b.InPath,
+				MimicTTL:  b.MimicTTL,
+				KillsConn: b.KillsConn,
+			}
+			if k == anomaly.Block {
+				inj.Blockpage = blockpage.Render(b.Blockpage, act.Policy.Country)
+			}
+			injectors = append(injectors, inj)
+		}
+		if len(act.Techniques.Members()) > 0 {
+			rec.TrueActs = append(rec.TrueActs, GroundTruthAct{ASN: act.ASN, Kinds: act.Techniques})
+		}
+	}
+	res := httpsim.Simulate(httpsim.Params{
+		At:         at.Add(2 * time.Second),
+		ClientIP:   v.IP,
+		ServerIP:   target.IP,
+		Host:       target.URL.Host,
+		ServerDist: exp.ServerDist(),
+		ServerTTL:  target.ServerTTL,
+		Body:       target.Body,
+	}, injectors, cfg.HTTPNoise, rng)
+	verdict := detect.HTTP(&res.Capture, v.IP, target.IP)
+	if verdict.TTL {
+		rec.Anomalies = rec.Anomalies.Add(anomaly.TTL)
+	}
+	if verdict.SEQ {
+		rec.Anomalies = rec.Anomalies.Add(anomaly.SEQ)
+	}
+	if verdict.RST {
+		rec.Anomalies = rec.Anomalies.Add(anomaly.RST)
+	}
+	if detect.Blockpage(res.Body, res.BaselineLen, s.Fingerprints) {
+		rec.Anomalies = rec.Anomalies.Add(anomaly.Block)
+	}
+
+	// --- Three traceroutes, spread across a small window so genuine
+	// routing changes occasionally split them (rule-4 eliminations).
+	for i := 0; i < TracesPerTest; i++ {
+		traceAt := at.Add(time.Duration(i) * cfg.MidTestChurnWindow / TracesPerTest)
+		tIdxPath, tok := s.Oracle.PathIdxAt(v.Idx, target.Idx, traceAt)
+		if !tok {
+			rec.Traces[i] = traceroute.Trace{Err: true}
+			continue
+		}
+		tExp := exp
+		if !samePath(tIdxPath, idxPath) {
+			tRng := rand.New(rand.NewPCG(s.Seed^0x657870, pathHash(tIdxPath)))
+			tExp = traceroute.Expand(s.Graph, tIdxPath, target.IP, tRng)
+		}
+		rec.Traces[i] = traceroute.Probe(tExp, cfg.Traceroute, rng)
+	}
+	rec.ASPath, rec.Fail = traceroute.InferConsensus(rec.Traces[:], s.DB, at, v.ASN)
+	return rec
+}
+
+// dnsTest runs the dual-resolver lookup, reporting a DNS anomaly from
+// either capture plus the ground-truth injecting censors. Note the
+// attribution mismatch this preserves from the paper: injection happens on
+// the resolver path, but the clause built from this record uses the URL
+// path — a censor on one and not the other is methodological noise.
+func (s *Scenario) dnsTest(v *Vantage, target *Target, at time.Time,
+	activeOnDest []censor.Active, cfg PlatformConfig, rng *rand.Rand) (bool, []GroundTruthAct) {
+	var acts []GroundTruthAct
+	// Default resolver: lives inside the vantage AS, so only vantage-AS
+	// censors see the query.
+	defResolver := s.Graph.HostIP(v.Idx, 9)
+	var defInjectors []dnssim.Injector
+	for _, act := range activeOnDest {
+		if act.PathIndex == 0 && act.Techniques.Has(anomaly.DNS) {
+			defInjectors = append(defInjectors, dnssim.Injector{
+				ASN: uint32(act.ASN), Dist: 1,
+				Answer:  sinkholeFor(act.ASN),
+				InitTTL: act.Policy.Behavior.InitTTL,
+			})
+		}
+	}
+	for _, inj := range defInjectors {
+		acts = append(acts, GroundTruthAct{ASN: topology.ASN(inj.ASN), Kinds: anomaly.MakeSet(anomaly.DNS)})
+	}
+	defCap := dnssim.Simulate(dnssim.Params{
+		At: at, ClientIP: v.IP, ResolverIP: defResolver, Host: target.URL.Host,
+		QueryID: uint16(rng.Uint32()), ResolverDist: 2, TrueAnswer: target.IP,
+		ResolverTTL: 64,
+	}, defInjectors, cfg.DNSNoise, rng)
+	if detect.DNSDual(&defCap, v.IP) {
+		return true, acts
+	}
+
+	// Open resolver: the query transits the path toward the anycast AS;
+	// DNS censors along it inject.
+	rIdxPath, ok := s.Oracle.PathIdxAt(v.Idx, s.ResolverIdx, at)
+	if !ok {
+		return false, acts // resolver unreachable; no data
+	}
+	rASNs := s.Oracle.ToASNs(rIdxPath)
+	rExpRng := rand.New(rand.NewPCG(s.Seed^0x657870, pathHash(rIdxPath)))
+	rExp := traceroute.Expand(s.Graph, rIdxPath, s.Graph.ResolverIP, rExpRng)
+	var openInjectors []dnssim.Injector
+	for _, act := range s.Censors.ActiveOn(rASNs, target.URL.Category, at) {
+		if act.Techniques.Has(anomaly.DNS) {
+			openInjectors = append(openInjectors, dnssim.Injector{
+				ASN: uint32(act.ASN), Dist: rExp.DistOfAS(act.PathIndex),
+				Answer:  sinkholeFor(act.ASN),
+				InitTTL: act.Policy.Behavior.InitTTL,
+			})
+		}
+	}
+	for _, inj := range openInjectors {
+		acts = append(acts, GroundTruthAct{ASN: topology.ASN(inj.ASN), Kinds: anomaly.MakeSet(anomaly.DNS)})
+	}
+	openCap := dnssim.Simulate(dnssim.Params{
+		At: at.Add(time.Second), ClientIP: v.IP, ResolverIP: s.Graph.ResolverIP,
+		Host: target.URL.Host, QueryID: uint16(rng.Uint32()),
+		ResolverDist: rExp.ServerDist(), TrueAnswer: target.IP, ResolverTTL: 64,
+	}, openInjectors, cfg.DNSNoise, rng)
+	return detect.DNSDual(&openCap, v.IP), acts
+}
+
+// sinkholeFor derives a censor's DNS sinkhole address.
+func sinkholeFor(asn topology.ASN) netaddr.IP {
+	return netaddr.MakeIP(10, byte(asn>>8), byte(asn), 1)
+}
+
+func samePath(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// pathHash folds an AS-index path into a 64-bit seed.
+func pathHash(path []int32) uint64 {
+	h := uint64(1469598103934665603)
+	for _, p := range path {
+		h ^= uint64(uint32(p))
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,130 @@
+// Package ipasmap is the simulator's stand-in for CAIDA's historical
+// IP-to-AS mapping datasets: monthly longest-prefix-match snapshots used to
+// convert traceroute hop addresses into AS-level paths (paper §3.1).
+//
+// Real mappings are imperfect, and the paper's clause-construction rules
+// exist precisely to cope with that: snapshots here deliberately contain
+// holes (prefixes missing from a month's snapshot) and drift (prefixes
+// temporarily attributed to a neighboring AS), so the four inconclusive-path
+// elimination rules in internal/traceroute all get exercised.
+package ipasmap
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"time"
+
+	"churntomo/internal/netaddr"
+	"churntomo/internal/topology"
+)
+
+// DB is a time-versioned IP-to-AS mapping database.
+type DB struct {
+	snapshots []snapshot
+}
+
+type snapshot struct {
+	start time.Time
+	trie  netaddr.Trie[topology.ASN]
+}
+
+// BuildConfig parameterizes database construction.
+type BuildConfig struct {
+	Seed       uint64
+	Start, End time.Time
+
+	// HoleProb is the per-(prefix, snapshot) probability that the prefix is
+	// absent from that month's snapshot. Default 0.015.
+	HoleProb float64
+	// DriftProb is the per-(prefix, snapshot) probability that the prefix
+	// maps to a neighboring AS instead (e.g. a customer announcement
+	// attributed to the provider). Default 0.002.
+	DriftProb float64
+}
+
+func (c *BuildConfig) fillDefaults() {
+	if c.HoleProb == 0 {
+		c.HoleProb = 0.005
+	}
+	if c.DriftProb == 0 {
+		c.DriftProb = 0.0015
+	}
+}
+
+// Build derives monthly snapshots from the topology's prefix assignments.
+// Deterministic for identical inputs.
+func Build(g *topology.Graph, cfg BuildConfig) (*DB, error) {
+	cfg.fillDefaults()
+	if !cfg.Start.Before(cfg.End) {
+		return nil, fmt.Errorf("ipasmap: start %v not before end %v", cfg.Start, cfg.End)
+	}
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0x6970326173)) // "ip2as"
+	db := &DB{}
+	for at := monthStart(cfg.Start); at.Before(cfg.End); at = at.AddDate(0, 1, 0) {
+		var snap snapshot
+		snap.start = at
+		for i := range g.ASes {
+			as := &g.ASes[i]
+			owner := as.ASN
+			for _, p := range as.Prefixes {
+				switch r := rng.Float64(); {
+				case r < cfg.HoleProb:
+					continue // hole: prefix missing this month
+				case r < cfg.HoleProb+cfg.DriftProb:
+					snap.trie.Insert(p, neighborASN(g, int32(i), rng))
+				default:
+					snap.trie.Insert(p, owner)
+				}
+			}
+		}
+		db.snapshots = append(db.snapshots, snap)
+	}
+	if len(db.snapshots) == 0 {
+		return nil, fmt.Errorf("ipasmap: window too short for any snapshot")
+	}
+	return db, nil
+}
+
+// neighborASN picks an adjacent AS to misattribute a prefix to, falling
+// back to the owner itself for isolated nodes.
+func neighborASN(g *topology.Graph, idx int32, rng *rand.Rand) topology.ASN {
+	nbs := g.Neighbors[idx]
+	if len(nbs) == 0 {
+		return g.ASes[idx].ASN
+	}
+	return g.ASes[nbs[rng.IntN(len(nbs))].Idx].ASN
+}
+
+func monthStart(t time.Time) time.Time {
+	t = t.UTC()
+	return time.Date(t.Year(), t.Month(), 1, 0, 0, 0, 0, time.UTC)
+}
+
+// Lookup resolves ip using the snapshot in force at time at.
+func (db *DB) Lookup(ip netaddr.IP, at time.Time) (topology.ASN, bool) {
+	i := sort.Search(len(db.snapshots), func(i int) bool { return db.snapshots[i].start.After(at) })
+	if i == 0 {
+		i = 1 // clamp queries before the first snapshot onto it
+	}
+	return db.snapshots[i-1].trie.Lookup(ip)
+}
+
+// NumSnapshots returns the number of monthly snapshots.
+func (db *DB) NumSnapshots() int { return len(db.snapshots) }
+
+// SnapshotStart returns the start time of snapshot i.
+func (db *DB) SnapshotStart(i int) time.Time { return db.snapshots[i].start }
+
+// Perfect builds a single-snapshot database with no holes or drift —
+// useful for tests that want mapping noise out of the picture.
+func Perfect(g *topology.Graph, at time.Time) *DB {
+	var snap snapshot
+	snap.start = at
+	for i := range g.ASes {
+		for _, p := range g.ASes[i].Prefixes {
+			snap.trie.Insert(p, g.ASes[i].ASN)
+		}
+	}
+	return &DB{snapshots: []snapshot{snap}}
+}

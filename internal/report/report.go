@@ -1,0 +1,146 @@
+// Package report renders experiment results as plain text: aligned tables,
+// grouped bar charts and CDFs. The benchmark harness prints every paper
+// table and figure through these helpers, so runs are directly comparable
+// to the published layouts.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table renders an aligned text table.
+func Table(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// barWidth is the maximum bar length in characters.
+const barWidth = 40
+
+// Bars renders one bar per (group, series) pair with fractional values in
+// [0,1], grouped like the paper's clustered bar charts.
+func Bars(groups []string, series []string, values [][]float64) string {
+	var b strings.Builder
+	labelW := 0
+	for _, s := range series {
+		if len(s) > labelW {
+			labelW = len(s)
+		}
+	}
+	for gi, g := range groups {
+		fmt.Fprintf(&b, "%s\n", g)
+		for si, s := range series {
+			v := 0.0
+			if gi < len(values) && si < len(values[gi]) {
+				v = values[gi][si]
+			}
+			n := int(v*barWidth + 0.5)
+			if n > barWidth {
+				n = barWidth
+			}
+			fmt.Fprintf(&b, "  %-*s |%-*s| %5.1f%%\n", labelW, s, barWidth, strings.Repeat("#", n), 100*v)
+		}
+	}
+	return b.String()
+}
+
+// Point is one CDF point: fraction of samples with value <= X.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// CDF renders a cumulative distribution as a fixed set of text rows.
+func CDF(points []Point, xLabel string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s  CDF\n", xLabel)
+	for _, p := range points {
+		n := int(p.Y*barWidth + 0.5)
+		if n > barWidth {
+			n = barWidth
+		}
+		fmt.Fprintf(&b, "%-12.1f  |%-*s| %5.1f%%\n", p.X, barWidth, strings.Repeat("#", n), 100*p.Y)
+	}
+	return b.String()
+}
+
+// CDFOf computes CDF points of samples at the given x thresholds
+// (fraction of samples <= x).
+func CDFOf(samples []float64, xs []float64) []Point {
+	out := make([]Point, len(xs))
+	for i, x := range xs {
+		n := 0
+		for _, s := range samples {
+			if s <= x {
+				n++
+			}
+		}
+		y := 0.0
+		if len(samples) > 0 {
+			y = float64(n) / float64(len(samples))
+		}
+		out[i] = Point{X: x, Y: y}
+	}
+	return out
+}
+
+// Matrix renders a labeled weight matrix (Figure 5's country flow) showing
+// only non-zero rows.
+func Matrix(rowLabel, colLabel string, rows, cols []string, weight func(r, c string) int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s", rowLabel+`\`+colLabel)
+	for _, c := range cols {
+		fmt.Fprintf(&b, "%6s", c)
+	}
+	b.WriteByte('\n')
+	for _, r := range rows {
+		total := 0
+		for _, c := range cols {
+			total += weight(r, c)
+		}
+		if total == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-8s", r)
+		for _, c := range cols {
+			w := weight(r, c)
+			if w == 0 {
+				fmt.Fprintf(&b, "%6s", ".")
+			} else {
+				fmt.Fprintf(&b, "%6d", w)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,85 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	out := Table([]string{"a", "long-header"}, [][]string{
+		{"xxxxxxx", "1"},
+		{"y", "22"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// All rows padded to the same width per column.
+	if !strings.HasPrefix(lines[0], "a      ") {
+		t.Errorf("header not padded: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Errorf("separator missing: %q", lines[1])
+	}
+	if !strings.Contains(out, "xxxxxxx") || !strings.Contains(out, "22") {
+		t.Error("cells missing")
+	}
+}
+
+func TestBars(t *testing.T) {
+	out := Bars([]string{"day"}, []string{"0", "1"}, [][]float64{{0.25, 1.5}})
+	if !strings.Contains(out, "day") {
+		t.Error("group label missing")
+	}
+	if !strings.Contains(out, "25.0%") {
+		t.Errorf("percentage missing:\n%s", out)
+	}
+	// Values above 1 are clamped to the bar width, not overflowed.
+	for _, line := range strings.Split(out, "\n") {
+		if len(line) > 80 {
+			t.Errorf("bar overflow: %q", line)
+		}
+	}
+	// Missing values render as zero.
+	out2 := Bars([]string{"g1", "g2"}, []string{"s"}, [][]float64{{0.5}})
+	if !strings.Contains(out2, "0.0%") {
+		t.Error("missing value should render 0.0%")
+	}
+}
+
+func TestCDFOf(t *testing.T) {
+	samples := []float64{10, 20, 30, 40}
+	pts := CDFOf(samples, []float64{0, 15, 25, 100})
+	want := []float64{0, 0.25, 0.5, 1}
+	for i, p := range pts {
+		if p.Y != want[i] {
+			t.Errorf("CDF at %.0f = %.2f, want %.2f", p.X, p.Y, want[i])
+		}
+	}
+	if got := CDFOf(nil, []float64{1}); got[0].Y != 0 {
+		t.Error("empty samples should give zero CDF")
+	}
+	out := CDF(pts, "x")
+	if !strings.Contains(out, "100.0%") || !strings.Contains(out, "x") {
+		t.Errorf("CDF rendering wrong:\n%s", out)
+	}
+}
+
+func TestMatrix(t *testing.T) {
+	w := func(r, c string) int {
+		if r == "CN" && c == "DE" {
+			return 7
+		}
+		return 0
+	}
+	out := Matrix("src", "dst", []string{"CN", "RU"}, []string{"DE", "FR"}, w)
+	if !strings.Contains(out, "7") {
+		t.Errorf("weight missing:\n%s", out)
+	}
+	if strings.Contains(out, "RU") {
+		t.Error("all-zero row should be suppressed")
+	}
+	if !strings.Contains(out, ".") {
+		t.Error("zero cells in non-empty rows should render as '.'")
+	}
+}

@@ -1,0 +1,231 @@
+// Package routing computes AS-level paths over a topology under the
+// Gao–Rexford policy model and evolves them through a churn timeline of link
+// failures, repairs and routing-policy shifts.
+//
+// Churn is the paper's central enabler: because paths between a vantage
+// point and a destination change over time, one (source, destination) pair
+// contributes many distinct boolean clauses, substituting for the
+// strategically-placed monitors classical boolean tomography assumes. This
+// package is where that churn comes from.
+package routing
+
+import (
+	"churntomo/internal/topology"
+)
+
+// Unreachable marks a node with no route in a Tree.
+const Unreachable int32 = -1
+
+// Tree holds, for one destination and one routing epoch, the chosen next
+// hop of every AS (by index). The destination's entry points to itself.
+type Tree []int32
+
+// route phases, in Gao–Rexford preference order: routes learned from
+// customers beat routes learned from peers beat routes learned from
+// providers, regardless of path length.
+const (
+	phaseNone uint8 = iota
+	phaseCustomer
+	phasePeer
+	phaseProvider
+)
+
+// tiebreak hashes a (chooser, nexthop) pair with the chooser's policy salt.
+// It stands in for the long tail of the BGP decision process (MED, IGP
+// cost, router IDs): deterministic for a fixed salt, and re-rolled by policy
+// shift events to model intra-policy route changes.
+func tiebreak(u, v int32, salt uint64) uint64 {
+	x := salt ^ uint64(uint32(u))<<32 ^ uint64(uint32(v))
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// ComputeTree computes the Gao–Rexford routing tree toward dst (an AS
+// index). linkDown reports failed links; saltOf supplies each AS's policy
+// salt. The decision process per AS: prefer customer-learned, then
+// peer-learned, then provider-learned routes; among those, shortest AS
+// path; ties broken by the salted hash.
+//
+// The three-phase BFS below is the standard simulation algorithm for this
+// model: phase 1 floods the destination's announcement up provider chains
+// (producing customer routes), phase 2 crosses single peer edges, and phase
+// 3 floods everything down customer chains (producing provider routes).
+// The result is valley-free by construction.
+func ComputeTree(g *topology.Graph, dst int32, linkDown func(int32) bool, saltOf func(int32) uint64) Tree {
+	n := len(g.ASes)
+	next := make(Tree, n)
+	dist := make([]int32, n)
+	phase := make([]uint8, n)
+	for i := range next {
+		next[i] = Unreachable
+	}
+
+	up := func(link int32) bool { return linkDown == nil || !linkDown(link) }
+
+	// Phase 1: customer routes, level-synchronous BFS from dst along
+	// customer->provider edges.
+	next[dst], dist[dst], phase[dst] = dst, 0, phaseCustomer
+	frontier := []int32{dst}
+	var claimed []int32 // providers claimed in the current level
+	for len(frontier) > 0 {
+		claimed = claimed[:0]
+		for _, u := range frontier {
+			for _, nb := range g.Neighbors[u] {
+				if nb.Rel != topology.RelProvider || !up(nb.Link) {
+					continue
+				}
+				p := nb.Idx
+				if phase[p] == phaseCustomer {
+					continue // already routed (this or an earlier level)
+				}
+				if next[p] == Unreachable {
+					claimed = append(claimed, p)
+					next[p] = u
+				} else if tiebreak(p, u, saltOf(p)) < tiebreak(p, next[p], saltOf(p)) {
+					next[p] = u
+				}
+			}
+		}
+		for _, p := range claimed {
+			phase[p] = phaseCustomer
+			dist[p] = dist[next[p]] + 1
+		}
+		frontier = append(frontier[:0], claimed...)
+	}
+
+	// Phase 2: peer routes. An AS without a customer route may cross one
+	// peer edge into an AS that has one.
+	for u := int32(0); u < int32(n); u++ {
+		if phase[u] != phaseNone {
+			continue
+		}
+		best := Unreachable
+		var bestDist int32
+		for _, nb := range g.Neighbors[u] {
+			if nb.Rel != topology.RelPeer || !up(nb.Link) || phase[nb.Idx] != phaseCustomer {
+				continue
+			}
+			d := dist[nb.Idx] + 1
+			switch {
+			case best == Unreachable, d < bestDist:
+				best, bestDist = nb.Idx, d
+			case d == bestDist && tiebreak(u, nb.Idx, saltOf(u)) < tiebreak(u, best, saltOf(u)):
+				best = nb.Idx
+			}
+		}
+		if best != Unreachable {
+			phase[u], dist[u], next[u] = phasePeer, bestDist, best
+		}
+	}
+
+	// Phase 3: provider routes, flooding every routed AS's announcement
+	// down provider->customer edges in increasing path-length order.
+	maxDist := int32(0)
+	buckets := make([][]int32, n+1)
+	for u := int32(0); u < int32(n); u++ {
+		if phase[u] != phaseNone {
+			buckets[dist[u]] = append(buckets[dist[u]], u)
+			if dist[u] > maxDist {
+				maxDist = dist[u]
+			}
+		}
+	}
+	for d := int32(0); d <= maxDist; d++ {
+		claimed = claimed[:0]
+		for _, v := range buckets[d] {
+			if dist[v] != d {
+				continue // superseded by a shorter assignment
+			}
+			for _, nb := range g.Neighbors[v] {
+				if nb.Rel != topology.RelCustomer || !up(nb.Link) {
+					continue
+				}
+				u := nb.Idx
+				if phase[u] != phaseNone {
+					continue
+				}
+				if next[u] == Unreachable {
+					claimed = append(claimed, u)
+					next[u] = v
+				} else if dist[next[u]] == d && tiebreak(u, v, saltOf(u)) < tiebreak(u, next[u], saltOf(u)) {
+					next[u] = v
+				}
+			}
+		}
+		for _, u := range claimed {
+			phase[u] = phaseProvider
+			dist[u] = d + 1
+			if int(d+1) < len(buckets) {
+				buckets[d+1] = append(buckets[d+1], u)
+				if d+1 > maxDist {
+					maxDist = d + 1
+				}
+			}
+		}
+	}
+	return next
+}
+
+// Path extracts the AS-index path from src to dst out of a tree, returning
+// ok=false if src has no route. The returned slice starts with src and ends
+// with dst.
+func (t Tree) Path(src, dst int32) ([]int32, bool) {
+	const maxLen = 64 // far above any valley-free path length; loop guard
+	if t[src] == Unreachable {
+		return nil, false
+	}
+	path := make([]int32, 0, 8)
+	at := src
+	for range maxLen {
+		path = append(path, at)
+		if at == dst {
+			return path, true
+		}
+		at = t[at]
+		if at == Unreachable {
+			return nil, false
+		}
+	}
+	return nil, false
+}
+
+// ValleyFree verifies the Gao–Rexford export condition along an AS-index
+// path: once the path traverses a peer or provider->customer edge, every
+// later edge must be provider->customer. Used by tests and as a debugging
+// assertion.
+func ValleyFree(g *topology.Graph, path []int32) bool {
+	descending := false
+	for i := 0; i+1 < len(path); i++ {
+		rel, ok := relBetween(g, path[i], path[i+1])
+		if !ok {
+			return false
+		}
+		switch rel {
+		case topology.RelProvider: // going up
+			if descending {
+				return false
+			}
+		case topology.RelPeer:
+			if descending {
+				return false
+			}
+			descending = true
+		case topology.RelCustomer: // going down
+			descending = true
+		}
+	}
+	return true
+}
+
+func relBetween(g *topology.Graph, a, b int32) (topology.Rel, bool) {
+	for _, nb := range g.Neighbors[a] {
+		if nb.Idx == b {
+			return nb.Rel, true
+		}
+	}
+	return 0, false
+}

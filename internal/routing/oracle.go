@@ -1,0 +1,132 @@
+package routing
+
+import (
+	"container/list"
+	"time"
+
+	"churntomo/internal/topology"
+)
+
+// Oracle answers "what was the AS path from src to dst at time t?" by
+// computing Gao–Rexford trees for (destination, epoch) pairs on demand and
+// caching them. It is the simulator's data plane: traceroutes, DNS queries
+// and HTTP connections all route through it.
+//
+// Oracle is not safe for concurrent use; measurement generation is
+// sequential by design (deterministic replay matters more than parallelism
+// here).
+type Oracle struct {
+	G  *topology.Graph
+	TL *Timeline
+
+	cache    *lruCache
+	computes int // trees actually computed (cache misses)
+	queries  int
+}
+
+// NewOracle creates an oracle with room for cacheTrees cached routing
+// trees; 0 selects a default sized for year-long scenario replays.
+func NewOracle(g *topology.Graph, tl *Timeline, cacheTrees int) *Oracle {
+	if cacheTrees == 0 {
+		cacheTrees = 4096
+	}
+	return &Oracle{G: g, TL: tl, cache: newLRU(cacheTrees)}
+}
+
+type treeKey struct {
+	dst   int32
+	epoch int32
+}
+
+// TreeAt returns the routing tree toward dst (AS index) during epoch ep.
+// The returned tree is shared; callers must not modify it.
+func (o *Oracle) TreeAt(dst, ep int32) Tree {
+	key := treeKey{dst, ep}
+	if t, ok := o.cache.get(key); ok {
+		return t
+	}
+	t := ComputeTree(o.G, dst,
+		func(link int32) bool { return o.TL.LinkDownAt(link, ep) },
+		func(as int32) uint64 { return o.TL.SaltAt(as, ep) })
+	o.cache.put(key, t)
+	o.computes++
+	return t
+}
+
+// PathIdxAt returns the AS-index path from src to dst at time t.
+func (o *Oracle) PathIdxAt(src, dst int32, t time.Time) ([]int32, bool) {
+	o.queries++
+	ep := o.TL.EpochAt(t)
+	return o.TreeAt(dst, ep).Path(src, dst)
+}
+
+// PathAt returns the ASN path from src to dst at time t.
+func (o *Oracle) PathAt(src, dst topology.ASN, t time.Time) ([]topology.ASN, bool) {
+	si, ok := o.G.Index(src)
+	if !ok {
+		return nil, false
+	}
+	di, ok := o.G.Index(dst)
+	if !ok {
+		return nil, false
+	}
+	idxPath, ok := o.PathIdxAt(si, di, t)
+	if !ok {
+		return nil, false
+	}
+	return o.ToASNs(idxPath), true
+}
+
+// ToASNs converts an AS-index path to ASNs.
+func (o *Oracle) ToASNs(idxPath []int32) []topology.ASN {
+	out := make([]topology.ASN, len(idxPath))
+	for i, idx := range idxPath {
+		out[i] = o.G.ASes[idx].ASN
+	}
+	return out
+}
+
+// Stats reports cache behaviour: total path queries and trees computed.
+func (o *Oracle) Stats() (queries, treeComputes int) { return o.queries, o.computes }
+
+// lruCache is a minimal LRU for routing trees.
+type lruCache struct {
+	cap   int
+	order *list.List // front = most recent; values are *lruEntry
+	items map[treeKey]*list.Element
+}
+
+type lruEntry struct {
+	key  treeKey
+	tree Tree
+}
+
+func newLRU(capacity int) *lruCache {
+	return &lruCache{cap: capacity, order: list.New(), items: make(map[treeKey]*list.Element)}
+}
+
+func (c *lruCache) get(k treeKey) (Tree, bool) {
+	el, ok := c.items[k]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).tree, true
+}
+
+func (c *lruCache) put(k treeKey, t Tree) {
+	if el, ok := c.items[k]; ok {
+		el.Value.(*lruEntry).tree = t
+		c.order.MoveToFront(el)
+		return
+	}
+	el := c.order.PushFront(&lruEntry{k, t})
+	c.items[k] = el
+	if c.order.Len() > c.cap {
+		back := c.order.Back()
+		c.order.Remove(back)
+		delete(c.items, back.Value.(*lruEntry).key)
+	}
+}
+
+func (c *lruCache) len() int { return c.order.Len() }

@@ -1,0 +1,282 @@
+package routing
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+	"time"
+
+	"churntomo/internal/topology"
+)
+
+// EventKind discriminates churn events.
+type EventKind uint8
+
+// Churn event kinds.
+const (
+	// LinkDown takes an inter-AS link out of service.
+	LinkDown EventKind = iota
+	// LinkUp restores a failed link.
+	LinkUp
+	// PolicyShift re-rolls one AS's tie-break salt, modeling an intra-policy
+	// routing change (local-pref tweak, IGP cost change) that moves traffic
+	// without any failure.
+	PolicyShift
+)
+
+// Event is one churn event.
+type Event struct {
+	At   time.Time
+	Kind EventKind
+	Link int32  // LinkDown/LinkUp
+	AS   int32  // PolicyShift: AS index
+	Salt uint64 // PolicyShift: new salt
+}
+
+// epoch is a maximal interval with constant routing state.
+type epoch struct {
+	at   time.Time
+	down []int32 // sorted link IDs out of service
+}
+
+type saltChange struct {
+	epoch int32
+	salt  uint64
+}
+
+// Timeline is a precomputed churn schedule over [Start, End). Routing state
+// is constant within an epoch; epochs change at event times.
+type Timeline struct {
+	Start, End time.Time
+
+	events  []Event
+	epochs  []epoch
+	salts   map[int32][]saltChange // per-AS policy shifts, by epoch
+	base    uint64                 // base salt mixed into every AS
+	nevents int
+}
+
+// TimelineConfig parameterizes churn generation.
+type TimelineConfig struct {
+	Seed       uint64
+	Start, End time.Time
+
+	// FailuresPerLinkYear is the expected number of failures each link
+	// suffers per year for stable links. Default 6; see FlappyFrac for
+	// the unstable tail.
+	FailuresPerLinkYear float64
+	// MeanOutage is the mean outage duration. Default 8h. Durations are
+	// exponential, clamped to [15m, 7d].
+	MeanOutage time.Duration
+	// PolicyShiftsPerASYear is the expected number of tie-break re-rolls
+	// per AS per year. Default 15.
+	PolicyShiftsPerASYear float64
+
+	// FlappyFrac is the fraction of links that are chronically unstable
+	// (damaged fiber, congested exchanges); FlappyMult scales their failure
+	// rate. Heavy-tailed instability is what lets a quarter of pairs change
+	// paths within a day (Figure 3) without every pair churning monthly.
+	// Flappy outages are short (mean 1/4 of MeanOutage): flaps, not
+	// maintenance windows. Defaults: 0.2 and 90 — a flappy link is down
+	// roughly an eighth of the time, which is what makes a quarter of
+	// pairs change paths within a day as the paper observes.
+	FlappyFrac float64
+	FlappyMult float64
+}
+
+func (c *TimelineConfig) fillDefaults() {
+	if c.FailuresPerLinkYear == 0 {
+		c.FailuresPerLinkYear = 6
+	}
+	if c.MeanOutage == 0 {
+		c.MeanOutage = 8 * time.Hour
+	}
+	if c.PolicyShiftsPerASYear == 0 {
+		c.PolicyShiftsPerASYear = 15
+	}
+	if c.FlappyFrac == 0 {
+		c.FlappyFrac = 0.25
+	}
+	if c.FlappyMult == 0 {
+		c.FlappyMult = 140
+	}
+}
+
+// GenTimeline builds a churn timeline for g. Identical inputs produce
+// identical timelines.
+func GenTimeline(g *topology.Graph, cfg TimelineConfig) (*Timeline, error) {
+	cfg.fillDefaults()
+	if !cfg.Start.Before(cfg.End) {
+		return nil, fmt.Errorf("routing: timeline start %v not before end %v", cfg.Start, cfg.End)
+	}
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0x636875726e)) // "churn"
+	span := cfg.End.Sub(cfg.Start)
+	years := span.Hours() / (365 * 24)
+
+	var events []Event
+
+	// Link failures: Poisson arrivals per link, exponential outages.
+	// A small set of flappy links carries most of the instability.
+	for _, link := range g.Links {
+		rate := cfg.FailuresPerLinkYear
+		meanOutage := cfg.MeanOutage
+		if rng.Float64() < cfg.FlappyFrac {
+			rate *= cfg.FlappyMult
+			meanOutage /= 4
+		}
+		n := poisson(rng, rate*years)
+		for i := 0; i < n; i++ {
+			at := cfg.Start.Add(time.Duration(rng.Float64() * float64(span)))
+			dur := time.Duration(rng.ExpFloat64() * float64(meanOutage))
+			if dur < 15*time.Minute {
+				dur = 15 * time.Minute
+			}
+			if dur > 7*24*time.Hour {
+				dur = 7 * 24 * time.Hour
+			}
+			events = append(events, Event{At: at, Kind: LinkDown, Link: link.ID})
+			upAt := at.Add(dur)
+			if upAt.Before(cfg.End) {
+				events = append(events, Event{At: upAt, Kind: LinkUp, Link: link.ID})
+			}
+		}
+	}
+
+	// Policy shifts.
+	for i := range g.ASes {
+		n := poisson(rng, cfg.PolicyShiftsPerASYear*years)
+		for k := 0; k < n; k++ {
+			at := cfg.Start.Add(time.Duration(rng.Float64() * float64(span)))
+			events = append(events, Event{At: at, Kind: PolicyShift, AS: int32(i), Salt: rng.Uint64()})
+		}
+	}
+
+	sort.Slice(events, func(i, j int) bool {
+		if !events[i].At.Equal(events[j].At) {
+			return events[i].At.Before(events[j].At)
+		}
+		// Deterministic order for simultaneous events.
+		if events[i].Kind != events[j].Kind {
+			return events[i].Kind < events[j].Kind
+		}
+		return events[i].Link < events[j].Link
+	})
+
+	tl := &Timeline{
+		Start:   cfg.Start,
+		End:     cfg.End,
+		events:  events,
+		salts:   make(map[int32][]saltChange),
+		base:    rand.New(rand.NewPCG(cfg.Seed, 0x73616c74)).Uint64(), // "salt"
+		nevents: len(events),
+	}
+	tl.buildEpochs(g)
+	return tl, nil
+}
+
+// buildEpochs sweeps the event list into constant-state intervals.
+func (tl *Timeline) buildEpochs(g *topology.Graph) {
+	active := map[int32]int{} // link -> concurrent failure count
+	tl.epochs = append(tl.epochs, epoch{at: tl.Start})
+	for _, ev := range tl.events {
+		switch ev.Kind {
+		case LinkDown:
+			active[ev.Link]++
+		case LinkUp:
+			if active[ev.Link] > 0 {
+				active[ev.Link]--
+				if active[ev.Link] == 0 {
+					delete(active, ev.Link)
+				}
+			}
+		case PolicyShift:
+			epochID := int32(len(tl.epochs)) // the epoch about to be created
+			tl.salts[ev.AS] = append(tl.salts[ev.AS], saltChange{epoch: epochID, salt: ev.Salt})
+			// Fall through to creating an epoch boundary below.
+		}
+		down := make([]int32, 0, len(active))
+		for l := range active {
+			down = append(down, l)
+		}
+		sort.Slice(down, func(i, j int) bool { return down[i] < down[j] })
+		last := &tl.epochs[len(tl.epochs)-1]
+		if ev.At.Equal(last.at) {
+			last.down = down
+		} else {
+			tl.epochs = append(tl.epochs, epoch{at: ev.At, down: down})
+		}
+	}
+}
+
+// NumEpochs returns the number of constant-routing-state intervals.
+func (tl *Timeline) NumEpochs() int { return len(tl.epochs) }
+
+// NumEvents returns the number of generated churn events.
+func (tl *Timeline) NumEvents() int { return tl.nevents }
+
+// EpochAt returns the epoch index covering t (clamped to the timeline).
+func (tl *Timeline) EpochAt(t time.Time) int32 {
+	i := sort.Search(len(tl.epochs), func(i int) bool { return tl.epochs[i].at.After(t) })
+	if i == 0 {
+		return 0
+	}
+	return int32(i - 1)
+}
+
+// EpochStart returns the start time of epoch ep.
+func (tl *Timeline) EpochStart(ep int32) time.Time { return tl.epochs[ep].at }
+
+// DownLinks returns the sorted link IDs out of service during epoch ep. The
+// returned slice must not be modified.
+func (tl *Timeline) DownLinks(ep int32) []int32 { return tl.epochs[ep].down }
+
+// LinkDownAt reports whether link is down during epoch ep.
+func (tl *Timeline) LinkDownAt(link, ep int32) bool {
+	down := tl.epochs[ep].down
+	i := sort.Search(len(down), func(i int) bool { return down[i] >= link })
+	return i < len(down) && down[i] == link
+}
+
+// SaltAt returns the policy salt of AS index as during epoch ep.
+func (tl *Timeline) SaltAt(as, ep int32) uint64 {
+	salt := tl.base ^ splitmix(uint64(uint32(as)))
+	changes := tl.salts[as]
+	// Last change at or before ep wins.
+	i := sort.Search(len(changes), func(i int) bool { return changes[i].epoch > ep })
+	if i > 0 {
+		salt ^= changes[i-1].salt
+	}
+	return salt
+}
+
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// poisson draws a Poisson variate; for large lambda it falls back to a
+// normal approximation, which is fine for churn scheduling.
+func poisson(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda > 30 {
+		v := lambda + math.Sqrt(lambda)*rng.NormFloat64()
+		if v < 0 {
+			return 0
+		}
+		return int(v + 0.5)
+	}
+	l := math.Exp(-lambda)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}

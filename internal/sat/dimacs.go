@@ -1,0 +1,85 @@
+package sat
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseDIMACS reads a CNF in DIMACS format. The problem line is optional
+// (some generators omit it); comment lines start with 'c'.
+func ParseDIMACS(r io.Reader) (*CNF, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	cnf := &CNF{}
+	declaredVars, declaredClauses := -1, -1
+	var pending []Lit
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "c") {
+			continue
+		}
+		if strings.HasPrefix(line, "p") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 || fields[1] != "cnf" {
+				return nil, fmt.Errorf("sat: line %d: malformed problem line %q", lineNo, line)
+			}
+			var err1, err2 error
+			declaredVars, err1 = strconv.Atoi(fields[2])
+			declaredClauses, err2 = strconv.Atoi(fields[3])
+			if err1 != nil || err2 != nil || declaredVars < 0 || declaredClauses < 0 {
+				return nil, fmt.Errorf("sat: line %d: bad problem counts in %q", lineNo, line)
+			}
+			continue
+		}
+		for _, tok := range strings.Fields(line) {
+			n, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("sat: line %d: bad literal %q", lineNo, tok)
+			}
+			if n == 0 {
+				cnf.AddClause(pending...)
+				pending = pending[:0]
+				continue
+			}
+			pending = append(pending, Lit(int32(n)))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("sat: reading DIMACS: %w", err)
+	}
+	if len(pending) > 0 {
+		// Tolerate a missing trailing 0 on the final clause.
+		cnf.AddClause(pending...)
+	}
+	if declaredVars > cnf.NumVars {
+		cnf.NumVars = declaredVars
+	}
+	if declaredClauses >= 0 && declaredClauses != len(cnf.Clauses) {
+		return nil, fmt.Errorf("sat: declared %d clauses, found %d", declaredClauses, len(cnf.Clauses))
+	}
+	return cnf, nil
+}
+
+// WriteDIMACS emits the CNF in DIMACS format.
+func WriteDIMACS(w io.Writer, c *CNF) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "p cnf %d %d\n", c.NumVars, len(c.Clauses)); err != nil {
+		return err
+	}
+	for _, cl := range c.Clauses {
+		for _, l := range cl {
+			if _, err := fmt.Fprintf(bw, "%d ", l); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(bw, "0"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,325 @@
+// Package tomo is the paper's primary contribution: boolean network
+// tomography over censorship measurements (§3).
+//
+// Each usable measurement record contributes one clause: the disjunction of
+// the ASes on its inferred AS-level path, asserted True when the record's
+// anomaly fired and False otherwise (a False clause is the conjunction of
+// the negated literals). Clauses are grouped into one CNF per (URL, time
+// slice, anomaly kind) — day, week, month and year granularities — and
+// solved. A unique model exactly identifies censoring ASes; multiple models
+// still eliminate most ASes as definite non-censors; no model indicates
+// measurement noise or a policy change inside the slice.
+package tomo
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"churntomo/internal/anomaly"
+	"churntomo/internal/iclab"
+	"churntomo/internal/sat"
+	"churntomo/internal/timeslice"
+	"churntomo/internal/topology"
+	"churntomo/internal/traceroute"
+)
+
+// Key identifies one CNF instance.
+type Key struct {
+	URL   string
+	Slice timeslice.Key
+	Kind  anomaly.Kind
+}
+
+// Instance is one constructed CNF with its AS-to-variable interning and the
+// provenance the leakage analysis needs.
+type Instance struct {
+	Key Key
+	CNF *sat.CNF
+	// Vars maps variable v (1-based) to Vars[v-1].
+	Vars []topology.ASN
+
+	// PositivePaths are the distinct AS paths of censored observations.
+	PositivePaths [][]topology.ASN
+	// NegativePaths are the distinct AS paths of clean observations.
+	NegativePaths [][]topology.ASN
+	// Measurements counts records folded into this CNF.
+	Measurements int
+}
+
+// VarOf returns the CNF variable for an AS, or 0 if absent.
+func (in *Instance) VarOf(as topology.ASN) int {
+	for i, a := range in.Vars {
+		if a == as {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// BuildConfig controls CNF construction.
+type BuildConfig struct {
+	// Granularities to build; nil = all four (day, week, month, year).
+	Granularities []timeslice.Granularity
+	// Kinds to build; nil = all five anomaly kinds.
+	Kinds []anomaly.Kind
+	// KeepNegativeOnly also materializes CNFs whose slice saw no anomaly at
+	// all. Such CNFs are trivially unique (the all-False model) and carry
+	// no localization signal, so by default only slices with at least one
+	// censored observation become CNFs — matching the paper's Figure 4,
+	// where removing churn collapses most CNFs to 5+ solutions (impossible
+	// if anomaly-free CNFs dominated the population).
+	KeepNegativeOnly bool
+}
+
+func (c *BuildConfig) fillDefaults() {
+	if c.Granularities == nil {
+		c.Granularities = timeslice.All
+	}
+	if c.Kinds == nil {
+		c.Kinds = anomaly.Kinds
+	}
+}
+
+// pathKey folds an AS path into a comparable string key.
+func pathKey(p []topology.ASN) string {
+	b := make([]byte, 0, len(p)*4)
+	for _, a := range p {
+		b = append(b, byte(a>>24), byte(a>>16), byte(a>>8), byte(a))
+	}
+	return string(b)
+}
+
+// builderGroup accumulates one CNF's observations before materialization.
+type builderGroup struct {
+	pos map[string][]topology.ASN // distinct censored paths
+	neg map[string][]topology.ASN // distinct clean paths
+	n   int
+}
+
+// Build constructs CNF instances from measurement records, applying the
+// paper's record-elimination rules (already reflected in Record.Fail) and
+// its time/URL/anomaly splitting. The result is sorted deterministically.
+func Build(records []iclab.Record, cfg BuildConfig) []*Instance {
+	cfg.fillDefaults()
+	groups := map[Key]*builderGroup{}
+	for i := range records {
+		r := &records[i]
+		if r.Fail != traceroute.OK {
+			continue // inconclusive path: eliminated (§3.1)
+		}
+		for _, g := range cfg.Granularities {
+			slice := timeslice.KeyFor(g, r.At)
+			for _, k := range cfg.Kinds {
+				key := Key{URL: r.URL, Slice: slice, Kind: k}
+				grp := groups[key]
+				if grp == nil {
+					grp = &builderGroup{pos: map[string][]topology.ASN{}, neg: map[string][]topology.ASN{}}
+					groups[key] = grp
+				}
+				grp.n++
+				if r.Anomalies.Has(k) {
+					grp.pos[pathKey(r.ASPath)] = r.ASPath
+				} else {
+					grp.neg[pathKey(r.ASPath)] = r.ASPath
+				}
+			}
+		}
+	}
+
+	out := make([]*Instance, 0, len(groups))
+	for key, grp := range groups {
+		if len(grp.pos) == 0 && !cfg.KeepNegativeOnly {
+			continue
+		}
+		out = append(out, materialize(key, grp))
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Key, out[j].Key
+		if a.URL != b.URL {
+			return a.URL < b.URL
+		}
+		if a.Slice.Gran != b.Slice.Gran {
+			return a.Slice.Gran < b.Slice.Gran
+		}
+		if a.Slice.Index != b.Slice.Index {
+			return a.Slice.Index < b.Slice.Index
+		}
+		return a.Kind < b.Kind
+	})
+	return out
+}
+
+// materialize turns accumulated paths into a CNF. Duplicate clauses are
+// already deduplicated by distinct-path bookkeeping; conflicting
+// observations of the same path (censored and clean) coexist and make the
+// CNF unsatisfiable, which is the intended §3.2 semantics.
+func materialize(key Key, grp *builderGroup) *Instance {
+	in := &Instance{Key: key, CNF: &sat.CNF{}, Measurements: grp.n}
+	varOf := map[topology.ASN]int{}
+	intern := func(as topology.ASN) sat.Lit {
+		v, ok := varOf[as]
+		if !ok {
+			v = len(in.Vars) + 1
+			in.Vars = append(in.Vars, as)
+			varOf[as] = v
+		}
+		return sat.Lit(int32(v))
+	}
+
+	// Deterministic clause order: sort path keys. Negative paths expand to
+	// unit clauses; an AS negated by several clean paths still needs only
+	// one unit clause.
+	negated := map[topology.ASN]bool{}
+	for _, path := range sortedPaths(grp.neg) {
+		in.NegativePaths = append(in.NegativePaths, path)
+		for _, as := range path {
+			if !negated[as] {
+				negated[as] = true
+				in.CNF.AddClause(intern(as).Neg())
+			}
+		}
+	}
+	for _, path := range sortedPaths(grp.pos) {
+		in.PositivePaths = append(in.PositivePaths, path)
+		lits := make([]sat.Lit, 0, len(path))
+		for _, as := range path {
+			lits = append(lits, intern(as))
+		}
+		in.CNF.AddClause(lits...)
+	}
+	return in
+}
+
+func sortedPaths(m map[string][]topology.ASN) [][]topology.ASN {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([][]topology.ASN, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+// Outcome is the solved result for one instance (§3.2's trichotomy).
+type Outcome struct {
+	Inst  *Instance
+	Class sat.Classification
+
+	// Censors holds the True-assigned ASes of a unique solution.
+	Censors []topology.ASN
+	// Potential holds, for multi-solution CNFs, the ASes not False in every
+	// model (the paper's potential censors).
+	Potential []topology.ASN
+	// Eliminated counts definite non-censors in the multi-solution case.
+	Eliminated int
+	// TotalVars is the number of distinct ASes in the CNF.
+	TotalVars int
+}
+
+// ReductionFrac returns the candidate-set reduction fraction for
+// multi-solution CNFs (Figure 2's quantity): eliminated / total.
+func (o Outcome) ReductionFrac() float64 {
+	if o.TotalVars == 0 {
+		return 0
+	}
+	return float64(o.Eliminated) / float64(o.TotalVars)
+}
+
+// Solve classifies one instance and extracts censors or potential censors.
+func Solve(in *Instance) Outcome {
+	out := Outcome{Inst: in, TotalVars: len(in.Vars)}
+	cls, model := sat.Classify(in.CNF)
+	out.Class = cls
+	switch cls {
+	case sat.Unique:
+		for v := 1; v <= in.CNF.NumVars; v++ {
+			if model[v] {
+				out.Censors = append(out.Censors, in.Vars[v-1])
+			}
+		}
+	case sat.Multiple:
+		pot := sat.PotentialTrue(in.CNF)
+		for v := 1; v <= in.CNF.NumVars; v++ {
+			if pot[v] {
+				out.Potential = append(out.Potential, in.Vars[v-1])
+			} else {
+				out.Eliminated++
+			}
+		}
+	}
+	return out
+}
+
+// SolveAll solves every instance concurrently, preserving input order.
+func SolveAll(insts []*Instance) []Outcome {
+	out := make([]Outcome, len(insts))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(insts) {
+		workers = len(insts)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i] = Solve(insts[i])
+			}
+		}()
+	}
+	for i := range insts {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}
+
+// IdentifiedCensor aggregates everything learned about one censoring AS
+// from unique-solution CNFs.
+type IdentifiedCensor struct {
+	ASN   topology.ASN
+	Kinds anomaly.Set // anomaly kinds the AS was identified for
+	URLs  map[string]bool
+	CNFs  int // unique-solution CNFs naming this AS
+}
+
+// IdentifyCensors unions the censors named by unique-solution outcomes —
+// the paper's headline "65 censoring ASes" set. minCNFs filters one-off
+// identifications: measurement noise occasionally fabricates a unique
+// solution blaming an innocent AS, but real censors are re-identified
+// across many slices and URLs; requiring at least minCNFs corroborating
+// CNFs (2 is a good default) removes most fabrications. Pass 1 for the
+// paper's unfiltered behaviour.
+func IdentifyCensors(outcomes []Outcome, minCNFs int) map[topology.ASN]*IdentifiedCensor {
+	found := map[topology.ASN]*IdentifiedCensor{}
+	for _, o := range outcomes {
+		if o.Class != sat.Unique {
+			continue
+		}
+		for _, as := range o.Censors {
+			c := found[as]
+			if c == nil {
+				c = &IdentifiedCensor{ASN: as, URLs: map[string]bool{}}
+				found[as] = c
+			}
+			c.Kinds = c.Kinds.Add(o.Inst.Key.Kind)
+			c.URLs[o.Inst.Key.URL] = true
+			c.CNFs++
+		}
+	}
+	for asn, c := range found {
+		if c.CNFs < minCNFs {
+			delete(found, asn)
+		}
+	}
+	return found
+}

@@ -1,0 +1,251 @@
+package tomo
+
+import (
+	"testing"
+	"time"
+
+	"churntomo/internal/anomaly"
+	"churntomo/internal/iclab"
+	"churntomo/internal/sat"
+	"churntomo/internal/timeslice"
+	"churntomo/internal/topology"
+	"churntomo/internal/traceroute"
+)
+
+var t0 = time.Date(2016, 5, 10, 8, 0, 0, 0, time.UTC)
+
+// rec builds a conclusive record.
+func rec(vantage topology.ASN, url string, at time.Time, path []topology.ASN, kinds anomaly.Set) iclab.Record {
+	return iclab.Record{
+		Vantage: vantage, URL: url, At: at,
+		ASPath: path, Anomalies: kinds, Fail: traceroute.OK,
+	}
+}
+
+func dayOnly() BuildConfig {
+	return BuildConfig{Granularities: []timeslice.Granularity{timeslice.Day}}
+}
+
+func TestBuildSplitsByURLSliceKind(t *testing.T) {
+	records := []iclab.Record{
+		rec(1, "a.com", t0, []topology.ASN{1, 2, 3}, anomaly.MakeSet(anomaly.DNS)),
+		rec(1, "a.com", t0.Add(time.Hour), []topology.ASN{1, 2, 3}, 0),
+		rec(1, "b.com", t0, []topology.ASN{1, 2, 4}, 0),
+		rec(1, "a.com", t0.AddDate(0, 0, 1), []topology.ASN{1, 2, 3}, 0), // next day
+	}
+	insts := Build(records, BuildConfig{
+		Granularities:    []timeslice.Granularity{timeslice.Day},
+		Kinds:            []anomaly.Kind{anomaly.DNS},
+		KeepNegativeOnly: true,
+	})
+	// a.com day1, a.com day2, b.com day1.
+	if len(insts) != 3 {
+		t.Fatalf("got %d instances, want 3", len(insts))
+	}
+	byURL := map[string]int{}
+	for _, in := range insts {
+		byURL[in.Key.URL]++
+		if in.Key.Kind != anomaly.DNS {
+			t.Errorf("unexpected kind %v", in.Key.Kind)
+		}
+	}
+	if byURL["a.com"] != 2 || byURL["b.com"] != 1 {
+		t.Errorf("split wrong: %v", byURL)
+	}
+}
+
+func TestBuildSkipsInconclusive(t *testing.T) {
+	bad := rec(1, "a.com", t0, nil, 0)
+	bad.Fail = traceroute.ErrDisagree
+	insts := Build([]iclab.Record{bad}, dayOnly())
+	if len(insts) != 0 {
+		t.Fatalf("inconclusive record produced %d instances", len(insts))
+	}
+}
+
+func TestBuildClauseSemantics(t *testing.T) {
+	records := []iclab.Record{
+		rec(1, "a.com", t0, []topology.ASN{10, 20, 30}, anomaly.MakeSet(anomaly.TTL)),
+		rec(1, "a.com", t0.Add(time.Hour), []topology.ASN{10, 25, 30}, 0),
+	}
+	insts := Build(records, BuildConfig{
+		Granularities: []timeslice.Granularity{timeslice.Day},
+		Kinds:         []anomaly.Kind{anomaly.TTL},
+	})
+	if len(insts) != 1 {
+		t.Fatalf("got %d instances", len(insts))
+	}
+	in := insts[0]
+	if len(in.PositivePaths) != 1 || len(in.NegativePaths) != 1 {
+		t.Fatalf("paths: %d pos, %d neg", len(in.PositivePaths), len(in.NegativePaths))
+	}
+	// Negative path {10,25,30} => 3 unit clauses; positive => 1 clause.
+	if got := len(in.CNF.Clauses); got != 4 {
+		t.Fatalf("clause count %d, want 4", got)
+	}
+	if in.Measurements != 2 {
+		t.Errorf("measurements %d", in.Measurements)
+	}
+	// Solving: 10 and 30 are negated, so 20 or 25... 25 negated too; the
+	// unique model must blame 20.
+	o := Solve(in)
+	if o.Class != sat.Unique {
+		t.Fatalf("class %v, want Unique", o.Class)
+	}
+	if len(o.Censors) != 1 || o.Censors[0] != 20 {
+		t.Fatalf("censors %v, want [AS20]", o.Censors)
+	}
+}
+
+func TestBuildDedupesRepeatedPaths(t *testing.T) {
+	var records []iclab.Record
+	for i := 0; i < 10; i++ {
+		records = append(records, rec(1, "a.com", t0.Add(time.Duration(i)*time.Minute),
+			[]topology.ASN{10, 20}, 0))
+	}
+	insts := Build(records, BuildConfig{
+		Granularities:    []timeslice.Granularity{timeslice.Day},
+		Kinds:            []anomaly.Kind{anomaly.RST},
+		KeepNegativeOnly: true,
+	})
+	in := insts[0]
+	if len(in.CNF.Clauses) != 2 { // ¬10, ¬20 once each
+		t.Fatalf("clauses %d, want 2 (deduplicated units)", len(in.CNF.Clauses))
+	}
+	if in.Measurements != 10 {
+		t.Errorf("measurements %d, want 10", in.Measurements)
+	}
+}
+
+func TestSolveUnsatOnConflict(t *testing.T) {
+	// Same path censored then clean in the same slice: policy change or
+	// noise => UNSAT (§3.2).
+	records := []iclab.Record{
+		rec(1, "a.com", t0, []topology.ASN{10, 20, 30}, anomaly.MakeSet(anomaly.SEQ)),
+		rec(1, "a.com", t0.Add(2*time.Hour), []topology.ASN{10, 20, 30}, 0),
+	}
+	insts := Build(records, BuildConfig{
+		Granularities: []timeslice.Granularity{timeslice.Day},
+		Kinds:         []anomaly.Kind{anomaly.SEQ},
+	})
+	if o := Solve(insts[0]); o.Class != sat.Unsat {
+		t.Fatalf("class %v, want Unsat", o.Class)
+	}
+}
+
+func TestSolveMultipleAndPotential(t *testing.T) {
+	// One censored path, one clean path sharing only AS 10: 20 and 30
+	// remain potential censors.
+	records := []iclab.Record{
+		rec(1, "a.com", t0, []topology.ASN{10, 20, 30}, anomaly.MakeSet(anomaly.Block)),
+		rec(2, "a.com", t0.Add(time.Hour), []topology.ASN{10, 40}, 0),
+	}
+	insts := Build(records, BuildConfig{
+		Granularities: []timeslice.Granularity{timeslice.Day},
+		Kinds:         []anomaly.Kind{anomaly.Block},
+	})
+	o := Solve(insts[0])
+	if o.Class != sat.Multiple {
+		t.Fatalf("class %v, want Multiple", o.Class)
+	}
+	pot := map[topology.ASN]bool{}
+	for _, as := range o.Potential {
+		pot[as] = true
+	}
+	if pot[10] || pot[40] || !pot[20] || !pot[30] {
+		t.Fatalf("potential %v", o.Potential)
+	}
+	if o.Eliminated != 2 || o.TotalVars != 4 {
+		t.Errorf("eliminated=%d total=%d", o.Eliminated, o.TotalVars)
+	}
+	if got := o.ReductionFrac(); got != 0.5 {
+		t.Errorf("reduction %.2f, want 0.5", got)
+	}
+}
+
+func TestSolveAllMatchesSolve(t *testing.T) {
+	var records []iclab.Record
+	paths := [][]topology.ASN{{1, 2, 3}, {1, 4, 3}, {5, 2, 3}, {5, 6}}
+	for i := 0; i < 40; i++ {
+		k := anomaly.Set(0)
+		if i%7 == 0 {
+			k = anomaly.MakeSet(anomaly.DNS)
+		}
+		records = append(records, rec(topology.ASN(i%3+1), "u.com",
+			t0.AddDate(0, 0, i%5), paths[i%len(paths)], k))
+	}
+	insts := Build(records, BuildConfig{Kinds: []anomaly.Kind{anomaly.DNS}, KeepNegativeOnly: true})
+	got := SolveAll(insts)
+	if len(got) != len(insts) {
+		t.Fatalf("SolveAll returned %d outcomes for %d instances", len(got), len(insts))
+	}
+	for i, in := range insts {
+		want := Solve(in)
+		if got[i].Class != want.Class || got[i].Eliminated != want.Eliminated ||
+			len(got[i].Censors) != len(want.Censors) {
+			t.Fatalf("outcome %d differs between SolveAll and Solve", i)
+		}
+	}
+}
+
+func TestIdentifyCensors(t *testing.T) {
+	records := []iclab.Record{
+		// Day 1: censor 20 exactly identified for TTL on a.com.
+		rec(1, "a.com", t0, []topology.ASN{10, 20, 30}, anomaly.MakeSet(anomaly.TTL)),
+		rec(1, "a.com", t0.Add(time.Hour), []topology.ASN{10, 25, 30}, 0),
+		rec(2, "a.com", t0.Add(time.Hour), []topology.ASN{11, 25, 30}, 0),
+		// Day 1, b.com: censor 20 identified for SEQ too.
+		rec(1, "b.com", t0, []topology.ASN{10, 20, 31}, anomaly.MakeSet(anomaly.SEQ)),
+		rec(1, "b.com", t0.Add(time.Hour), []topology.ASN{10, 26, 31}, 0),
+		rec(3, "b.com", t0.Add(time.Hour), []topology.ASN{12, 26, 31}, 0),
+	}
+	insts := Build(records, dayOnly())
+	outcomes := SolveAll(insts)
+	censors := IdentifyCensors(outcomes, 1)
+	c, ok := censors[20]
+	if !ok {
+		t.Fatalf("censor AS20 not identified; got %v", censors)
+	}
+	if !c.Kinds.Has(anomaly.TTL) || !c.Kinds.Has(anomaly.SEQ) {
+		t.Errorf("kinds %v, want ttl+seq", c.Kinds)
+	}
+	if len(c.URLs) != 2 {
+		t.Errorf("URLs %v", c.URLs)
+	}
+	for asn := range censors {
+		if asn != 20 {
+			t.Errorf("spurious censor %v", asn)
+		}
+	}
+}
+
+func TestVarOf(t *testing.T) {
+	in := &Instance{Vars: []topology.ASN{7, 8}}
+	if in.VarOf(8) != 2 || in.VarOf(7) != 1 || in.VarOf(99) != 0 {
+		t.Error("VarOf mapping wrong")
+	}
+}
+
+func TestBuildDeterministicOrder(t *testing.T) {
+	records := []iclab.Record{
+		rec(1, "b.com", t0, []topology.ASN{1, 2}, 0),
+		rec(1, "a.com", t0, []topology.ASN{1, 2}, 0),
+		rec(1, "a.com", t0.AddDate(0, 0, 1), []topology.ASN{1, 2}, 0),
+	}
+	cfg := dayOnly()
+	cfg.KeepNegativeOnly = true
+	a := Build(records, cfg)
+	b := Build(records, cfg)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic instance count")
+	}
+	for i := range a {
+		if a[i].Key != b[i].Key {
+			t.Fatalf("instance order differs at %d: %v vs %v", i, a[i].Key, b[i].Key)
+		}
+	}
+	// Sorted: a.com before b.com.
+	if a[0].Key.URL != "a.com" {
+		t.Errorf("first instance %v, want a.com", a[0].Key)
+	}
+}

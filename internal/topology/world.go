@@ -1,0 +1,224 @@
+package topology
+
+// This file holds the static world model: regions, countries and well-known
+// AS names used to label generated topologies. Weights steer how many ASes a
+// generated scenario places in each country; they are loosely proportional
+// to real AS census counts, compressed so small scenarios still get
+// geographic spread. Flavor ASNs echo ASes that the paper's evaluation
+// highlights (e.g. AS4134 CHINANET-BACKBONE, AS1299 TELIANET, AS31621
+// QXL-NET) so the reproduced tables read like the originals.
+
+// Region is a coarse geographic region used for peering locality and for the
+// paper's observation that most censorship leakage is regional.
+type Region uint8
+
+// Regions of the world model.
+const (
+	RegionNorthAmerica Region = iota
+	RegionLatinAmerica
+	RegionEurope
+	RegionMiddleEast
+	RegionAsia
+	RegionAfrica
+	RegionOceania
+	numRegions
+)
+
+// String returns the region name.
+func (r Region) String() string {
+	switch r {
+	case RegionNorthAmerica:
+		return "North America"
+	case RegionLatinAmerica:
+		return "Latin America"
+	case RegionEurope:
+		return "Europe"
+	case RegionMiddleEast:
+		return "Middle East"
+	case RegionAsia:
+		return "Asia"
+	case RegionAfrica:
+		return "Africa"
+	case RegionOceania:
+		return "Oceania"
+	default:
+		return "Unknown"
+	}
+}
+
+// Country describes one country in the world model.
+type Country struct {
+	Code   string // ISO 3166-1 alpha-2 style code
+	Name   string
+	Region Region
+	Weight int // relative share of generated ASes
+}
+
+// World lists the countries available to the generator, largest first so
+// truncated scenarios keep the heavyweights.
+var World = []Country{
+	{"US", "United States", RegionNorthAmerica, 10},
+	{"CN", "China", RegionAsia, 8},
+	{"GB", "United Kingdom", RegionEurope, 7},
+	{"DE", "Germany", RegionEurope, 6},
+	{"RU", "Russia", RegionEurope, 6},
+	{"JP", "Japan", RegionAsia, 5},
+	{"FR", "France", RegionEurope, 5},
+	{"IN", "India", RegionAsia, 5},
+	{"BR", "Brazil", RegionLatinAmerica, 5},
+	{"PL", "Poland", RegionEurope, 4},
+	{"SG", "Singapore", RegionAsia, 4},
+	{"NL", "Netherlands", RegionEurope, 4},
+	{"SE", "Sweden", RegionEurope, 3},
+	{"UA", "Ukraine", RegionEurope, 3},
+	{"CA", "Canada", RegionNorthAmerica, 3},
+	{"AU", "Australia", RegionOceania, 3},
+	{"KR", "South Korea", RegionAsia, 3},
+	{"IT", "Italy", RegionEurope, 3},
+	{"ES", "Spain", RegionEurope, 3},
+	{"TR", "Turkey", RegionMiddleEast, 3},
+	{"AE", "United Arab Emirates", RegionMiddleEast, 2},
+	{"CY", "Cyprus", RegionEurope, 2},
+	{"IE", "Ireland", RegionEurope, 2},
+	{"HK", "Hong Kong", RegionAsia, 2},
+	{"TW", "Taiwan", RegionAsia, 2},
+	{"TH", "Thailand", RegionAsia, 2},
+	{"VN", "Vietnam", RegionAsia, 2},
+	{"MY", "Malaysia", RegionAsia, 2},
+	{"ID", "Indonesia", RegionAsia, 2},
+	{"PK", "Pakistan", RegionAsia, 2},
+	{"SA", "Saudi Arabia", RegionMiddleEast, 2},
+	{"IR", "Iran", RegionMiddleEast, 2},
+	{"IL", "Israel", RegionMiddleEast, 2},
+	{"EG", "Egypt", RegionAfrica, 2},
+	{"ZA", "South Africa", RegionAfrica, 2},
+	{"NG", "Nigeria", RegionAfrica, 2},
+	{"KE", "Kenya", RegionAfrica, 1},
+	{"MX", "Mexico", RegionLatinAmerica, 2},
+	{"AR", "Argentina", RegionLatinAmerica, 2},
+	{"CL", "Chile", RegionLatinAmerica, 1},
+	{"GR", "Greece", RegionEurope, 1},
+	{"NZ", "New Zealand", RegionOceania, 1},
+}
+
+// CountryByCode returns the world-model entry for a country code.
+func CountryByCode(code string) (Country, bool) {
+	for _, c := range World {
+		if c.Code == code {
+			return c, true
+		}
+	}
+	return Country{}, false
+}
+
+// flavorAS is a well-known ASN/name pair attached to generated ASes for
+// readable output.
+type flavorAS struct {
+	ASN  ASN
+	Name string
+}
+
+// tier1Flavor seeds the tier-1 clique. AS4134 and AS1299 appear here
+// deliberately: the paper identifies both as censoring ASes with wide
+// leakage, and both are backbone networks in reality.
+var tier1Flavor = []flavorAS{
+	{3356, "LEVEL3"},
+	{174, "COGENT-174"},
+	{1299, "TELIANET"},
+	{2914, "NTT-GIN"},
+	{4134, "CHINANET-BACKBONE"},
+	{3320, "DTAG"},
+	{5511, "OPENTRANSIT"},
+	{701, "UUNET"},
+	{6762, "SEABONE-NET"},
+	{6453, "TATA-GLOBAL"},
+}
+
+// tier1Country maps each tier-1 flavor ASN to its home country.
+var tier1Country = map[ASN]string{
+	3356: "US", 174: "US", 1299: "SE", 2914: "JP", 3320: "DE",
+	5511: "FR", 6762: "IT", 701: "US", 6453: "IN", 4134: "CN",
+}
+
+// countryFlavor provides well-known ASNs per country, consumed in order as
+// the generator creates transit and stub ASes there. Entries echo the ASes
+// named in the paper's Tables 2 and 3.
+var countryFlavor = map[string][]flavorAS{
+	"CN": {
+		{4812, "CHINANET-SH"},
+		{4837, "CHINA169-UNICOM"},
+		{58461, "HANGZHOU-IDC"},
+		{37963, "ALIBABA-CN-NET"},
+		{17621, "CNCGROUP-SH"},
+		{4132, "CHINANET-SC"},
+	},
+	"GB": {
+		{5413, "GXN"},
+		{8928, "INTEROUTE"},
+		{9009, "M247"},
+		{20860, "IOMART"},
+		{35017, "SWIFTWAY"},
+		{42831, "UKSERVERS"},
+	},
+	"SG": {
+		{4657, "STARHUB"},
+		{7473, "SINGTEL"},
+		{17547, "MYREPUBLIC"},
+		{38001, "NEWMEDIAEXPRESS"},
+	},
+	"PL": {
+		{20853, "ETOP"},
+		{31621, "QXL-NET"},
+		{42656, "TERRA-PL"},
+	},
+	"CY": {
+		{8544, "PRIMETEL"},
+		{35432, "CABLENET-CY"},
+		{197648, "MTN-CY"},
+	},
+	"UA":  {{59564, "UNIT-IS"}},
+	"AE":  {{8966, "ETISALAT"}},
+	"SE":  {{8473, "BAHNHOF"}},
+	"US":  {{7018, "ATT-INTERNET4"}, {6939, "HURRICANE"}, {2906, "NETFLIX-ASN"}},
+	"JP":  {{4713, "OCN"}, {2497, "IIJ"}},
+	"RU":  {{12389, "ROSTELECOM"}, {8359, "MTS"}, {3216, "SOVAM"}},
+	"FR":  {{3215, "ORANGE-FR"}},
+	"NL":  {{1103, "SURFNET"}},
+	"DE":  {{8881, "VERSATEL"}},
+	"IN":  {{9829, "BSNL"}, {4755, "TATACOMM-IN"}},
+	"IR":  {{12880, "ITC-IR"}, {58224, "TIC-IR"}},
+	"IE":  {{5466, "EIRCOM"}},
+	"ES":  {{3352, "TELEFONICA-ES"}},
+	"KR":  {{4766, "KIXS-KT"}},
+	"HK":  {{4760, "HKTIMS"}},
+	"BR":  {{28573, "CLARO-BR"}},
+	"AU":  {{1221, "TELSTRA"}},
+	"TR":  {{9121, "TTNET"}},
+	"PK":  {{17557, "PKTELECOM"}},
+	"EG":  {{8452, "TE-AS"}},
+	"ZA":  {{5713, "SAIX-NET"}},
+	"MX":  {{8151, "UNINET-MX"}},
+	"TW":  {{3462, "HINET"}},
+	"TH":  {{7470, "TRUE-TH"}},
+	"VN":  {{7552, "VIETTEL"}},
+	"MY":  {{4788, "TMNET"}},
+	"ID":  {{7713, "TELKOMNET"}},
+	"SA":  {{25019, "SAUDINET"}},
+	"IL":  {{8551, "BEZEQINT"}},
+	"NG":  {{29465, "MTN-NG"}},
+	"KE":  {{36914, "KENET"}},
+	"AR":  {{7303, "TELECOM-AR"}},
+	"CL":  {{7418, "TELEFONICA-CL"}},
+	"GR":  {{6799, "OTENET"}},
+	"NZ":  {{9790, "VOCUS-NZ"}},
+	"CA":  {{812, "ROGERS"}},
+	"IT":  {{3269, "TELECOM-ITALIA"}},
+	"UA2": nil, // placeholder guard against accidental lookups
+}
+
+// ResolverASN is the well-known open-resolver network (the simulator's
+// stand-in for Google Public DNS, AS15169 / 8.8.8.8).
+const ResolverASN ASN = 15169
+
+// resolverName names the resolver AS.
+const resolverName = "GDNS-ANYCAST"

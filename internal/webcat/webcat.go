@@ -1,0 +1,181 @@
+// Package webcat models the URL test list and its categorization — the
+// simulator's stand-in for the McAfee/trustedsource URL categorization
+// database the paper uses to characterize what censors block (Online
+// Shopping and Classifieds lead its findings; several ASes censor only ad
+// vendors).
+package webcat
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// Category classifies a URL's content.
+type Category uint8
+
+// Categories, ordered roughly by how often the paper found them censored.
+const (
+	Shopping Category = iota
+	Classifieds
+	Ads
+	News
+	Politics
+	SocialMedia
+	Streaming
+	Gambling
+	Adult
+	Religion
+	Circumvention
+	Health
+	Technology
+	Sports
+	NumCategories // sentinel
+)
+
+var categoryNames = [...]string{
+	"Online Shopping", "Classifieds", "Ads", "News", "Politics",
+	"Social Media", "Streaming", "Gambling", "Adult", "Religion",
+	"Circumvention", "Health", "Technology", "Sports",
+}
+
+// String returns the category's display name.
+func (c Category) String() string {
+	if int(c) < len(categoryNames) {
+		return categoryNames[c]
+	}
+	return fmt.Sprintf("category(%d)", uint8(c))
+}
+
+// Set is a bitmask over categories.
+type Set uint16
+
+// MakeSet builds a Set from its members.
+func MakeSet(cats ...Category) Set {
+	var s Set
+	for _, c := range cats {
+		s |= 1 << c
+	}
+	return s
+}
+
+// AllCategories is the set containing every category.
+const AllCategories Set = 1<<NumCategories - 1
+
+// Has reports membership.
+func (s Set) Has(c Category) bool { return s&(1<<c) != 0 }
+
+// Add returns s with c added.
+func (s Set) Add(c Category) Set { return s | 1<<c }
+
+// Len counts members.
+func (s Set) Len() int {
+	n := 0
+	for c := Category(0); c < NumCategories; c++ {
+		if s.Has(c) {
+			n++
+		}
+	}
+	return n
+}
+
+// Members lists the categories in the set.
+func (s Set) Members() []Category {
+	var out []Category
+	for c := Category(0); c < NumCategories; c++ {
+		if s.Has(c) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// String renders the member names.
+func (s Set) String() string {
+	if s == AllCategories {
+		return "All"
+	}
+	out := ""
+	for _, c := range s.Members() {
+		if out != "" {
+			out += ", "
+		}
+		out += c.String()
+	}
+	if out == "" {
+		return "None"
+	}
+	return out
+}
+
+// URL is one entry of the test list.
+type URL struct {
+	Host     string
+	Category Category
+}
+
+// hostStems provide plausible hostname material per category.
+var hostStems = [...][]string{
+	Shopping:      {"deals", "bazaar", "market", "shop", "store"},
+	Classifieds:   {"ads-board", "list", "classified", "trade"},
+	Ads:           {"adserve", "track", "banner", "click"},
+	News:          {"daily", "herald", "times", "wire"},
+	Politics:      {"reform", "voice", "freedom", "assembly"},
+	SocialMedia:   {"connect", "chatter", "circle", "feed"},
+	Streaming:     {"stream", "video", "tube", "cast"},
+	Gambling:      {"bet", "casino", "poker", "lotto"},
+	Adult:         {"nightlife", "adult", "cam"},
+	Religion:      {"faith", "temple", "scripture"},
+	Circumvention: {"proxy", "vpn", "bridge", "tunnel"},
+	Health:        {"clinic", "meds", "wellness"},
+	Technology:    {"devhub", "cloudlab", "gadget"},
+	Sports:        {"score", "league", "athletics"},
+}
+
+var tlds = []string{"com", "net", "org", "info", "co"}
+
+// GenURLs produces n synthetic test-list URLs with a category mix biased
+// toward the categories the paper reports as most-censored. Deterministic
+// for a given seed.
+func GenURLs(seed uint64, n int) []URL {
+	rng := rand.New(rand.NewPCG(seed, 0x75726c73)) // "urls"
+	// Weighted category selection: the head categories get more URLs, every
+	// category gets at least one URL once n is large enough.
+	weights := make([]int, NumCategories)
+	for c := Category(0); c < NumCategories; c++ {
+		weights[c] = 3 + int(NumCategories-c) // 17 down to 4
+	}
+	total := 0
+	for _, w := range weights {
+		total += w
+	}
+	out := make([]URL, n)
+	seen := map[string]bool{}
+	for i := range out {
+		var cat Category
+		if i < int(NumCategories) {
+			cat = Category(i) // guarantee coverage first
+		} else {
+			r := rng.IntN(total)
+			for c, w := range weights {
+				if r < w {
+					cat = Category(c)
+					break
+				}
+				r -= w
+			}
+		}
+		for {
+			stems := hostStems[cat]
+			host := fmt.Sprintf("%s-%d.%s%d.%s",
+				stems[rng.IntN(len(stems))], rng.IntN(900)+100,
+				stems[rng.IntN(len(stems))], rng.IntN(90)+10,
+				tlds[rng.IntN(len(tlds))])
+			if !seen[host] {
+				seen[host] = true
+				out[i] = URL{Host: host, Category: cat}
+				break
+			}
+		}
+	}
+	return out
+}

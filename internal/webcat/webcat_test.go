@@ -1,0 +1,109 @@
+package webcat
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGenURLsDeterministicAndUnique(t *testing.T) {
+	a := GenURLs(7, 200)
+	b := GenURLs(7, 200)
+	if len(a) != 200 {
+		t.Fatalf("got %d URLs", len(a))
+	}
+	seen := map[string]bool{}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("URL %d differs across identical seeds: %v vs %v", i, a[i], b[i])
+		}
+		if seen[a[i].Host] {
+			t.Errorf("duplicate host %q", a[i].Host)
+		}
+		seen[a[i].Host] = true
+		if !strings.Contains(a[i].Host, ".") {
+			t.Errorf("implausible host %q", a[i].Host)
+		}
+	}
+	c := GenURLs(8, 200)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical URL lists")
+	}
+}
+
+func TestGenURLsCoversAllCategories(t *testing.T) {
+	urls := GenURLs(1, int(NumCategories)+10)
+	var got Set
+	for _, u := range urls {
+		got = got.Add(u.Category)
+	}
+	if got != AllCategories {
+		t.Errorf("categories covered = %v, want all", got)
+	}
+}
+
+func TestGenURLsHeadCategoriesWeighted(t *testing.T) {
+	urls := GenURLs(3, 2000)
+	counts := make([]int, NumCategories)
+	for _, u := range urls {
+		counts[u.Category]++
+	}
+	if counts[Shopping] <= counts[Sports] {
+		t.Errorf("Shopping (%d) should outnumber Sports (%d) in the test list",
+			counts[Shopping], counts[Sports])
+	}
+}
+
+func TestSetOperations(t *testing.T) {
+	s := MakeSet(Shopping, Ads)
+	if !s.Has(Shopping) || !s.Has(Ads) || s.Has(News) {
+		t.Errorf("membership wrong for %v", s)
+	}
+	s = s.Add(News)
+	if !s.Has(News) || s.Len() != 3 {
+		t.Errorf("Add/Len wrong: %v len=%d", s, s.Len())
+	}
+	m := s.Members()
+	if len(m) != 3 || m[0] != Shopping {
+		t.Errorf("Members = %v", m)
+	}
+	if AllCategories.Len() != int(NumCategories) {
+		t.Errorf("AllCategories.Len = %d", AllCategories.Len())
+	}
+	if AllCategories.String() != "All" {
+		t.Errorf("AllCategories.String = %q", AllCategories.String())
+	}
+	if Set(0).String() != "None" {
+		t.Errorf("empty Set.String = %q", Set(0).String())
+	}
+	if got := MakeSet(Shopping, Classifieds).String(); got != "Online Shopping, Classifieds" {
+		t.Errorf("Set.String = %q", got)
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	if Shopping.String() != "Online Shopping" {
+		t.Errorf("Shopping = %q", Shopping.String())
+	}
+	if !strings.Contains(Category(200).String(), "200") {
+		t.Error("out-of-range category should render its number")
+	}
+}
+
+// Property: a set built from members round-trips.
+func TestSetRoundTrip(t *testing.T) {
+	f := func(raw uint16) bool {
+		s := Set(raw) & AllCategories
+		return MakeSet(s.Members()...) == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
