@@ -1,0 +1,35 @@
+# Development and CI entry points. `make ci` is the gate: vet, build, the
+# full test suite under the race detector, and a one-iteration benchmark
+# smoke so the paper-artifact benchmarks can't rot.
+
+GO ?= go
+
+.PHONY: all ci vet build test race bench fuzz clean
+
+all: ci
+
+ci: vet build race bench
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration of every benchmark: catches compile/runtime rot without
+# paying for a real measurement run.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Short fuzz pass over the DIMACS parser; extend -fuzztime for real hunts.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzParseDIMACS -fuzztime 30s ./internal/sat
+
+clean:
+	$(GO) clean ./...

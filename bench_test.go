@@ -126,7 +126,7 @@ func BenchmarkFigure3_PathChurn(b *testing.B) {
 
 func BenchmarkFigure4_NoChurnAblation(b *testing.B) {
 	p := benchPipeline(b)
-	rows := analysis.Figure4(p.Dataset.Records)
+	rows := analysis.Figure4(p.Dataset.Records, 0)
 	var art string
 	for _, r := range rows {
 		art += fmt.Sprintf("%-6s: 0=%.1f%% 1=%.1f%% 2=%.1f%% 3=%.1f%% 4=%.1f%% 5+=%.1f%% (n=%d)\n",
@@ -136,7 +136,7 @@ func BenchmarkFigure4_NoChurnAblation(b *testing.B) {
 	printOnce("Figure 4: solutions without churn", art)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		analysis.Figure4(p.Dataset.Records)
+		analysis.Figure4(p.Dataset.Records, 0)
 	}
 }
 
@@ -238,5 +238,68 @@ func BenchmarkKernel_SATClassify(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sat.Classify(biggest.CNF)
+	}
+}
+
+// --- Engine: serial vs parallel ---
+
+// benchMeasureScenario is a 30-day sub-window of the shared scenario, so
+// the serial/parallel comparison runs in benchmark-friendly time.
+func benchMeasureScenario(b *testing.B) *iclab.Scenario {
+	p := benchPipeline(b)
+	short := *p.Scenario
+	short.End = short.Start.AddDate(0, 0, 30)
+	return &short
+}
+
+func BenchmarkEngine_MeasureSerial(b *testing.B) {
+	s := benchMeasureScenario(b)
+	cfg := iclab.PlatformConfig{Seed: 5, URLsPerDay: 4, RepeatsPerDay: 2, Workers: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		iclab.Run(s, cfg)
+	}
+}
+
+func BenchmarkEngine_MeasureParallel(b *testing.B) {
+	s := benchMeasureScenario(b)
+	cfg := iclab.PlatformConfig{Seed: 5, URLsPerDay: 4, RepeatsPerDay: 2} // Workers = GOMAXPROCS
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		iclab.Run(s, cfg)
+	}
+}
+
+func BenchmarkEngine_BuildSolveSerial(b *testing.B) {
+	p := benchPipeline(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tomo.BuildAndSolve(p.Dataset.Records, tomo.BuildConfig{Workers: 1})
+	}
+}
+
+func BenchmarkEngine_BuildSolveStreaming(b *testing.B) {
+	p := benchPipeline(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tomo.BuildAndSolve(p.Dataset.Records, tomo.BuildConfig{})
+	}
+}
+
+// BenchmarkEngine_MatrixSeedSweep exercises the Runner layer end to end:
+// three tiny whole pipelines per iteration, run concurrently.
+func BenchmarkEngine_MatrixSeedSweep(b *testing.B) {
+	base := SmallConfig()
+	base.Days = 6
+	base.Vantages = 8
+	base.URLs = 10
+	base.URLsPerDay = 4
+	base.Workers = 1 // the matrix supplies the concurrency, as churnlab does
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results := (&Runner{}).RunMatrix(SeedSweep(base, 3))
+		if agg := AggregateMatrix(results); agg.Failed > 0 {
+			b.Fatalf("%d matrix cells failed", agg.Failed)
+		}
 	}
 }

@@ -15,7 +15,11 @@
 //	if err != nil { ... }
 //	for asn, c := range p.Identified { ... }
 //
-// Every run is deterministic for a given Config.
+// Every run is deterministic for a given Config, at any Config.Workers
+// setting: measurement days, CNF construction and solving are sharded
+// across worker pools whose output is bit-identical to serial execution.
+// Runner executes whole matrices of Configs (seed sweeps, scale sweeps)
+// concurrently and AggregateMatrix fuses their results.
 package churntomo
 
 import (
@@ -36,6 +40,13 @@ import (
 // DefaultConfig.
 type Config struct {
 	Seed uint64
+
+	// Workers bounds the per-stage parallelism: measurement days are
+	// sharded across this many goroutines, and CNF grouping,
+	// materialization and solving use the same pool size. 0 uses
+	// GOMAXPROCS, 1 forces fully serial execution. Results are identical
+	// at every setting — parallelism never changes the output.
+	Workers int
 
 	// Topology scale.
 	ASes      int
@@ -212,6 +223,7 @@ func (p *Pipeline) Measure() {
 	}
 	p.Dataset = iclab.Run(p.Scenario, iclab.PlatformConfig{
 		Seed:          p.Config.Seed + 5,
+		Workers:       p.Config.Workers,
 		URLsPerDay:    p.Config.URLsPerDay,
 		RepeatsPerDay: p.Config.RepeatsPerDay,
 	})
@@ -226,8 +238,7 @@ func (p *Pipeline) Localize() {
 	if p.Config.Progress != nil {
 		fmt.Fprintln(p.Config.Progress, "building and solving CNFs")
 	}
-	p.Instances = tomo.Build(p.Dataset.Records, tomo.BuildConfig{})
-	p.Outcomes = tomo.SolveAll(p.Instances)
+	p.Instances, p.Outcomes = tomo.BuildAndSolve(p.Dataset.Records, tomo.BuildConfig{Workers: p.Config.Workers})
 	p.Identified = tomo.IdentifyCensors(p.Outcomes, identifyMinCNFs)
 	p.Leakage = leakage.Analyze(p.Outcomes, p.Graph)
 }

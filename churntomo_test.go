@@ -2,6 +2,9 @@ package churntomo
 
 import (
 	"bytes"
+	"fmt"
+	"reflect"
+	"sort"
 	"testing"
 
 	"churntomo/internal/churn"
@@ -255,6 +258,78 @@ func TestIdentifiedCensorsAreOnCensoredPaths(t *testing.T) {
 	for asn := range p.Identified {
 		if !onPath[asn] {
 			t.Errorf("identified censor %v never appeared on an anomalous path", asn)
+		}
+	}
+}
+
+// identifiedSummary flattens the Identified map into a comparable form.
+func identifiedSummary(p *Pipeline) map[topology.ASN]string {
+	out := map[topology.ASN]string{}
+	for asn, c := range p.Identified {
+		urls := make([]string, 0, len(c.URLs))
+		for u := range c.URLs {
+			urls = append(urls, u)
+		}
+		sort.Strings(urls)
+		out[asn] = fmt.Sprintf("kinds=%v cnfs=%d urls=%v", c.Kinds, c.CNFs, urls)
+	}
+	return out
+}
+
+// leakageSummary flattens the leakage analysis into a comparable form.
+func leakageSummary(p *Pipeline) string {
+	return fmt.Sprintf("asLeaks=%d countryLeaks=%d flow=%v",
+		p.Leakage.LeakToOtherASes(), p.Leakage.LeakToOtherCountries(), p.Leakage.Flow)
+}
+
+// TestSerialParallelIdentical is the engine's end-to-end determinism
+// regression: the same seed must produce identical censor identifications
+// and leakage summaries whether the pipeline runs serially, runs with a
+// full worker pool, or runs twice.
+func TestSerialParallelIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end pipeline in -short mode")
+	}
+	serialCfg := testConfig()
+	serialCfg.Workers = 1
+	serial, err := Run(serialCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	variants := map[string]int{"parallel": 8, "parallel-again": 8, "default-workers": 0}
+	for name, workers := range variants {
+		cfg := testConfig()
+		cfg.Workers = workers
+		got, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Dataset.Records) != len(serial.Dataset.Records) {
+			t.Fatalf("%s: %d records vs %d serial", name, len(got.Dataset.Records), len(serial.Dataset.Records))
+		}
+		for i := range serial.Dataset.Records {
+			if !reflect.DeepEqual(serial.Dataset.Records[i], got.Dataset.Records[i]) {
+				t.Fatalf("%s: record %d differs from serial", name, i)
+			}
+		}
+		if len(got.Outcomes) != len(serial.Outcomes) {
+			t.Fatalf("%s: %d outcomes vs %d serial", name, len(got.Outcomes), len(serial.Outcomes))
+		}
+		for i := range serial.Outcomes {
+			if got.Outcomes[i].Class != serial.Outcomes[i].Class ||
+				got.Outcomes[i].Inst.Key != serial.Outcomes[i].Inst.Key ||
+				!reflect.DeepEqual(got.Outcomes[i].Censors, serial.Outcomes[i].Censors) {
+				t.Fatalf("%s: outcome %d differs from serial", name, i)
+			}
+		}
+		if !reflect.DeepEqual(identifiedSummary(serial), identifiedSummary(got)) {
+			t.Fatalf("%s: identified censors differ from serial:\n%v\n%v",
+				name, identifiedSummary(serial), identifiedSummary(got))
+		}
+		if leakageSummary(serial) != leakageSummary(got) {
+			t.Fatalf("%s: leakage differs from serial:\n%s\n%s",
+				name, leakageSummary(serial), leakageSummary(got))
 		}
 	}
 }

@@ -4,6 +4,13 @@
 // Usage:
 //
 //	churnlab [-scale small|default|paper] [-seed N] [-only table1,figure3,...] [-validate]
+//	         [-parallel N] [-matrix N]
+//
+// -parallel bounds the per-stage worker pools (0 = all cores, 1 = serial);
+// results are identical at any setting. -matrix N runs a seed sweep of N
+// whole pipelines concurrently and prints the aggregated identifications
+// instead of the single-run evaluation; -only and -validate apply to single
+// runs only and are ignored in matrix mode.
 //
 // With no -only filter it prints the complete evaluation: Table 1 (dataset
 // characteristics), Figures 1a/1b (CNF solvability), Figure 2 (candidate
@@ -35,6 +42,8 @@ func main() {
 	only := flag.String("only", "", "comma-separated subset: table1,figure1a,figure1b,figure2,figure3,figure4,table2,table3,figure5")
 	validate := flag.Bool("validate", true, "score identified censors against ground truth")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
+	parallel := flag.Int("parallel", 0, "per-stage worker count (0 = all cores, 1 = serial); output is identical either way")
+	matrix := flag.Int("matrix", 1, "run a seed sweep of N concurrent pipelines and print the aggregate")
 	flag.Parse()
 
 	cfg := churntomo.DefaultConfig()
@@ -49,8 +58,17 @@ func main() {
 		os.Exit(2)
 	}
 	cfg.Seed = *seed
+	cfg.Workers = *parallel
 	if !*quiet {
 		cfg.Progress = os.Stderr
+	}
+
+	if *matrix > 1 {
+		if *only != "" {
+			fmt.Fprintln(os.Stderr, "churnlab: -only applies to single runs; ignored in matrix mode")
+		}
+		runMatrix(cfg, *matrix, *quiet)
+		return
 	}
 
 	p, err := churntomo.Run(cfg)
@@ -97,7 +115,7 @@ func main() {
 	}
 	if show("figure4") {
 		fmt.Println("== Figure 4: solutions without path churn (ablation) ==")
-		rows := analysis.Figure4(p.Dataset.Records)
+		rows := analysis.Figure4(p.Dataset.Records, cfg.Workers)
 		var groups []string
 		var values [][]float64
 		for _, r := range rows {
@@ -125,6 +143,59 @@ func main() {
 	}
 	if *validate && len(want) == 0 {
 		printValidation(p)
+	}
+}
+
+// runMatrix executes a seed sweep of n pipelines and prints the aggregated
+// identifications: which ASes are named in how many runs, which survive
+// every resampling, and the summed leakage.
+func runMatrix(base churntomo.Config, n int, quiet bool) {
+	if base.Workers == 0 {
+		// The matrix supplies the concurrency: one serial pipeline per
+		// cell, rather than GOMAXPROCS cells each spawning GOMAXPROCS-wide
+		// stage pools. An explicit -parallel still overrides per cell.
+		base.Workers = 1
+	}
+	r := &churntomo.Runner{}
+	if !quiet {
+		r.Progress = os.Stderr
+	}
+	results := r.RunMatrix(churntomo.SeedSweep(base, n))
+	agg := churntomo.AggregateMatrix(results)
+	if quiet {
+		// With no Progress writer the runner reported nothing; failures
+		// still need to surface.
+		for _, res := range results {
+			if res.Err != nil {
+				fmt.Fprintf(os.Stderr, "churnlab: matrix cell %d (seed %d): %v\n", res.Index, res.Config.Seed, res.Err)
+			}
+		}
+	}
+
+	fmt.Printf("== Matrix aggregate: %d runs (%d failed), seeds %d..%d ==\n",
+		agg.Runs, agg.Failed, base.Seed, base.Seed+uint64(n-1))
+	fmt.Printf("CNFs: %d total, %d unique-solution\n", agg.TotalCNFs, agg.UniqueCNFs)
+	fmt.Printf("leakage (summed): %d censors leak to other ASes, %d to other countries\n\n",
+		agg.LeakASes, agg.LeakCountries)
+
+	rows := [][]string{}
+	for _, c := range agg.RankedCensors() {
+		rows = append(rows, []string{
+			c.ASN.String(),
+			fmt.Sprintf("%d/%d", c.Runs, agg.Runs),
+			fmt.Sprint(c.CNFs),
+			c.Kinds.String(),
+		})
+	}
+	fmt.Print(report.Table([]string{"AS", "Runs", "CNFs", "Anomalies"}, rows))
+	stable := agg.StableCensors()
+	names := make([]string, len(stable))
+	for i, asn := range stable {
+		names[i] = asn.String()
+	}
+	fmt.Printf("\nstable across every run: %s\n", strings.Join(names, ", "))
+	if agg.Failed > 0 {
+		os.Exit(1)
 	}
 }
 

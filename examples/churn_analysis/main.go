@@ -54,7 +54,7 @@ func main() {
 	// Ablation: with churn vs without (first observed path only).
 	fmt.Println("\nsolvability with churn vs without (paper Figure 4):")
 	withChurn := classCounts(p.Outcomes)
-	noChurnRows := analysis.Figure4(p.Dataset.Records)
+	noChurnRows := analysis.Figure4(p.Dataset.Records, 0)
 	fmt.Printf("  %-18s unique %.1f%%, none %.1f%%, multiple %.1f%%\n",
 		"with churn:", 100*withChurn[sat.Unique], 100*withChurn[sat.Unsat], 100*withChurn[sat.Multiple])
 	for _, r := range noChurnRows {

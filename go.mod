@@ -1,0 +1,3 @@
+module churntomo
+
+go 1.22

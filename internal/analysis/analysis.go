@@ -147,10 +147,10 @@ type Figure4Row struct {
 // Figure4 rebuilds CNFs from first-observed-path records only and counts
 // models up to 5+ — the paper's demonstration that churn is what makes the
 // tomography solvable.
-func Figure4(records []iclab.Record) []Figure4Row {
+func Figure4(records []iclab.Record, workers int) []Figure4Row {
 	filtered := churn.FirstPathOnly(records)
 	grans := []timeslice.Granularity{timeslice.Day, timeslice.Week, timeslice.Month}
-	insts := tomo.Build(filtered, tomo.BuildConfig{Granularities: grans})
+	insts := tomo.Build(filtered, tomo.BuildConfig{Granularities: grans, Workers: workers})
 	rows := map[timeslice.Granularity]*Figure4Row{}
 	for _, in := range insts {
 		row := rows[in.Key.Slice.Gran]

@@ -111,7 +111,7 @@ func TestFigure4Collapses(t *testing.T) {
 		rec(1, "a.com", t0.Add(time.Hour), []topology.ASN{10, 25, 30}, 0),
 		rec(2, "a.com", t0.Add(time.Hour), []topology.ASN{11, 30}, 0),
 	}
-	rows := Figure4(records)
+	rows := Figure4(records, 1)
 	if len(rows) == 0 {
 		t.Fatal("no Figure4 rows")
 	}

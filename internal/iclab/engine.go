@@ -1,0 +1,67 @@
+package iclab
+
+import (
+	"churntomo/internal/parallel"
+)
+
+// This file is the sharded measurement engine. The schedule is
+// embarrassingly parallel along days — the axis the paper itself slices on —
+// so Run splits the window into one shard per day, measures shards on a
+// worker pool, and concatenates the results in day order. Determinism is
+// preserved by construction rather than by locking: a day's randomness
+// depends only on (seed, day index), never on which worker ran it or when.
+
+// DaySeed derives the deterministic RNG seed for one day's measurement
+// shard from the platform seed and the day index. It is a splitmix64
+// finalizer over the golden-ratio-spaced day sequence: nearby days (and
+// nearby base seeds) yield statistically unrelated streams.
+func DaySeed(base uint64, day int) uint64 {
+	z := base + uint64(day)*0x9e3779b97f4a7c15
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Days returns the number of measurement days in the scenario window — the
+// shard count of a platform run.
+func (s *Scenario) Days() int {
+	n := 0
+	for at := s.Start; at.Before(s.End); at = at.AddDate(0, 0, 1) {
+		n++
+	}
+	return n
+}
+
+// Run executes the measurement schedule over the scenario, sharding days
+// across cfg.Workers goroutines. Deterministic for identical scenario and
+// config at every worker count: parallel output is bit-identical to serial.
+func Run(s *Scenario, cfg PlatformConfig) *Dataset {
+	cfg.fillDefaults()
+	days := s.Days()
+	shards := make([][]Record, days)
+	parallel.ForEach(cfg.Workers, days, func(day int) {
+		shards[day] = s.runDay(cfg, day)
+	})
+	ds := &Dataset{Scenario: s, Records: MergeShards(shards)}
+	ds.Stats = ComputeTable1(ds)
+	return ds
+}
+
+// MergeShards concatenates per-day record shards in shard order and assigns
+// the global record IDs the merged sequence implies.
+func MergeShards(shards [][]Record) []Record {
+	total := 0
+	for _, sh := range shards {
+		total += len(sh)
+	}
+	out := make([]Record, 0, total)
+	for _, sh := range shards {
+		out = append(out, sh...)
+	}
+	for i := range out {
+		out[i].ID = int32(i)
+	}
+	return out
+}

@@ -60,6 +60,12 @@ type Record struct {
 type PlatformConfig struct {
 	Seed uint64
 
+	// Workers is how many day shards are measured concurrently. 0 uses
+	// GOMAXPROCS (parallel.ForEach's default), 1 forces the serial path.
+	// Output is bit-identical at any setting: every day derives its own
+	// RNG stream via DaySeed, and shards are merged in day order.
+	Workers int
+
 	// URLsPerDay is how many URLs the fleet tests each day. Vantages are
 	// synchronized (the fleet works through the list in lockstep), so each
 	// tested URL gets clauses from every vantage that day — the paper's
@@ -105,37 +111,31 @@ type Dataset struct {
 	Stats    Table1
 }
 
-// Run executes the measurement schedule over the scenario. Deterministic
-// for identical scenario and config.
-func Run(s *Scenario, cfg PlatformConfig) *Dataset {
-	cfg.fillDefaults()
-	rng := rand.New(rand.NewPCG(cfg.Seed^s.Seed, 0x706c6174666f726d)) // "platform"
-	ds := &Dataset{Scenario: s}
-
-	day := 0
-	for at := s.Start; at.Before(s.End); at = at.AddDate(0, 0, 1) {
-		// The fleet works through the URL list in lockstep, URLsPerDay at a
-		// time, wrapping around the list.
-		for k := 0; k < cfg.URLsPerDay; k++ {
-			ti := (day*cfg.URLsPerDay + k) % len(s.Targets)
-			target := &s.Targets[ti]
-			for vi := range s.Vantages {
-				v := &s.Vantages[vi]
-				for r := 0; r < cfg.RepeatsPerDay; r++ {
-					// Spread repeats across the day (early morning / late
-					// evening) so intra-day churn is observable.
-					hour := (4 + r*15 + rng.IntN(4)) % 24
-					when := at.Add(time.Duration(hour)*time.Hour + time.Duration(rng.IntN(3600))*time.Second)
-					rec := s.measure(v, target, int32(ti), when, cfg, rng)
-					rec.ID = int32(len(ds.Records))
-					ds.Records = append(ds.Records, rec)
-				}
+// runDay measures one day's shard of the schedule. Each day owns an RNG
+// stream derived from (seed, day) alone, so shards are independent of
+// execution order: the engine can run them serially or on a worker pool and
+// merge identical records either way.
+func (s *Scenario) runDay(cfg PlatformConfig, day int) []Record {
+	at := s.Start.AddDate(0, 0, day)
+	rng := rand.New(rand.NewPCG(DaySeed(cfg.Seed^s.Seed, day), 0x706c6174666f726d)) // "platform"
+	recs := make([]Record, 0, cfg.URLsPerDay*len(s.Vantages)*cfg.RepeatsPerDay)
+	// The fleet works through the URL list in lockstep, URLsPerDay at a
+	// time, wrapping around the list.
+	for k := 0; k < cfg.URLsPerDay; k++ {
+		ti := (day*cfg.URLsPerDay + k) % len(s.Targets)
+		target := &s.Targets[ti]
+		for vi := range s.Vantages {
+			v := &s.Vantages[vi]
+			for r := 0; r < cfg.RepeatsPerDay; r++ {
+				// Spread repeats across the day (early morning / late
+				// evening) so intra-day churn is observable.
+				hour := (4 + r*15 + rng.IntN(4)) % 24
+				when := at.Add(time.Duration(hour)*time.Hour + time.Duration(rng.IntN(3600))*time.Second)
+				recs = append(recs, s.measure(v, target, int32(ti), when, cfg, rng))
 			}
 		}
-		day++
 	}
-	ds.Stats = ComputeTable1(ds)
-	return ds
+	return recs
 }
 
 // measure runs one full test: DNS via two resolvers, HTTP with capture

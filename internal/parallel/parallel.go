@@ -1,0 +1,47 @@
+// Package parallel holds the one worker-pool shape the engine uses
+// everywhere: N indices dispatched to a bounded pool, caller blocks until
+// all complete. Centralizing it keeps dispatch semantics (and any future
+// panic propagation or queueing changes) identical across the measurement
+// engine, the tomography builder and the matrix runner.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ForEach runs fn(0..n-1) on a pool of workers, blocking until every call
+// returns. workers == 0 means GOMAXPROCS — the one place that default
+// lives. With an effective pool of <= 1 (or n <= 1) it degrades to an
+// inline loop, so callers get the serial path — and serial determinism —
+// for free.
+func ForEach(workers, n int, fn func(int)) {
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

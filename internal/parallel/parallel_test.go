@@ -1,0 +1,32 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 4, 100} {
+		var hits [37]atomic.Int32
+		ForEach(workers, len(hits), func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachSerialOrder(t *testing.T) {
+	var order []int
+	ForEach(1, 5, func(i int) { order = append(order, i) })
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("serial path out of order: %v", order)
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	ForEach(4, 0, func(int) { t.Fatal("fn called for n=0") })
+}

@@ -2,6 +2,8 @@ package routing
 
 import (
 	"container/list"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"churntomo/internal/topology"
@@ -12,16 +14,26 @@ import (
 // caching them. It is the simulator's data plane: traceroutes, DNS queries
 // and HTTP connections all route through it.
 //
-// Oracle is not safe for concurrent use; measurement generation is
-// sequential by design (deterministic replay matters more than parallelism
-// here).
+// Oracle is safe for concurrent use: the measurement engine shards days
+// across workers that all query one oracle. Only the LRU bookkeeping is
+// serialized, never tree computation itself; concurrent misses on the same
+// (destination, epoch) coalesce onto a single computation, so adjacent-day
+// shards querying the same epoch don't duplicate the dominant cost.
 type Oracle struct {
 	G  *topology.Graph
 	TL *Timeline
 
+	mu       sync.Mutex
 	cache    *lruCache
-	computes int // trees actually computed (cache misses)
-	queries  int
+	inflight map[treeKey]*treeCall
+	computes atomic.Int64 // trees actually computed (cache misses)
+	queries  atomic.Int64
+}
+
+// treeCall is one in-flight tree computation other workers can wait on.
+type treeCall struct {
+	done chan struct{}
+	tree Tree
 }
 
 // NewOracle creates an oracle with room for cacheTrees cached routing
@@ -30,7 +42,7 @@ func NewOracle(g *topology.Graph, tl *Timeline, cacheTrees int) *Oracle {
 	if cacheTrees == 0 {
 		cacheTrees = 4096
 	}
-	return &Oracle{G: g, TL: tl, cache: newLRU(cacheTrees)}
+	return &Oracle{G: g, TL: tl, cache: newLRU(cacheTrees), inflight: map[treeKey]*treeCall{}}
 }
 
 type treeKey struct {
@@ -42,20 +54,36 @@ type treeKey struct {
 // The returned tree is shared; callers must not modify it.
 func (o *Oracle) TreeAt(dst, ep int32) Tree {
 	key := treeKey{dst, ep}
+	o.mu.Lock()
 	if t, ok := o.cache.get(key); ok {
+		o.mu.Unlock()
 		return t
 	}
-	t := ComputeTree(o.G, dst,
+	if c, ok := o.inflight[key]; ok {
+		o.mu.Unlock()
+		<-c.done
+		return c.tree
+	}
+	c := &treeCall{done: make(chan struct{})}
+	o.inflight[key] = c
+	o.mu.Unlock()
+
+	c.tree = ComputeTree(o.G, dst,
 		func(link int32) bool { return o.TL.LinkDownAt(link, ep) },
 		func(as int32) uint64 { return o.TL.SaltAt(as, ep) })
-	o.cache.put(key, t)
-	o.computes++
-	return t
+
+	o.mu.Lock()
+	o.cache.put(key, c.tree)
+	delete(o.inflight, key)
+	o.mu.Unlock()
+	close(c.done)
+	o.computes.Add(1)
+	return c.tree
 }
 
 // PathIdxAt returns the AS-index path from src to dst at time t.
 func (o *Oracle) PathIdxAt(src, dst int32, t time.Time) ([]int32, bool) {
-	o.queries++
+	o.queries.Add(1)
 	ep := o.TL.EpochAt(t)
 	return o.TreeAt(dst, ep).Path(src, dst)
 }
@@ -87,7 +115,9 @@ func (o *Oracle) ToASNs(idxPath []int32) []topology.ASN {
 }
 
 // Stats reports cache behaviour: total path queries and trees computed.
-func (o *Oracle) Stats() (queries, treeComputes int) { return o.queries, o.computes }
+func (o *Oracle) Stats() (queries, treeComputes int) {
+	return int(o.queries.Load()), int(o.computes.Load())
+}
 
 // lruCache is a minimal LRU for routing trees.
 type lruCache struct {

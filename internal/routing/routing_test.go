@@ -1,6 +1,7 @@
 package routing
 
 import (
+	"sync"
 	"testing"
 	"time"
 
@@ -400,5 +401,65 @@ func BenchmarkOraclePathAt(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		o.PathAt(src, dst, start.Add(time.Duration(i%8760)*time.Hour))
+	}
+}
+
+// TestOracleConcurrentQueries hammers one oracle from many goroutines —
+// the -race canary for the sharded measurement engine — and checks the
+// answers match a fresh serial oracle, with misses coalesced so each
+// (dst, epoch) tree is computed once despite the contention.
+func TestOracleConcurrentQueries(t *testing.T) {
+	g := graph(t, 21, 150)
+	start := time.Date(2016, 5, 1, 0, 0, 0, 0, time.UTC)
+	tl, err := GenTimeline(g, TimelineConfig{Seed: 9, Start: start, End: start.AddDate(0, 1, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := NewOracle(g, tl, 512)
+	serial := NewOracle(g, tl, 512)
+
+	type query struct {
+		src, dst int32
+		at       time.Time
+	}
+	var queries []query
+	for i := 0; i < 200; i++ {
+		queries = append(queries, query{
+			src: int32(i % 40), dst: int32(90 + i%8),
+			at: start.Add(time.Duration(i) * 3 * time.Hour),
+		})
+	}
+	want := make([][]int32, len(queries))
+	for i, q := range queries {
+		want[i], _ = serial.PathIdxAt(q.src, q.dst, q.at)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i, q := range queries {
+				got, _ := shared.PathIdxAt(q.src, q.dst, q.at)
+				if len(got) != len(want[i]) {
+					t.Errorf("query %d: concurrent path differs from serial", i)
+					return
+				}
+				for j := range got {
+					if got[j] != want[i][j] {
+						t.Errorf("query %d: concurrent path differs at hop %d", i, j)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	_, concurrentComputes := shared.Stats()
+	_, serialComputes := serial.Stats()
+	if concurrentComputes != serialComputes {
+		t.Errorf("concurrent oracle computed %d trees, serial %d — misses not coalesced",
+			concurrentComputes, serialComputes)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -45,6 +46,11 @@ func ParseDIMACS(r io.Reader) (*CNF, error) {
 				cnf.AddClause(pending...)
 				pending = pending[:0]
 				continue
+			}
+			// Lit is an int32; a wider value would silently truncate (and a
+			// multiple of 2^32 would truncate to the forbidden zero literal).
+			if n > math.MaxInt32 || n < -math.MaxInt32 {
+				return nil, fmt.Errorf("sat: line %d: literal %q out of range", lineNo, tok)
 			}
 			pending = append(pending, Lit(int32(n)))
 		}

@@ -1,0 +1,61 @@
+package sat
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParseDIMACS asserts that no input — however malformed — panics the
+// parser, and that anything it accepts survives a write/re-parse round
+// trip. The checked-in corpus under testdata/fuzz/FuzzParseDIMACS seeds the
+// interesting shapes: missing problem lines, missing trailing zeros,
+// comments, overlong literals, and clause-count mismatches.
+func FuzzParseDIMACS(f *testing.F) {
+	seeds := []string{
+		"",
+		"c a comment only\n",
+		"p cnf 3 2\n1 -2 0\n2 3 0\n",
+		"p cnf 3 2\n1 -2 0\n2 3", // missing trailing 0, tolerated
+		"1 2 0\n-1 0\n",          // no problem line
+		"p cnf\n",                // short problem line
+		"p cnf 2 1\n1 x 0\n",     // bad literal token
+		"p cnf 1 5\n1 0\n",       // clause-count mismatch
+		"p cnf -1 -1\n",          // negative counts
+		"4294967296 0\n",         // literal that truncates to the zero Lit
+		"2147483647 -2147483647 0\n",
+		"9223372036854775808 0\n", // overflows int64 entirely
+		"c\np cnf 2 2\n\n \n1 2 0\n-1 -2 0\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cnf, err := ParseDIMACS(bytes.NewReader(data))
+		if err != nil {
+			return // rejected inputs just must not panic
+		}
+		var buf bytes.Buffer
+		if err := WriteDIMACS(&buf, cnf); err != nil {
+			t.Fatalf("WriteDIMACS on accepted input: %v", err)
+		}
+		again, err := ParseDIMACS(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("round-trip re-parse failed: %v\ninput: %q\nwritten: %q", err, data, buf.Bytes())
+		}
+		if again.NumVars != cnf.NumVars || len(again.Clauses) != len(cnf.Clauses) {
+			t.Fatalf("round trip changed shape: %d vars/%d clauses -> %d/%d",
+				cnf.NumVars, len(cnf.Clauses), again.NumVars, len(again.Clauses))
+		}
+		for i := range cnf.Clauses {
+			a, b := cnf.Clauses[i], again.Clauses[i]
+			if len(a) != len(b) {
+				t.Fatalf("round trip changed clause %d length", i)
+			}
+			for j := range a {
+				if a[j] != b[j] {
+					t.Fatalf("round trip changed clause %d literal %d", i, j)
+				}
+			}
+		}
+	})
+}

@@ -14,10 +14,10 @@ package tomo
 import (
 	"runtime"
 	"sort"
-	"sync"
 
 	"churntomo/internal/anomaly"
 	"churntomo/internal/iclab"
+	"churntomo/internal/parallel"
 	"churntomo/internal/sat"
 	"churntomo/internal/timeslice"
 	"churntomo/internal/topology"
@@ -63,6 +63,10 @@ type BuildConfig struct {
 	Granularities []timeslice.Granularity
 	// Kinds to build; nil = all five anomaly kinds.
 	Kinds []anomaly.Kind
+	// Workers bounds the parallelism of clause grouping, materialization
+	// and (in BuildAndSolve) solving. 0 uses GOMAXPROCS, 1 forces serial
+	// execution. The result is identical at any setting.
+	Workers int
 	// KeepNegativeOnly also materializes CNFs whose slice saw no anomaly at
 	// all. Such CNFs are trivially unique (the all-False model) and carry
 	// no localization signal, so by default only slices with at least one
@@ -97,11 +101,10 @@ type builderGroup struct {
 	n   int
 }
 
-// Build constructs CNF instances from measurement records, applying the
-// paper's record-elimination rules (already reflected in Record.Fail) and
-// its time/URL/anomaly splitting. The result is sorted deterministically.
-func Build(records []iclab.Record, cfg BuildConfig) []*Instance {
-	cfg.fillDefaults()
+// groupChunk folds one contiguous slice of records into per-key builder
+// groups, applying the paper's record-elimination rules (already reflected
+// in Record.Fail) and its time/URL/anomaly splitting.
+func groupChunk(records []iclab.Record, cfg *BuildConfig) map[Key]*builderGroup {
 	groups := map[Key]*builderGroup{}
 	for i := range records {
 		r := &records[i]
@@ -126,28 +129,122 @@ func Build(records []iclab.Record, cfg BuildConfig) []*Instance {
 			}
 		}
 	}
+	return groups
+}
 
-	out := make([]*Instance, 0, len(groups))
+// mergeGroups folds src into dst. Grouping is a commutative fold (distinct
+// path sets union, measurement counts add), so merging record chunks in any
+// order reconstructs exactly the serial grouping.
+func mergeGroups(dst, src map[Key]*builderGroup) {
+	for key, g := range src {
+		d := dst[key]
+		if d == nil {
+			dst[key] = g
+			continue
+		}
+		d.n += g.n
+		for pk, p := range g.pos {
+			d.pos[pk] = p
+		}
+		for pk, p := range g.neg {
+			d.neg[pk] = p
+		}
+	}
+}
+
+// buildGroups shards the records across cfg.Workers, groups each shard
+// independently, and merges the shard maps.
+func buildGroups(records []iclab.Record, cfg *BuildConfig) map[Key]*builderGroup {
+	// Grouping a chunk is cheap; below this size the fan-out costs more
+	// than it saves.
+	const minChunk = 2048
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if max := (len(records) + minChunk - 1) / minChunk; workers > max {
+		workers = max
+	}
+	if workers <= 1 {
+		return groupChunk(records, cfg)
+	}
+	parts := make([]map[Key]*builderGroup, workers)
+	chunk := (len(records) + workers - 1) / workers
+	parallel.ForEach(workers, workers, func(w int) {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(records) {
+			hi = len(records)
+		}
+		parts[w] = groupChunk(records[lo:hi], cfg)
+	})
+	groups := parts[0]
+	for _, part := range parts[1:] {
+		mergeGroups(groups, part)
+	}
+	return groups
+}
+
+// keyLess is the deterministic instance order: URL, granularity, slice
+// index, anomaly kind.
+func keyLess(a, b Key) bool {
+	if a.URL != b.URL {
+		return a.URL < b.URL
+	}
+	if a.Slice.Gran != b.Slice.Gran {
+		return a.Slice.Gran < b.Slice.Gran
+	}
+	if a.Slice.Index != b.Slice.Index {
+		return a.Slice.Index < b.Slice.Index
+	}
+	return a.Kind < b.Kind
+}
+
+// solvableKeys lists the groups that become CNFs, in keyLess order.
+func solvableKeys(groups map[Key]*builderGroup, cfg *BuildConfig) []Key {
+	keys := make([]Key, 0, len(groups))
 	for key, grp := range groups {
 		if len(grp.pos) == 0 && !cfg.KeepNegativeOnly {
 			continue
 		}
-		out = append(out, materialize(key, grp))
+		keys = append(keys, key)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i].Key, out[j].Key
-		if a.URL != b.URL {
-			return a.URL < b.URL
-		}
-		if a.Slice.Gran != b.Slice.Gran {
-			return a.Slice.Gran < b.Slice.Gran
-		}
-		if a.Slice.Index != b.Slice.Index {
-			return a.Slice.Index < b.Slice.Index
-		}
-		return a.Kind < b.Kind
+	sort.Slice(keys, func(i, j int) bool { return keyLess(keys[i], keys[j]) })
+	return keys
+}
+
+// Build constructs CNF instances from measurement records. Grouping and
+// materialization are sharded across cfg.Workers; the result is sorted
+// deterministically and identical at any worker count.
+func Build(records []iclab.Record, cfg BuildConfig) []*Instance {
+	cfg.fillDefaults()
+	groups := buildGroups(records, &cfg)
+	keys := solvableKeys(groups, &cfg)
+	out := make([]*Instance, len(keys))
+	parallel.ForEach(cfg.Workers, len(keys), func(i int) {
+		out[i] = materialize(keys[i], groups[keys[i]])
 	})
 	return out
+}
+
+// BuildAndSolve constructs and solves the CNFs in one streaming pass: the
+// worker that materializes an instance solves it immediately, so solving
+// starts as soon as the first CNF exists instead of waiting behind a global
+// build barrier. Instances and outcomes are returned in the same order
+// Build followed by SolveAll would produce, with outcome i belonging to
+// instance i.
+func BuildAndSolve(records []iclab.Record, cfg BuildConfig) ([]*Instance, []Outcome) {
+	cfg.fillDefaults()
+	groups := buildGroups(records, &cfg)
+	keys := solvableKeys(groups, &cfg)
+	insts := make([]*Instance, len(keys))
+	outs := make([]Outcome, len(keys))
+	parallel.ForEach(cfg.Workers, len(keys), func(i int) {
+		in := materialize(keys[i], groups[keys[i]])
+		insts[i] = in
+		outs[i] = Solve(in)
+	})
+	return insts, outs
 }
 
 // materialize turns accumulated paths into a CNF. Duplicate clauses are
@@ -255,31 +352,13 @@ func Solve(in *Instance) Outcome {
 }
 
 // SolveAll solves every instance concurrently, preserving input order.
+// Callers that also build the instances should prefer BuildAndSolve, which
+// streams solving into construction.
 func SolveAll(insts []*Instance) []Outcome {
 	out := make([]Outcome, len(insts))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(insts) {
-		workers = len(insts)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				out[i] = Solve(insts[i])
-			}
-		}()
-	}
-	for i := range insts {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
+	parallel.ForEach(0, len(insts), func(i int) {
+		out[i] = Solve(insts[i])
+	})
 	return out
 }
 

@@ -1,6 +1,9 @@
 package tomo
 
 import (
+	"fmt"
+	"reflect"
+	"sync"
 	"testing"
 	"time"
 
@@ -247,5 +250,126 @@ func TestBuildDeterministicOrder(t *testing.T) {
 	// Sorted: a.com before b.com.
 	if a[0].Key.URL != "a.com" {
 		t.Errorf("first instance %v, want a.com", a[0].Key)
+	}
+}
+
+// syntheticRecords builds a varied record stream: several vantages, URLs,
+// days and paths, with anomalies sprinkled deterministically.
+func syntheticRecords(n int) []iclab.Record {
+	paths := [][]topology.ASN{
+		{1, 2, 3}, {1, 4, 3}, {5, 2, 3}, {5, 6}, {1, 2, 7, 3}, {8, 4, 3},
+	}
+	urls := []string{"a.com", "b.com", "c.com", "d.com"}
+	var records []iclab.Record
+	for i := 0; i < n; i++ {
+		var k anomaly.Set
+		switch {
+		case i%11 == 0:
+			k = anomaly.MakeSet(anomaly.DNS)
+		case i%13 == 0:
+			k = anomaly.MakeSet(anomaly.RST, anomaly.TTL)
+		}
+		r := rec(topology.ASN(i%5+1), urls[i%len(urls)],
+			t0.AddDate(0, 0, i%23).Add(time.Duration(i%19)*time.Hour),
+			paths[i%len(paths)], k)
+		if i%29 == 0 {
+			r.Fail = traceroute.ErrDisagree
+			r.ASPath = nil
+		}
+		records = append(records, r)
+	}
+	return records
+}
+
+func sameInstances(t *testing.T, label string, a, b []*Instance) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: %d instances vs %d", label, len(a), len(b))
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		if x.Key != y.Key || x.Measurements != y.Measurements ||
+			!reflect.DeepEqual(x.Vars, y.Vars) ||
+			!reflect.DeepEqual(x.CNF.Clauses, y.CNF.Clauses) ||
+			!reflect.DeepEqual(x.PositivePaths, y.PositivePaths) ||
+			!reflect.DeepEqual(x.NegativePaths, y.NegativePaths) {
+			t.Fatalf("%s: instance %d (%+v) differs", label, i, x.Key)
+		}
+	}
+}
+
+func sameOutcomes(t *testing.T, label string, a, b []Outcome) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: %d outcomes vs %d", label, len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Class != b[i].Class || a[i].Eliminated != b[i].Eliminated ||
+			a[i].TotalVars != b[i].TotalVars ||
+			!reflect.DeepEqual(a[i].Censors, b[i].Censors) ||
+			!reflect.DeepEqual(a[i].Potential, b[i].Potential) {
+			t.Fatalf("%s: outcome %d differs", label, i)
+		}
+	}
+}
+
+// TestBuildParallelMatchesSerial locks down the sharded grouping: any
+// worker count must reproduce the serial result exactly.
+func TestBuildParallelMatchesSerial(t *testing.T) {
+	records := syntheticRecords(6000)
+	serialCfg := BuildConfig{Workers: 1}
+	serial := Build(records, serialCfg)
+	if len(serial) == 0 {
+		t.Fatal("no instances built; test vacuous")
+	}
+	for _, workers := range []int{2, 3, 8, 64} {
+		par := Build(records, BuildConfig{Workers: workers})
+		sameInstances(t, fmt.Sprintf("workers=%d", workers), serial, par)
+	}
+}
+
+// TestBuildAndSolveMatchesBuildThenSolveAll proves the streaming path is a
+// pure re-pipelining: same instances, same outcomes, same order.
+func TestBuildAndSolveMatchesBuildThenSolveAll(t *testing.T) {
+	records := syntheticRecords(6000)
+	insts := Build(records, BuildConfig{Workers: 1})
+	outs := SolveAll(insts)
+	for _, workers := range []int{1, 4} {
+		gotInsts, gotOuts := BuildAndSolve(records, BuildConfig{Workers: workers})
+		sameInstances(t, fmt.Sprintf("streaming workers=%d", workers), insts, gotInsts)
+		sameOutcomes(t, fmt.Sprintf("streaming workers=%d", workers), outs, gotOuts)
+	}
+}
+
+// TestConcurrentBuildAndSolve runs several Build+SolveAll pipelines over
+// the same shared record slice at once — the -race canary for the engine's
+// claim that records, groups and instances are never mutated concurrently.
+func TestConcurrentBuildAndSolve(t *testing.T) {
+	records := syntheticRecords(4000)
+	want, wantOuts := BuildAndSolve(records, BuildConfig{Workers: 1})
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			insts := Build(records, BuildConfig{Workers: 4})
+			outs := SolveAll(insts)
+			if len(insts) != len(want) || len(outs) != len(wantOuts) {
+				errs <- fmt.Sprintf("goroutine %d: size mismatch", g)
+				return
+			}
+			for i := range outs {
+				if outs[i].Class != wantOuts[i].Class {
+					errs <- fmt.Sprintf("goroutine %d: outcome %d class differs", g, i)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
 	}
 }

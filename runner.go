@@ -1,0 +1,189 @@
+package churntomo
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"churntomo/internal/anomaly"
+	"churntomo/internal/parallel"
+	"churntomo/internal/sat"
+	"churntomo/internal/topology"
+)
+
+// Runner executes a matrix of Configs — seed sweeps, scale sweeps, ablation
+// grids — with whole pipelines running concurrently, and feeds the results
+// to AggregateMatrix. Each cell is an independent deterministic pipeline,
+// so a matrix run is reproducible cell-by-cell regardless of scheduling.
+type Runner struct {
+	// Workers is how many pipelines run at once; 0 uses GOMAXPROCS.
+	// Stage-level parallelism inside each pipeline still follows that
+	// cell's Config.Workers, so for wide matrices it usually pays to set
+	// Config.Workers to 1 and let the matrix supply the concurrency.
+	Workers int
+	// Progress, when non-nil, receives one line per completed cell.
+	Progress io.Writer
+}
+
+// MatrixResult is one matrix cell's outcome.
+type MatrixResult struct {
+	Index    int
+	Config   Config
+	Pipeline *Pipeline
+	Err      error
+}
+
+// RunMatrix runs every config and returns results in input order. A failed
+// cell carries its error instead of aborting the sweep.
+func (r *Runner) RunMatrix(cfgs []Config) []MatrixResult {
+	results := make([]MatrixResult, len(cfgs))
+	var mu sync.Mutex // serializes Progress writes
+	runCell := func(i int) {
+		cfg := cfgs[i]
+		// Per-stage progress from concurrent pipelines would interleave;
+		// the runner reports per cell instead.
+		cfg.Progress = nil
+		p, err := Run(cfg)
+		results[i] = MatrixResult{Index: i, Config: cfg, Pipeline: p, Err: err}
+		if r.Progress != nil {
+			mu.Lock()
+			if err != nil {
+				fmt.Fprintf(r.Progress, "matrix cell %d (seed %d): %v\n", i, cfg.Seed, err)
+			} else {
+				fmt.Fprintf(r.Progress, "matrix cell %d (seed %d): %d censors, %d CNFs\n",
+					i, cfg.Seed, len(p.Identified), len(p.Outcomes))
+			}
+			mu.Unlock()
+		}
+	}
+	parallel.ForEach(r.Workers, len(cfgs), runCell)
+	return results
+}
+
+// SeedSweep derives n configs from base with consecutive seeds starting at
+// base.Seed — the standard way to measure how stable an identification is
+// under substrate resampling.
+func SeedSweep(base Config, n int) []Config {
+	base.fillDefaults()
+	out := make([]Config, n)
+	for i := range out {
+		out[i] = base
+		out[i].Seed = base.Seed + uint64(i)
+	}
+	return out
+}
+
+// ScaleSweep derives one config per factor, scaling the platform dimensions
+// (vantages, URLs, days) of base while keeping its seed and topology fixed
+// — a fleet-growth ablation. Factors below the minimum viable platform are
+// clamped to 2 vantages/URLs and 1 day.
+func ScaleSweep(base Config, factors []float64) []Config {
+	base.fillDefaults()
+	scale := func(n int, f float64, min int) int {
+		v := int(float64(n) * f)
+		if v < min {
+			v = min
+		}
+		return v
+	}
+	out := make([]Config, len(factors))
+	for i, f := range factors {
+		out[i] = base
+		out[i].Vantages = scale(base.Vantages, f, 2)
+		out[i].URLs = scale(base.URLs, f, 2)
+		out[i].Days = scale(base.Days, f, 1)
+	}
+	return out
+}
+
+// AggregatedCensor is one AS's identification record across a matrix.
+type AggregatedCensor struct {
+	ASN topology.ASN
+	// Runs is how many successful cells identified the AS.
+	Runs int
+	// CNFs is the total number of corroborating unique-solution CNFs
+	// across those cells.
+	CNFs int
+	// Kinds unions the anomaly kinds the AS was identified for.
+	Kinds anomaly.Set
+}
+
+// MatrixAggregate fuses a matrix's per-cell results.
+type MatrixAggregate struct {
+	Runs   int // successful cells
+	Failed int
+	// Censors maps each AS identified by at least one cell to its record.
+	Censors map[topology.ASN]*AggregatedCensor
+	// UniqueCNFs and TotalCNFs count unique-solution and all CNFs across
+	// cells.
+	UniqueCNFs, TotalCNFs int
+	// LeakASes and LeakCountries sum the per-cell leakage summaries
+	// (censors leaking to other ASes / to other countries).
+	LeakASes, LeakCountries int
+}
+
+// AggregateMatrix folds matrix results into one summary. Failed cells are
+// counted and otherwise skipped.
+func AggregateMatrix(results []MatrixResult) *MatrixAggregate {
+	agg := &MatrixAggregate{Censors: map[topology.ASN]*AggregatedCensor{}}
+	for _, res := range results {
+		if res.Err != nil || res.Pipeline == nil {
+			agg.Failed++
+			continue
+		}
+		agg.Runs++
+		p := res.Pipeline
+		agg.TotalCNFs += len(p.Outcomes)
+		for _, o := range p.Outcomes {
+			if o.Class == sat.Unique {
+				agg.UniqueCNFs++
+			}
+		}
+		for asn, c := range p.Identified {
+			a := agg.Censors[asn]
+			if a == nil {
+				a = &AggregatedCensor{ASN: asn}
+				agg.Censors[asn] = a
+			}
+			a.Runs++
+			a.CNFs += c.CNFs
+			a.Kinds |= c.Kinds
+		}
+		agg.LeakASes += p.Leakage.LeakToOtherASes()
+		agg.LeakCountries += p.Leakage.LeakToOtherCountries()
+	}
+	return agg
+}
+
+// StableCensors lists the ASes identified by every successful cell,
+// ascending — the identifications that survive substrate resampling.
+func (a *MatrixAggregate) StableCensors() []topology.ASN {
+	var out []topology.ASN
+	for asn, c := range a.Censors {
+		if a.Runs > 0 && c.Runs == a.Runs {
+			out = append(out, asn)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// RankedCensors lists all aggregated censors, most-corroborated first
+// (by identifying runs, then total CNFs, then ASN).
+func (a *MatrixAggregate) RankedCensors() []*AggregatedCensor {
+	out := make([]*AggregatedCensor, 0, len(a.Censors))
+	for _, c := range a.Censors {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Runs != out[j].Runs {
+			return out[i].Runs > out[j].Runs
+		}
+		if out[i].CNFs != out[j].CNFs {
+			return out[i].CNFs > out[j].CNFs
+		}
+		return out[i].ASN < out[j].ASN
+	})
+	return out
+}

@@ -1,0 +1,167 @@
+package churntomo
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"churntomo/internal/topology"
+)
+
+// matrixConfig is a deliberately tiny pipeline so a whole matrix stays
+// test-budget fast.
+func matrixConfig() Config {
+	cfg := SmallConfig()
+	cfg.Days = 8
+	cfg.Vantages = 8
+	cfg.URLs = 10
+	cfg.URLsPerDay = 4
+	return cfg
+}
+
+func TestSeedSweep(t *testing.T) {
+	base := matrixConfig()
+	base.Seed = 40
+	cfgs := SeedSweep(base, 4)
+	if len(cfgs) != 4 {
+		t.Fatalf("got %d configs", len(cfgs))
+	}
+	for i, cfg := range cfgs {
+		if cfg.Seed != 40+uint64(i) {
+			t.Errorf("config %d seed %d", i, cfg.Seed)
+		}
+		if cfg.Vantages != base.Vantages || cfg.Days != base.Days {
+			t.Errorf("config %d lost base dimensions", i)
+		}
+	}
+}
+
+func TestScaleSweep(t *testing.T) {
+	base := matrixConfig()
+	cfgs := ScaleSweep(base, []float64{0.5, 1, 2})
+	if len(cfgs) != 3 {
+		t.Fatalf("got %d configs", len(cfgs))
+	}
+	if cfgs[0].Vantages != base.Vantages/2 || cfgs[2].Vantages != base.Vantages*2 {
+		t.Errorf("vantage scaling wrong: %d, %d", cfgs[0].Vantages, cfgs[2].Vantages)
+	}
+	if cfgs[1].URLs != base.URLs || cfgs[1].Days != base.Days {
+		t.Errorf("unit factor changed dimensions")
+	}
+	tiny := ScaleSweep(base, []float64{0.0001})
+	if tiny[0].Vantages < 2 || tiny[0].URLs < 2 || tiny[0].Days < 1 {
+		t.Errorf("scale floor not applied: %+v", tiny[0])
+	}
+	for _, cfg := range cfgs {
+		if cfg.Seed != base.Seed {
+			t.Errorf("scale sweep changed the seed")
+		}
+	}
+}
+
+func TestRunMatrixAggregates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix of pipelines in -short mode")
+	}
+	var progress bytes.Buffer
+	r := &Runner{Workers: 3, Progress: &progress}
+	results := r.RunMatrix(SeedSweep(matrixConfig(), 3))
+	if len(results) != 3 {
+		t.Fatalf("got %d results", len(results))
+	}
+	for i, res := range results {
+		if res.Index != i {
+			t.Errorf("result %d has index %d", i, res.Index)
+		}
+		if res.Err != nil {
+			t.Fatalf("cell %d failed: %v", i, res.Err)
+		}
+		if res.Pipeline == nil || len(res.Pipeline.Outcomes) == 0 {
+			t.Fatalf("cell %d produced no outcomes", i)
+		}
+	}
+	if got := strings.Count(progress.String(), "matrix cell"); got != 3 {
+		t.Errorf("progress reported %d cells, want 3:\n%s", got, progress.String())
+	}
+
+	agg := AggregateMatrix(results)
+	if agg.Runs != 3 || agg.Failed != 0 {
+		t.Fatalf("aggregate runs=%d failed=%d", agg.Runs, agg.Failed)
+	}
+	wantCNFs := 0
+	for _, res := range results {
+		wantCNFs += len(res.Pipeline.Outcomes)
+	}
+	if agg.TotalCNFs != wantCNFs {
+		t.Errorf("TotalCNFs %d, want %d", agg.TotalCNFs, wantCNFs)
+	}
+	if agg.UniqueCNFs == 0 || agg.UniqueCNFs > agg.TotalCNFs {
+		t.Errorf("UniqueCNFs %d implausible (total %d)", agg.UniqueCNFs, agg.TotalCNFs)
+	}
+	perRun := map[topology.ASN]int{}
+	for _, res := range results {
+		for asn := range res.Pipeline.Identified {
+			perRun[asn]++
+		}
+	}
+	if !reflect.DeepEqual(censusRuns(agg), perRun) {
+		t.Errorf("aggregated censor runs %v disagree with per-cell union %v", censusRuns(agg), perRun)
+	}
+	for _, asn := range agg.StableCensors() {
+		if agg.Censors[asn].Runs != agg.Runs {
+			t.Errorf("stable censor %v seen in only %d/%d runs", asn, agg.Censors[asn].Runs, agg.Runs)
+		}
+	}
+	ranked := agg.RankedCensors()
+	if len(ranked) != len(agg.Censors) {
+		t.Fatalf("ranked %d censors of %d", len(ranked), len(agg.Censors))
+	}
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i].Runs > ranked[i-1].Runs {
+			t.Errorf("ranking not descending at %d", i)
+		}
+	}
+}
+
+func censusRuns(a *MatrixAggregate) map[topology.ASN]int {
+	out := map[topology.ASN]int{}
+	for asn, c := range a.Censors {
+		out[asn] = c.Runs
+	}
+	return out
+}
+
+func TestRunMatrixDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix of pipelines in -short mode")
+	}
+	cfgs := SeedSweep(matrixConfig(), 2)
+	a := AggregateMatrix((&Runner{Workers: 2}).RunMatrix(cfgs))
+	b := AggregateMatrix((&Runner{Workers: 1}).RunMatrix(cfgs))
+	if !reflect.DeepEqual(censusRuns(a), censusRuns(b)) {
+		t.Fatalf("matrix aggregate differs across runs:\n%v\n%v", censusRuns(a), censusRuns(b))
+	}
+	if a.LeakASes != b.LeakASes || a.LeakCountries != b.LeakCountries {
+		t.Fatalf("leakage summaries differ: (%d,%d) vs (%d,%d)",
+			a.LeakASes, a.LeakCountries, b.LeakASes, b.LeakCountries)
+	}
+}
+
+func TestRunMatrixSurvivesFailedCell(t *testing.T) {
+	good := matrixConfig()
+	bad := matrixConfig()
+	bad.ASes = 20
+	bad.Vantages = 1000 // impossible: more vantages than stubs
+	results := (&Runner{Workers: 2}).RunMatrix([]Config{bad, good})
+	if results[0].Err == nil {
+		t.Fatal("broken config did not fail")
+	}
+	if results[1].Err != nil {
+		t.Fatalf("good cell failed: %v", results[1].Err)
+	}
+	agg := AggregateMatrix(results)
+	if agg.Runs != 1 || agg.Failed != 1 {
+		t.Fatalf("aggregate runs=%d failed=%d, want 1/1", agg.Runs, agg.Failed)
+	}
+}
