@@ -1,20 +1,27 @@
-# Development and CI entry points. `make ci` is the gate: vet, build, the
-# full test suite under the race detector, and a one-iteration benchmark
+# Development and CI entry points. `make ci` is the gate: build, the full
+# test suite under the race detector, the docs checks (vet + markdown link
+# check + per-package doc.go assertion), and a one-iteration benchmark
 # smoke so the paper-artifact benchmarks can't rot.
 
 GO ?= go
 
-.PHONY: all ci vet build test race bench fuzz clean
+.PHONY: all ci vet build test race bench docs fuzz clean
 
 all: ci
 
-ci: vet build race bench
+ci: build race docs bench
 
 vet:
 	$(GO) vet ./...
 
 build:
 	$(GO) build ./...
+
+# Documentation gate: every *.md relative link resolves, every internal
+# package documents itself in doc.go, and vet is clean.
+docs: vet
+	sh scripts/check-links.sh
+	sh scripts/check-docs.sh
 
 test:
 	$(GO) test ./...

@@ -23,6 +23,7 @@ import (
 	"churntomo/internal/report"
 	"churntomo/internal/routing"
 	"churntomo/internal/sat"
+	"churntomo/internal/stream"
 	"churntomo/internal/tomo"
 )
 
@@ -283,6 +284,69 @@ func BenchmarkEngine_BuildSolveStreaming(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tomo.BuildAndSolve(p.Dataset.Records, tomo.BuildConfig{})
+	}
+}
+
+// --- Streaming: incremental windowed solve vs full rebuild per window ---
+
+var (
+	benchShardsOnce sync.Once
+	benchShards     [][]iclab.Record
+)
+
+// benchDayShards reproduces the shared pipeline's measurement schedule
+// sharded by day — the input shape of the streaming engine.
+func benchDayShards(b *testing.B) [][]iclab.Record {
+	p := benchPipeline(b)
+	benchShardsOnce.Do(func() {
+		benchShards = iclab.RunByDay(p.Scenario, p.Config.platformConfig())
+	})
+	return benchShards
+}
+
+const benchWindowDays = 30
+
+// BenchmarkStream_WindowedIncremental replays a 30-day sliding window over
+// the 90-day scenario through the incremental engine: each window re-solves
+// only the CNFs its day boundary touched.
+func BenchmarkStream_WindowedIncremental(b *testing.B) {
+	shards := benchDayShards(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := stream.NewEngine(stream.Config{Window: benchWindowDays, Build: tomo.BuildConfig{Workers: 1}})
+		windows, solved, reused := 0, 0, 0
+		for _, day := range shards {
+			if w := eng.Push(day); w != nil {
+				windows++
+				solved += w.Solved
+				reused += w.Reused
+			}
+		}
+		if i == 0 {
+			b.Logf("%d windows: %d CNF solves, %d cache reuses", windows, solved, reused)
+		}
+	}
+}
+
+// BenchmarkStream_WindowedRebuild is the baseline the incremental engine
+// must beat: the same window sequence, each solved from scratch by the
+// batch builder over the window's records.
+func BenchmarkStream_WindowedRebuild(b *testing.B) {
+	shards := benchDayShards(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		solved := 0
+		for end := benchWindowDays - 1; end < len(shards); end++ {
+			var flat []iclab.Record
+			for _, day := range shards[end-benchWindowDays+1 : end+1] {
+				flat = append(flat, day...)
+			}
+			_, outs := tomo.BuildAndSolve(flat, tomo.BuildConfig{Workers: 1})
+			solved += len(outs)
+		}
+		if i == 0 {
+			b.Logf("%d CNF solves across rebuilds", solved)
+		}
 	}
 }
 

@@ -216,17 +216,25 @@ func Prepare(cfg Config) (*Pipeline, error) {
 	return p, nil
 }
 
+// platformConfig derives the measurement platform's configuration. Every
+// execution mode (batch Measure, streaming StreamSweep, benchmarks) must
+// measure through this one derivation — the replay-equals-batch guarantee
+// rests on them agreeing on the seed offset and schedule knobs.
+func (c *Config) platformConfig() iclab.PlatformConfig {
+	return iclab.PlatformConfig{
+		Seed:          c.Seed + 5,
+		Workers:       c.Workers,
+		URLsPerDay:    c.URLsPerDay,
+		RepeatsPerDay: c.RepeatsPerDay,
+	}
+}
+
 // Measure runs the measurement platform, populating Dataset.
 func (p *Pipeline) Measure() {
 	if p.Config.Progress != nil {
 		fmt.Fprintln(p.Config.Progress, "running measurement platform")
 	}
-	p.Dataset = iclab.Run(p.Scenario, iclab.PlatformConfig{
-		Seed:          p.Config.Seed + 5,
-		Workers:       p.Config.Workers,
-		URLsPerDay:    p.Config.URLsPerDay,
-		RepeatsPerDay: p.Config.RepeatsPerDay,
-	})
+	p.Dataset = iclab.Run(p.Scenario, p.Config.platformConfig())
 }
 
 // Localize builds and solves the tomography CNFs and derives censors and

@@ -4,13 +4,21 @@
 // Usage:
 //
 //	churnlab [-scale small|default|paper] [-seed N] [-only table1,figure3,...] [-validate]
-//	         [-parallel N] [-matrix N]
+//	         [-parallel N] [-matrix N] [-stream] [-window D] [-stride D]
 //
 // -parallel bounds the per-stage worker pools (0 = all cores, 1 = serial);
 // results are identical at any setting. -matrix N runs a seed sweep of N
 // whole pipelines concurrently and prints the aggregated identifications
 // instead of the single-run evaluation; -only and -validate apply to single
 // runs only and are ignored in matrix mode.
+//
+// -stream replays the scenario day by day through the streaming localizer
+// and prints a per-window timeline plus per-censor convergence stats
+// instead of the single-run evaluation. -window D localizes over the D most
+// recent days (0 = cumulative: the window only grows, and the final window
+// equals the batch result); -stride D advances the window D days between
+// localizations. Only the CNFs each day boundary touches are re-solved;
+// the timeline reports the solved/reused split per window.
 //
 // With no -only filter it prints the complete evaluation: Table 1 (dataset
 // characteristics), Figures 1a/1b (CNF solvability), Figure 2 (candidate
@@ -32,6 +40,7 @@ import (
 	"churntomo/internal/leakage"
 	"churntomo/internal/report"
 	"churntomo/internal/sat"
+	"churntomo/internal/tomo"
 	"churntomo/internal/topology"
 	"churntomo/internal/webcat"
 )
@@ -44,6 +53,9 @@ func main() {
 	quiet := flag.Bool("quiet", false, "suppress progress output")
 	parallel := flag.Int("parallel", 0, "per-stage worker count (0 = all cores, 1 = serial); output is identical either way")
 	matrix := flag.Int("matrix", 1, "run a seed sweep of N concurrent pipelines and print the aggregate")
+	streamMode := flag.Bool("stream", false, "replay the scenario day by day and print the window timeline")
+	window := flag.Int("window", 0, "streaming window width in days (0 = cumulative)")
+	stride := flag.Int("stride", 1, "days the streaming window advances between localizations")
 	flag.Parse()
 
 	cfg := churntomo.DefaultConfig()
@@ -63,11 +75,35 @@ func main() {
 		cfg.Progress = os.Stderr
 	}
 
-	if *matrix > 1 {
+	if *streamMode && *matrix > 1 {
+		fmt.Fprintln(os.Stderr, "churnlab: -stream and -matrix are mutually exclusive")
+		os.Exit(2)
+	}
+	if !*streamMode && (*window != 0 || *stride != 1) {
+		fmt.Fprintln(os.Stderr, "churnlab: -window/-stride require -stream")
+		os.Exit(2)
+	}
+	// -only/-validate apply to single batch runs; warn when they are
+	// explicitly set alongside a mode that ignores them (-validate defaults
+	// to true, so only a user-supplied value warrants the notice).
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	warnIgnored := func(mode string) {
 		if *only != "" {
-			fmt.Fprintln(os.Stderr, "churnlab: -only applies to single runs; ignored in matrix mode")
+			fmt.Fprintf(os.Stderr, "churnlab: -only applies to single runs; ignored in %s mode\n", mode)
 		}
+		if explicit["validate"] {
+			fmt.Fprintf(os.Stderr, "churnlab: -validate applies to single runs; ignored in %s mode\n", mode)
+		}
+	}
+	if *matrix > 1 {
+		warnIgnored("matrix")
 		runMatrix(cfg, *matrix, *quiet)
+		return
+	}
+	if *streamMode {
+		warnIgnored("stream")
+		runStream(cfg, churntomo.StreamConfig{Window: *window, Stride: *stride}, *quiet)
 		return
 	}
 
@@ -197,6 +233,89 @@ func runMatrix(base churntomo.Config, n int, quiet bool) {
 	if agg.Failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// runStream replays the scenario through the streaming localizer and prints
+// the window timeline and the per-censor convergence report.
+func runStream(cfg churntomo.Config, sc churntomo.StreamConfig, quiet bool) {
+	r := &churntomo.Runner{}
+	if !quiet {
+		r.Progress = os.Stderr
+	}
+	run, err := r.StreamSweep(cfg, sc)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "churnlab: %v\n", err)
+		os.Exit(1)
+	}
+	if len(run.Windows) == 0 {
+		fmt.Fprintf(os.Stderr, "churnlab: %d days never filled a %d-day window\n", cfg.Days, sc.Window)
+		os.Exit(1)
+	}
+
+	mode := fmt.Sprintf("%d-day sliding", sc.Window)
+	if sc.Window == 0 {
+		mode = "cumulative"
+	}
+	fmt.Printf("== Streaming timeline: %s window, stride %d, %d windows over %d days ==\n",
+		mode, max(sc.Stride, 1), len(run.Windows), cfg.Days)
+	rows := [][]string{}
+	var prev map[topology.ASN]*tomo.IdentifiedCensor
+	for _, w := range run.Windows {
+		var gained, lost []string
+		for asn := range w.Identified {
+			if _, ok := prev[asn]; !ok {
+				gained = append(gained, asn.String())
+			}
+		}
+		for asn := range prev {
+			if _, ok := w.Identified[asn]; !ok {
+				lost = append(lost, asn.String())
+			}
+		}
+		sort.Strings(gained)
+		sort.Strings(lost)
+		delta := strings.Join(gained, " ")
+		if len(lost) > 0 {
+			delta += " -" + strings.Join(lost, " -")
+		}
+		rows = append(rows, []string{
+			fmt.Sprint(w.Index),
+			fmt.Sprintf("%d..%d", w.StartDay, w.EndDay),
+			fmt.Sprint(len(w.Outcomes)),
+			fmt.Sprintf("%d/%d", w.Solved, w.Reused),
+			fmt.Sprint(len(w.Identified)),
+			strings.TrimSpace(delta),
+		})
+		prev = w.Identified
+	}
+	fmt.Print(report.Table([]string{"Win", "Days", "CNFs", "Solved/Reused", "Censors", "Δ"}, rows))
+
+	fmt.Println("\n== Censor convergence (windows until identification stabilizes) ==")
+	crows := [][]string{}
+	for _, c := range run.Convergence {
+		stable := "unstable"
+		if c.StableFrom >= 0 {
+			stable = fmt.Sprintf("window %d", c.StableFrom)
+		}
+		crows = append(crows, []string{
+			c.ASN.String(),
+			fmt.Sprint(c.FirstWindow),
+			fmt.Sprintf("%d/%d", c.Windows, len(run.Windows)),
+			stable,
+		})
+	}
+	fmt.Print(report.Table([]string{"AS", "First seen", "Windows", "Stable from"}, crows))
+
+	final := run.Final()
+	solved, reused := 0, 0
+	for _, w := range run.Windows {
+		solved += w.Solved
+		reused += w.Reused
+	}
+	fmt.Printf("\nfinal window [day %d..%d]: %d censors over %d CNFs\n",
+		final.StartDay, final.EndDay, len(final.Identified), len(final.Outcomes))
+	fmt.Printf("incremental work: %d CNF solves, %d cache reuses (%.0f%% avoided)\n",
+		solved, reused, 100*float64(reused)/float64(max(solved+reused, 1)))
 }
 
 func printSolvability(rows []analysis.SolvabilityRow) {

@@ -1,6 +1,3 @@
-// Package analysis assembles the paper's evaluation artifacts — every
-// table and figure in §4 — from solved tomography outcomes, plus the
-// ground-truth validation the original authors could not perform.
 package analysis
 
 import (

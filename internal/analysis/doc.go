@@ -1,0 +1,17 @@
+// Package analysis assembles the paper's evaluation artifacts — every
+// table and figure in §4 — from solved tomography outcomes, plus the
+// ground-truth validation the original authors could not perform.
+//
+// Entry points mirror the paper's exhibits: Figure1a/Figure1b (CNF
+// solvability by granularity and anomaly kind), OverallSolvability,
+// Figure2 (candidate-set reduction CDF), Figure3 (path churn
+// distributions), Figure4 (the no-churn ablation), Table2 (regions with
+// most censoring ASes), Table3 (top leakers), CategoryCensorship and
+// CensorCountries. Validate scores identified censors against the censor
+// registry — possible here because the simulator has ground truth.
+//
+// Invariants: every function is a pure fold over its inputs (no RNG, no
+// clock), so the evaluation of a pipeline is as deterministic as the
+// pipeline itself; Validate is the only function that touches ground
+// truth, and nothing downstream of the tomography feeds back into it.
+package analysis

@@ -1,7 +1,3 @@
-// Package anomaly defines the five censorship anomaly kinds shared across
-// the whole pipeline: the censor injectors that cause them, the detectors
-// that recover them from captures, and the tomography that localizes them
-// (the paper builds one CNF per anomaly kind per URL per time slice).
 package anomaly
 
 import "fmt"

@@ -1,0 +1,16 @@
+// Package anomaly defines the five censorship anomaly kinds shared across
+// the whole pipeline: the censor injectors that cause them, the detectors
+// that recover them from captures, and the tomography that localizes them.
+//
+// Paper correspondence: §2.1 / Table 1. The five kinds (dns, rst, seq,
+// ttl, block) match the paper's Figure 1b legend, and the tomography
+// builds one CNF per anomaly kind per URL per time slice.
+//
+// Entry points: Kind enumerates the classes (Kinds lists them in canonical
+// order); Set is the compact bitset the detectors and censors exchange
+// (MakeSet, Add, Has, Members).
+//
+// Invariants: Kind values are stable and dense (0..NumKinds-1), so arrays
+// indexed by Kind and the Set bitset stay in sync; Set's canonical String
+// order follows Kinds.
+package anomaly

@@ -1,12 +1,3 @@
-// Package blockpage models censor blockpages and their fingerprinting.
-//
-// The detection side mirrors ICLab's two mechanisms (paper §2.1): regular-
-// expression matching against known blockpage corpora (OONI's lists in the
-// paper), and the Jones et al. page-length comparison against a fetch from
-// a censor-free US vantage point. The corpus is deliberately incomplete —
-// some censors' pages are unknown to the fingerprint DB and are only caught
-// by the length heuristic, and a few slip through entirely, exactly the
-// kind of detector imperfection the tomography has to live with.
 package blockpage
 
 import (

@@ -1,0 +1,18 @@
+// Package blockpage models censor blockpages and their fingerprinting.
+//
+// Paper correspondence: §2.1, "Block pages". The detection side mirrors
+// ICLab's two mechanisms: regular-expression matching against known
+// blockpage corpora (OONI's lists in the paper), and the Jones et al.
+// page-length comparison against a fetch from a censor-free US vantage
+// point.
+//
+// Entry points: Render produces a censor's page for injection;
+// NewFingerprintDB builds the detection corpus at a chosen coverage;
+// FingerprintDB.Match and LengthDelta are the two detectors.
+//
+// Invariants: the corpus is deliberately incomplete — some censors' pages
+// are unknown to the fingerprint DB and are only caught by the length
+// heuristic, and a few slip through entirely, exactly the kind of detector
+// imperfection the tomography has to live with. Rendering is
+// deterministic per (template, country).
+package blockpage

@@ -1,17 +1,3 @@
-// Package censor models the adversary: ASes that deploy on-path injection
-// middleboxes. A censoring AS has a policy — which anomaly-producing
-// techniques it uses (DNS reply injection, RST injection, sequence-space
-// data injection, TTL-anomalous duplicates, blockpage substitution), which
-// URL categories it targets, and how that policy changes over time. Policy
-// changes inside a CNF's time slice are one of the paper's two causes of
-// unsolvable CNFs, so the change schedule matters to the evaluation, not
-// just to realism.
-//
-// Policies are deterministic: a censor either always fires for a given
-// (category, technique, time) or never does. Real policy engines are
-// rule-based, and the paper's method implicitly depends on this (a censor
-// that flipped coins would poison its own clauses). Measurement noise comes
-// from the packet layer and the detectors instead.
 package censor
 
 import (

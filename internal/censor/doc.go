@@ -1,0 +1,22 @@
+// Package censor models the adversary: ASes that deploy on-path injection
+// middleboxes. A censoring AS has a policy — which anomaly-producing
+// techniques it uses (DNS reply injection, RST injection, sequence-space
+// data injection, TTL-anomalous duplicates, blockpage substitution), which
+// URL categories it targets, and how that policy changes over time.
+//
+// Paper correspondence: the ground truth the paper lacked. Policy changes
+// inside a CNF's time slice are one of the paper's two causes of
+// unsolvable CNFs (§3.2), so the change schedule matters to the
+// evaluation, not just to realism.
+//
+// Entry points: Generate places censors over a topology; Registry.ActiveOn
+// answers "which censors act on this path for this category at this time",
+// and Registry.Policy exposes ground truth for validation only.
+//
+// Invariants: policies are deterministic — a censor either always fires
+// for a given (category, technique, time) or never does. Real policy
+// engines are rule-based, and the paper's method implicitly depends on
+// this (a censor that flipped coins would poison its own clauses).
+// Measurement noise comes from the packet layer and the detectors instead.
+// A generated Registry is immutable and safe for concurrent reads.
+package censor

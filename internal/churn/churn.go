@@ -1,8 +1,3 @@
-// Package churn measures network-level path churn, the phenomenon the
-// paper exploits in place of strategically-placed tomography monitors: how
-// many distinct AS-level paths a (vantage, URL) pair traverses within a
-// day, week, month or year (Figure 3), and the first-observed-path filter
-// behind the paper's no-churn ablation (Figure 4).
 package churn
 
 import (

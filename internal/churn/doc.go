@@ -1,0 +1,17 @@
+// Package churn measures network-level path churn, the phenomenon the
+// paper exploits in place of strategically-placed tomography monitors.
+//
+// Paper correspondence: §4.2. Measure reproduces Figure 3 — how many
+// distinct AS-level paths a (vantage, URL) pair traverses within a day,
+// week, month or year — and FirstPathOnly implements the no-churn
+// ablation behind Figure 4 (keep only each pair's first-observed path and
+// watch the CNFs go under-constrained).
+//
+// Entry points: Measure computes per-granularity Distributions;
+// ByDestinationClass splits churn by destination AS class; FirstPathOnly
+// filters records for the ablation.
+//
+// Invariants: only conclusive records (Fail == OK) participate, matching
+// what the tomography sees; Distribution buckets are fractions of
+// pair-periods and sum to 1 for non-empty samples.
+package churn

@@ -1,9 +1,3 @@
-// Package detect implements ICLab's five anomaly detectors over simulated
-// captures (paper §2.1). Detectors see exactly what a vantage point's pcap
-// would contain: arrival times, addresses, TTLs, TCP sequence numbers,
-// flags and payloads. They never consult ground truth (tests verify this by
-// running them on sanitized captures), so false positives and misses
-// propagate into the tomography the same way they do in the real platform.
 package detect
 
 import (

@@ -1,8 +1,3 @@
-// Package dnssim simulates the platform's DNS injection test: the client
-// resolves the test hostname against both its default resolver and the open
-// anycast resolver (the 8.8.8.8 role); on-path injectors race spoofed
-// answers against the real one (paper §2.1, "DNS anomalies"). The output is
-// a client-side capture for internal/detect's dual-response detector.
 package dnssim
 
 import (

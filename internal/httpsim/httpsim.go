@@ -1,9 +1,3 @@
-// Package httpsim simulates the platform's HTTP GET test at packet level:
-// TCP handshake, request, response segments, teardown — with on-path
-// censors injecting RSTs, sequence-space data, TTL-anomalous duplicates or
-// blockpages into the stream (paper §2.1, "SEQNO and TTL anomalies" /
-// "Block pages"). The output is the client-side capture plus the HTTP body
-// the client's stack would deliver, which feed internal/detect.
 package httpsim
 
 import (

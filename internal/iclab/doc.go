@@ -1,0 +1,27 @@
+// Package iclab simulates the measurement platform the paper builds on: a
+// set of vantage points repeatedly testing a URL list — DNS lookups through
+// two resolvers, HTTP GETs with packet captures, blockpage comparison
+// against a censor-free baseline, and three traceroutes per test — over a
+// churning Internet with censoring ASes on some paths.
+//
+// Paper correspondence: §2.1/§3.1. The output Dataset is the
+// reproduction's stand-in for the ICLab data the paper consumes (its
+// Table 1), carrying exactly the fields the paper's records have: vantage
+// AS, URL, per-anomaly outcome, three traceroutes and a timestamp, plus
+// inferred AS paths. Ground truth (which censor actually acted) rides
+// along in clearly-marked fields used only for validation — the tomography
+// must never read them (TestGroundTruthIsolation enforces this).
+//
+// Entry points: BuildScenario selects vantages and targets over a prepared
+// substrate; Run executes the schedule into a merged Dataset; RunByDay
+// keeps the output sharded by day for streaming consumers; MergeShards and
+// NewDataset reassemble shards; ComputeTable1 derives the dataset stats.
+//
+// Invariants: measurement is deterministic at every worker count. Each day
+// owns an RNG stream derived from (seed, day) alone via DaySeed — a
+// splitmix64 finalizer over the day index — so a day's randomness never
+// depends on which worker ran it or when, and parallel output is
+// bit-identical to serial. The fleet tests URLs in lockstep (every vantage
+// measures the same URLs on the same day), which is what gives the
+// per-URL CNFs their breadth.
+package iclab

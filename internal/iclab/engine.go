@@ -38,13 +38,30 @@ func (s *Scenario) Days() int {
 // across cfg.Workers goroutines. Deterministic for identical scenario and
 // config at every worker count: parallel output is bit-identical to serial.
 func Run(s *Scenario, cfg PlatformConfig) *Dataset {
+	ds := &Dataset{Scenario: s, Records: MergeShards(RunByDay(s, cfg))}
+	ds.Stats = ComputeTable1(ds)
+	return ds
+}
+
+// RunByDay executes the same schedule as Run but keeps the output sharded
+// by day — shards[d] holds day d's records, IDs unassigned. This is the
+// emission shape streaming consumers want: each shard can be pushed into a
+// windowed localizer as the day "arrives", and MergeShards over all shards
+// reconstructs exactly Run's record sequence.
+func RunByDay(s *Scenario, cfg PlatformConfig) [][]Record {
 	cfg.fillDefaults()
 	days := s.Days()
 	shards := make([][]Record, days)
 	parallel.ForEach(cfg.Workers, days, func(day int) {
 		shards[day] = s.runDay(cfg, day)
 	})
-	ds := &Dataset{Scenario: s, Records: MergeShards(shards)}
+	return shards
+}
+
+// NewDataset assembles a Dataset from already-measured records (typically a
+// MergeShards result) and computes its Table 1 statistics.
+func NewDataset(s *Scenario, records []Record) *Dataset {
+	ds := &Dataset{Scenario: s, Records: records}
 	ds.Stats = ComputeTable1(ds)
 	return ds
 }

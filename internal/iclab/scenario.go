@@ -1,14 +1,3 @@
-// Package iclab simulates the measurement platform the paper builds on: a
-// set of vantage points repeatedly testing a URL list — DNS lookups through
-// two resolvers, HTTP GETs with packet captures, blockpage comparison
-// against a censor-free baseline, and three traceroutes per test — over a
-// churning Internet with censoring ASes on some paths.
-//
-// The output Dataset is the reproduction's stand-in for the ICLab data the
-// paper consumes (its Table 1), carrying exactly the fields the paper's
-// records have: vantage AS, URL, per-anomaly outcome, three traceroutes and
-// a timestamp, plus inferred AS paths. Ground truth (which censor actually
-// acted) rides along in clearly-marked fields used only for validation.
 package iclab
 
 import (

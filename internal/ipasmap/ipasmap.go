@@ -1,12 +1,3 @@
-// Package ipasmap is the simulator's stand-in for CAIDA's historical
-// IP-to-AS mapping datasets: monthly longest-prefix-match snapshots used to
-// convert traceroute hop addresses into AS-level paths (paper §3.1).
-//
-// Real mappings are imperfect, and the paper's clause-construction rules
-// exist precisely to cope with that: snapshots here deliberately contain
-// holes (prefixes missing from a month's snapshot) and drift (prefixes
-// temporarily attributed to a neighboring AS), so the four inconclusive-path
-// elimination rules in internal/traceroute all get exercised.
 package ipasmap
 
 import (

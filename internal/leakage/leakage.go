@@ -1,13 +1,3 @@
-// Package leakage implements the paper's §3.3 analysis: finding ASes whose
-// users inherit censorship because their traffic transits a censoring AS in
-// another jurisdiction.
-//
-// Only unique-solution CNFs participate. On each censored path, the ASes
-// upstream of an identified censor (closer to the vantage point) that were
-// assigned False and sit in a different country are victims of censorship
-// leakage. Aggregated per censor, this yields the paper's Table 3 (top
-// leakers by victim ASes and countries) and Figure 5 (the country-level
-// flow of censorship).
 package leakage
 
 import (

@@ -1,11 +1,3 @@
-// Package netaddr provides compact IPv4 address and prefix types plus a
-// longest-prefix-match trie, the substrate for the simulator's IP-to-AS
-// mapping database and router address allocation.
-//
-// The standard library's net.IP is a heap-allocated byte slice; the
-// simulator handles millions of addresses on hot paths, so we use a uint32
-// representation instead (gopacket takes the same approach with its fixed
-// Endpoint arrays for the same reason).
 package netaddr
 
 import (

@@ -1,0 +1,15 @@
+// Package netsim is the packet model under the measurement simulators:
+// IPv4 TTL arithmetic, TCP sequence space, DNS transaction framing, and
+// client-side captures.
+//
+// Entry points: Packet and Capture are the shared currency — the DNS and
+// HTTP simulators build Captures out of them, and the detectors in
+// internal/detect consume Captures exactly the way ICLab's offline
+// analysis consumes raw pcaps.
+//
+// Invariants: nothing in a Capture says "this packet was injected" except
+// the ground-truth fields, which detectors are forbidden to read (enforced
+// by convention and by tests that strip them). TTL constants
+// (InitTTLLinux, InitTTLWindows) anchor the TTL-anomaly arithmetic used on
+// both the injection and detection sides.
+package netsim

@@ -1,11 +1,3 @@
-// Package netsim is the packet model under the measurement simulators: IPv4
-// TTL arithmetic, TCP sequence space, DNS transaction framing, and client-
-// side captures. The DNS and HTTP simulators build Captures out of these
-// types; the detectors in internal/detect consume Captures exactly the way
-// ICLab's offline analysis consumes raw pcaps — nothing in a Capture says
-// "this packet was injected" except the ground-truth fields, which
-// detectors are forbidden to read (enforced by convention and by tests that
-// strip them).
 package netsim
 
 import (

@@ -1,0 +1,15 @@
+// Package parallel holds the one worker-pool shape the engine uses
+// everywhere: N indices dispatched to a bounded pool, caller blocks until
+// all complete.
+//
+// Entry points: ForEach is the whole API.
+//
+// Invariants: centralizing dispatch keeps semantics (and any future panic
+// propagation or queueing changes) identical across the measurement
+// engine, the tomography builder, the incremental window solver and the
+// matrix runner. workers == 0 means GOMAXPROCS — this package is the one
+// place that default lives. An effective pool of <= 1 degrades to an
+// inline loop, so callers get the serial path — and serial determinism —
+// for free; every caller is designed so that worker count never changes
+// output, only latency.
+package parallel

@@ -1,8 +1,3 @@
-// Package parallel holds the one worker-pool shape the engine uses
-// everywhere: N indices dispatched to a bounded pool, caller blocks until
-// all complete. Centralizing it keeps dispatch semantics (and any future
-// panic propagation or queueing changes) identical across the measurement
-// engine, the tomography builder and the matrix runner.
 package parallel
 
 import (

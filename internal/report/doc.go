@@ -1,0 +1,13 @@
+// Package report renders experiment results as plain text: aligned tables
+// (Table), grouped bar charts (Bars), CDFs (CDF, CDFOf) and flow matrices
+// (Matrix).
+//
+// The benchmark harness and churnlab print every paper table and figure
+// through these helpers, so runs are directly comparable to the published
+// layouts; the streaming CLI's timeline and convergence reports use the
+// same primitives.
+//
+// Invariants: output is deterministic for given inputs (stable column
+// widths, no locale dependence) so textual diffs between runs are
+// meaningful.
+package report

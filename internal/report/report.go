@@ -1,7 +1,3 @@
-// Package report renders experiment results as plain text: aligned tables,
-// grouped bar charts and CDFs. The benchmark harness prints every paper
-// table and figure through these helpers, so runs are directly comparable
-// to the published layouts.
 package report
 
 import (

@@ -1,12 +1,3 @@
-// Package routing computes AS-level paths over a topology under the
-// Gao–Rexford policy model and evolves them through a churn timeline of link
-// failures, repairs and routing-policy shifts.
-//
-// Churn is the paper's central enabler: because paths between a vantage
-// point and a destination change over time, one (source, destination) pair
-// contributes many distinct boolean clauses, substituting for the
-// strategically-placed monitors classical boolean tomography assumes. This
-// package is where that churn comes from.
 package routing
 
 import (

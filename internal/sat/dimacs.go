@@ -10,7 +10,10 @@ import (
 )
 
 // ParseDIMACS reads a CNF in DIMACS format. The problem line is optional
-// (some generators omit it); comment lines start with 'c'.
+// (some generators omit it); comment lines start with 'c'; a missing
+// trailing 0 on the final clause is tolerated; literals outside the int32
+// range are rejected rather than truncated. FORMAT.md documents the exact
+// accepted subset, rule by rule, with the fuzz corpus seed pinning each.
 func ParseDIMACS(r io.Reader) (*CNF, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)

@@ -9,7 +9,9 @@ import (
 // parser, and that anything it accepts survives a write/re-parse round
 // trip. The checked-in corpus under testdata/fuzz/FuzzParseDIMACS seeds the
 // interesting shapes: missing problem lines, missing trailing zeros,
-// comments, overlong literals, and clause-count mismatches.
+// comments, overlong literals, and clause-count mismatches. FORMAT.md
+// documents the accepted subset and maps each corpus seed to the parsing
+// rule it pins (seed_truncating_literal is the PR 1 int32-truncation fix).
 func FuzzParseDIMACS(f *testing.F) {
 	seeds := []string{
 		"",

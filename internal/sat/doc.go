@@ -1,0 +1,30 @@
+// Package sat is a from-scratch boolean satisfiability solver: DPLL search
+// with two-literal watching, unit propagation, assumptions, model
+// enumeration via blocking clauses, incremental clause addition, and
+// DIMACS I/O (see FORMAT.md for the accepted DIMACS subset).
+//
+// Paper correspondence: §3.2. The paper hands each per-(URL, time slice,
+// anomaly) CNF to "an off-the-shelf SAT solver" and classifies the
+// outcome: no solution (noise or a policy change), exactly one solution
+// (censors exactly identified) or multiple solutions (only elimination
+// possible). Those are precisely the queries this package serves: Solve,
+// Classify (0/1/2+ via a blocking clause), CountModels (Figure 4's 0..5+
+// buckets) and SolveAssume (the "could AS x be a censor?" backbone query
+// behind candidate-set reduction, used exactly by PotentialTrue).
+//
+// Entry points: NewSolver builds a solver over a CNF; Solver.AddClause and
+// Grow extend it incrementally between queries. NewGroupSolver multiplexes
+// a family of CNFs over one solver via assumption-gated clause groups —
+// the streaming engine's mechanism for retracting a day's clauses without
+// rebuilding anything. ParseDIMACS/WriteDIMACS read and write the solver's
+// exchange format.
+//
+// Invariants: tomography instances are small — tens of variables, dozens
+// of clauses — but enumeration over under-constrained CNFs can touch
+// 2^free models, so every enumerating entry point takes a cap. The search
+// tries False first, so the first model found is the minimal-censorship
+// one. Solving permutes literals inside the CNF's shared clause slices
+// (watch normalization): the clause set is never changed, but callers must
+// not rely on intra-clause literal order after a solve, nor mutate clauses
+// during one.
+package sat

@@ -1,0 +1,164 @@
+package sat
+
+import "sort"
+
+// GroupSolver multiplexes a family of related CNFs over one long-lived
+// Solver. Clauses are organized into retractable groups: every clause added
+// to group g is guarded by g's selector variable (stored as ¬sel ∨ clause),
+// so it constrains a query only when the query assumes sel. A query
+// activates a subset of groups by passing their selectors as assumptions —
+// deactivated groups' clauses are inert (the search satisfies them through
+// the unassumed selector) and never need to be deleted.
+//
+// This is the standard assumption-based incremental-SAT encoding, and it is
+// what the streaming engine uses to reuse solver state across sliding
+// windows: each measurement day's clauses form one group, a window is an
+// assumption set naming its days, and a day aging out of the window simply
+// drops out of the assumption set. Nothing is rebuilt.
+//
+// Model-counting queries (ClassifyActive) need blocking clauses, which would
+// ordinarily pollute a shared solver. GroupSolver guards each blocking
+// clause with its own selector too and caches it keyed by the blocked
+// projection, so repeat classifications of an unchanged window reuse the
+// cached blocked model instead of re-deriving it.
+//
+// GroupSolver is not safe for concurrent use; callers own one per CNF
+// family (the tomography keeps one per CNF key). Retracted groups' clauses
+// stay in the solver (inert); long-lived owners bound the growth by
+// discarding and rebuilding the GroupSolver once retired groups dominate
+// resident ones (see tomo's keySolver eviction).
+type GroupSolver struct {
+	s *Solver
+	// blocked caches guarded blocking clauses: projection key (the blocked
+	// assignment restricted to the query's variables) to the guard literal
+	// that activates the clause.
+	blocked map[string]Lit
+}
+
+// Group identifies one retractable clause group; its value is the selector
+// variable guarding the group's clauses.
+type Group int32
+
+// NewGroupSolver returns an empty group solver.
+func NewGroupSolver() *GroupSolver {
+	return &GroupSolver{s: NewSolver(&CNF{}), blocked: map[string]Lit{}}
+}
+
+// Var allocates a fresh problem variable and returns its number. Problem
+// variables and group selectors share one variable space; callers must
+// obtain every variable they mention from Var (or NewGroup).
+func (g *GroupSolver) Var() int {
+	g.s.Grow(g.s.NumVars() + 1)
+	return g.s.NumVars()
+}
+
+// NewGroup allocates a clause group.
+func (g *GroupSolver) NewGroup() Group { return Group(int32(g.Var())) }
+
+// Add installs a clause in group grp. The clause constrains only queries
+// that activate grp.
+func (g *GroupSolver) Add(grp Group, lits ...Lit) {
+	cl := make([]Lit, 0, len(lits)+1)
+	cl = append(cl, Lit(-int32(grp)))
+	cl = append(cl, lits...)
+	g.s.AddClause(cl...)
+}
+
+// Propagations reports the underlying solver's cumulative propagation count.
+func (g *GroupSolver) Propagations() int { return g.s.Stats() }
+
+// assumptions builds the assumption set activating the given groups plus any
+// extra literals.
+func assumptions(active []Group, extra ...Lit) []Lit {
+	out := make([]Lit, 0, len(active)+len(extra))
+	for _, grp := range active {
+		out = append(out, Lit(int32(grp)))
+	}
+	return append(out, extra...)
+}
+
+// SolveActive solves the conjunction of the active groups' clauses under the
+// extra assumption literals.
+func (g *GroupSolver) SolveActive(active []Group, extra ...Lit) (Model, bool) {
+	return g.s.SolveAssume(assumptions(active, extra...))
+}
+
+// projectionKey encodes a model restricted to vars, for the blocked-model
+// cache. Two queries share a cache entry exactly when they block the same
+// assignment of the same variable set: the encoding sorts by variable, so
+// callers passing the same projection in a different var order (a re-interned
+// CNF across windows) still hit the cache instead of adding a duplicate
+// guarded clause.
+func projectionKey(m Model, vars []int) string {
+	enc := make([]uint32, len(vars))
+	for i, v := range vars {
+		enc[i] = uint32(v) << 1
+		if m[v] {
+			enc[i] |= 1
+		}
+	}
+	sort.Slice(enc, func(i, j int) bool { return enc[i] < enc[j] })
+	b := make([]byte, 0, 4*len(enc))
+	for _, e := range enc {
+		b = append(b, byte(e>>24), byte(e>>16), byte(e>>8), byte(e))
+	}
+	return string(b)
+}
+
+// blockGuard returns the guard literal of a (possibly cached) blocking
+// clause forbidding model m's assignment of vars. Assuming the guard
+// activates the block; without the assumption the clause is inert, so
+// blocks accumulated by past queries never contaminate later ones.
+func (g *GroupSolver) blockGuard(m Model, vars []int) Lit {
+	key := projectionKey(m, vars)
+	if guard, ok := g.blocked[key]; ok {
+		return guard
+	}
+	guard := Lit(int32(g.Var()))
+	cl := make([]Lit, 0, len(vars)+1)
+	cl = append(cl, guard.Neg())
+	for _, v := range vars {
+		if m[v] {
+			cl = append(cl, Lit(int32(-v)))
+		} else {
+			cl = append(cl, Lit(int32(v)))
+		}
+	}
+	g.s.AddClause(cl...)
+	g.blocked[key] = guard
+	return guard
+}
+
+// BlockedModels reports how many distinct blocking clauses the solver holds
+// (cached across queries).
+func (g *GroupSolver) BlockedModels() int { return len(g.blocked) }
+
+// ClassifyActive classifies the CNF formed by the active groups' clauses,
+// counting models as distinct only when they differ on vars — exactly
+// Classify's behaviour on a standalone CNF whose variables are vars. The
+// unique model, when one exists, is returned over the solver's variable
+// space (read it at vars).
+func (g *GroupSolver) ClassifyActive(active []Group, vars []int) (Classification, Model) {
+	m, ok := g.SolveActive(active)
+	if !ok {
+		return Unsat, nil
+	}
+	guard := g.blockGuard(m, vars)
+	if _, again := g.SolveActive(active, guard); again {
+		return Multiple, nil
+	}
+	return Unique, m
+}
+
+// PotentialTrueActive reports, for each of vars (parallel to the input),
+// whether some model of the active groups' clauses assigns it true — the
+// grouped equivalent of PotentialTrue.
+func (g *GroupSolver) PotentialTrueActive(active []Group, vars []int) []bool {
+	out := make([]bool, len(vars))
+	for i, v := range vars {
+		if _, ok := g.SolveActive(active, Lit(int32(v))); ok {
+			out[i] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+package sat
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// TestGroupSolverMatchesClassify cross-checks the grouped, assumption-gated
+// classification against the standalone Classify on randomly generated CNF
+// families: every subset of groups must classify exactly as the plain CNF
+// holding just those groups' clauses.
+func TestGroupSolverMatchesClassify(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 11))
+	for trial := 0; trial < 200; trial++ {
+		nv := 2 + rng.IntN(6)
+		ngroups := 1 + rng.IntN(4)
+
+		gs := NewGroupSolver()
+		vars := make([]int, nv)
+		for i := range vars {
+			vars[i] = gs.Var()
+		}
+		groups := make([]Group, ngroups)
+		clauses := make([][]Clause, ngroups)
+		for gi := range groups {
+			groups[gi] = gs.NewGroup()
+			nclauses := 1 + rng.IntN(4)
+			for c := 0; c < nclauses; c++ {
+				width := 1 + rng.IntN(3)
+				cl := make(Clause, 0, width)
+				gcl := make(Clause, 0, width)
+				for k := 0; k < width; k++ {
+					v := 1 + rng.IntN(nv)
+					l := Lit(int32(v))
+					if rng.IntN(2) == 0 {
+						l = l.Neg()
+					}
+					cl = append(cl, l)
+					// The grouped copy uses the GroupSolver's numbering.
+					gl := Lit(int32(vars[v-1]))
+					if l < 0 {
+						gl = gl.Neg()
+					}
+					gcl = append(gcl, gl)
+				}
+				clauses[gi] = append(clauses[gi], cl)
+				gs.Add(groups[gi], gcl...)
+			}
+		}
+
+		// Try a handful of random activation subsets per family.
+		for sub := 0; sub < 4; sub++ {
+			var active []Group
+			plain := &CNF{NumVars: nv}
+			for gi := range groups {
+				if rng.IntN(2) == 0 {
+					continue
+				}
+				active = append(active, groups[gi])
+				for _, cl := range clauses[gi] {
+					plain.AddClause(cl...)
+				}
+			}
+			wantCls, wantModel := Classify(plain)
+			gotCls, gotModel := gs.ClassifyActive(active, vars)
+			if gotCls != wantCls {
+				t.Fatalf("trial %d subset %d: classification %v, want %v", trial, sub, gotCls, wantCls)
+			}
+			if wantCls == Unique {
+				for v := 1; v <= nv; v++ {
+					if wantModel[v] != gotModel[vars[v-1]] {
+						t.Fatalf("trial %d subset %d: unique model differs at var %d", trial, sub, v)
+					}
+				}
+			}
+			if wantCls == Multiple {
+				wantPot := PotentialTrue(plain)
+				gotPot := gs.PotentialTrueActive(active, vars)
+				for v := 1; v <= nv; v++ {
+					if wantPot[v] != gotPot[v-1] {
+						t.Fatalf("trial %d subset %d: potential set differs at var %d", trial, sub, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGroupSolverBlockedModelCache verifies repeat classifications of the
+// same active set reuse the cached blocking clause instead of growing the
+// solver.
+func TestGroupSolverBlockedModelCache(t *testing.T) {
+	gs := NewGroupSolver()
+	a, b := gs.Var(), gs.Var()
+	g1 := gs.NewGroup()
+	gs.Add(g1, Lit(int32(a)), Lit(int32(b)))
+	gs.Add(g1, Lit(int32(-a)))
+
+	vars := []int{a, b}
+	cls1, m1 := gs.ClassifyActive([]Group{g1}, vars)
+	if cls1 != Unique || m1[a] || !m1[b] {
+		t.Fatalf("first classify: %v %v", cls1, m1)
+	}
+	blocked := gs.BlockedModels()
+	if blocked != 1 {
+		t.Fatalf("blocked models after first classify: %d", blocked)
+	}
+	for i := 0; i < 5; i++ {
+		cls, m := gs.ClassifyActive([]Group{g1}, vars)
+		if cls != Unique || m[a] || !m[b] {
+			t.Fatalf("repeat classify %d: %v %v", i, cls, m)
+		}
+	}
+	if gs.BlockedModels() != blocked {
+		t.Errorf("repeat classifications grew the blocked-model cache: %d -> %d",
+			blocked, gs.BlockedModels())
+	}
+}
+
+// TestGroupSolverRetraction verifies a group dropping out of the active set
+// stops constraining queries without any solver rebuild.
+func TestGroupSolverRetraction(t *testing.T) {
+	gs := NewGroupSolver()
+	x := gs.Var()
+	g1, g2 := gs.NewGroup(), gs.NewGroup()
+	gs.Add(g1, Lit(int32(x)))  // day 1 says x
+	gs.Add(g2, Lit(int32(-x))) // day 2 says ¬x
+
+	vars := []int{x}
+	if cls, _ := gs.ClassifyActive([]Group{g1, g2}, vars); cls != Unsat {
+		t.Fatalf("both groups active: %v, want unsat", cls)
+	}
+	cls, m := gs.ClassifyActive([]Group{g1}, vars)
+	if cls != Unique || !m[x] {
+		t.Fatalf("g1 only: %v, want unique x=true", cls)
+	}
+	cls, m = gs.ClassifyActive([]Group{g2}, vars)
+	if cls != Unique || m[x] {
+		t.Fatalf("g2 only: %v, want unique x=false", cls)
+	}
+	if cls, _ := gs.ClassifyActive(nil, vars); cls != Multiple {
+		t.Fatalf("no groups active: %v, want multiple", cls)
+	}
+}

@@ -1,18 +1,3 @@
-// Package sat is a from-scratch boolean satisfiability solver: DPLL search
-// with two-literal watching, unit propagation, assumptions, model
-// enumeration via blocking clauses, and DIMACS I/O.
-//
-// The paper hands each per-(URL, time slice, anomaly) CNF to "an
-// off-the-shelf SAT solver" and classifies the outcome: no solution (noise
-// or a policy change), exactly one solution (censors exactly identified) or
-// multiple solutions (only elimination possible). Those are precisely the
-// queries this package serves: Solve, Classify (0/1/2+ via a blocking
-// clause), CountModels (Figure 4's 0..5+ buckets) and SolveAssume (the
-// "could AS x be a censor?" backbone query behind candidate-set reduction).
-//
-// Tomography instances are small — tens of variables, dozens of clauses —
-// but enumeration over under-constrained CNFs can touch 2^free models, so
-// every enumerating entry point takes a cap.
 package sat
 
 import (
@@ -95,6 +80,13 @@ type Solver struct {
 	trailLim []int  // trail length at each decision level
 	flipped  []bool // whether the decision at each level has been inverted
 
+	// units and hasEmpty mirror the structural unit and empty clauses, kept
+	// incrementally by addClause so SolveAssume never rescans the clause
+	// store — incremental callers (GroupSolver) accumulate large clause
+	// histories and issue many queries against them.
+	units    []Lit
+	hasEmpty bool
+
 	// Propagations counts unit propagations across the solver's lifetime
 	// (exposed through Stats for benchmarks).
 	propagations int
@@ -126,7 +118,11 @@ func (s *Solver) addClause(cl Clause) {
 	id := int32(len(s.clauses))
 	s.clauses = append(s.clauses, cl)
 	if len(cl) == 0 {
-		return // empty clause: handled in Solve as immediate UNSAT
+		s.hasEmpty = true // immediate UNSAT for every future Solve
+		return
+	}
+	if len(cl) == 1 {
+		s.units = append(s.units, cl[0])
 	}
 	s.watches[watchIndex(cl[0])] = append(s.watches[watchIndex(cl[0])], id)
 	if len(cl) > 1 {
@@ -250,29 +246,20 @@ func (s *Solver) reset() {
 	s.flipped = s.flipped[:0]
 }
 
-// hasEmptyClause reports a structurally empty clause (immediate UNSAT).
-func (s *Solver) hasEmptyClause() bool {
-	for _, cl := range s.clauses {
-		if len(cl) == 0 {
-			return true
-		}
-	}
-	return false
-}
-
 // Solve reports satisfiability and a model when satisfiable.
 func (s *Solver) Solve() (Model, bool) { return s.SolveAssume(nil) }
 
 // SolveAssume solves under the given assumption literals.
 func (s *Solver) SolveAssume(assumps []Lit) (Model, bool) {
 	s.reset()
-	if s.hasEmptyClause() {
+	if s.hasEmpty {
 		return nil, false
 	}
 	// Structural unit clauses (including blocking clauses over one
-	// variable) seed the trail at level 0.
-	for _, cl := range s.clauses {
-		if len(cl) == 1 && !s.enqueue(cl[0]) {
+	// variable) seed the trail at level 0; addClause maintains the list so
+	// queries never rescan the clause store.
+	for _, l := range s.units {
+		if !s.enqueue(l) {
 			return nil, false
 		}
 	}
@@ -335,6 +322,45 @@ func (s *Solver) search() bool {
 
 // Stats reports cumulative propagation work.
 func (s *Solver) Stats() (propagations int) { return s.propagations }
+
+// NumVars returns the solver's current variable count (it grows when Grow or
+// AddClause introduces new variables).
+func (s *Solver) NumVars() int { return s.nv }
+
+// Grow extends the solver's variable space to at least nv variables. New
+// variables are unconstrained until clauses mention them; growing between
+// Solve calls is cheap and does not disturb existing clauses or watches.
+func (s *Solver) Grow(nv int) {
+	if nv <= s.nv {
+		return
+	}
+	s.nv = nv
+	for len(s.watches) < 2*(nv+1) {
+		s.watches = append(s.watches, nil)
+	}
+	for len(s.assign) < nv+1 {
+		s.assign = append(s.assign, unassigned)
+	}
+}
+
+// AddClause appends a clause to a live solver, growing the variable space to
+// cover its literals. Clauses may be added between Solve calls (never during
+// one); the next Solve sees the extended formula. This is the entry point
+// for incremental use: callers keep one Solver alive across a family of
+// related queries instead of rebuilding it per query.
+func (s *Solver) AddClause(lits ...Lit) {
+	cl := make(Clause, len(lits))
+	copy(cl, lits)
+	for _, l := range cl {
+		if l == 0 {
+			panic("sat: zero literal")
+		}
+		if v := l.Var(); v > s.nv {
+			s.Grow(v)
+		}
+	}
+	s.addClause(cl)
+}
 
 // blockModel adds a clause forbidding the exact assignment m.
 func (s *Solver) blockModel(m Model) {

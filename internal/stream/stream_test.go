@@ -1,0 +1,234 @@
+package stream
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"churntomo/internal/anomaly"
+	"churntomo/internal/iclab"
+	"churntomo/internal/tomo"
+	"churntomo/internal/topology"
+	"churntomo/internal/traceroute"
+)
+
+// synthDay fabricates one day of records with day-dependent path churn and
+// a persistent censor at AS 50.
+func synthDay(day int) []iclab.Record {
+	at := time.Date(2016, 5, 25, 9, 0, 0, 0, time.UTC).AddDate(0, 0, day)
+	var recs []iclab.Record
+	for u, url := range []string{"a.com", "b.com"} {
+		for v := 0; v < 3; v++ {
+			mid := topology.ASN(100 + (day+v)%4)
+			dirty := []topology.ASN{topology.ASN(10 + v), mid, 50, topology.ASN(200 + u)}
+			clean := []topology.ASN{topology.ASN(10 + v), mid, 60, topology.ASN(200 + u)}
+			var kinds anomaly.Set
+			if (day+u+v)%3 == 0 {
+				kinds = anomaly.MakeSet(anomaly.DNS)
+			}
+			recs = append(recs,
+				iclab.Record{Vantage: topology.ASN(10 + v), URL: url, At: at.Add(time.Duration(v) * time.Hour),
+					ASPath: dirty, Anomalies: kinds, Fail: traceroute.OK},
+				iclab.Record{Vantage: topology.ASN(10 + v), URL: url, At: at.Add(time.Duration(v+8) * time.Hour),
+					ASPath: clean, Fail: traceroute.OK},
+			)
+		}
+	}
+	return recs
+}
+
+// TestEngineSlidingMatchesRebuild pins the streaming contract: every emitted
+// window's outcomes equal a from-scratch batch solve over exactly the
+// window's records.
+func TestEngineSlidingMatchesRebuild(t *testing.T) {
+	const days, window = 9, 3
+	eng := NewEngine(Config{Window: window, Build: tomo.BuildConfig{Workers: 1}})
+	var all [][]iclab.Record
+	emitted := 0
+	for day := 0; day < days; day++ {
+		recs := synthDay(day)
+		all = append(all, recs)
+		w := eng.Push(recs)
+		if day < window-1 {
+			if w != nil {
+				t.Fatalf("day %d emitted window before the first filled", day)
+			}
+			continue
+		}
+		if w == nil {
+			t.Fatalf("day %d: no window emitted at stride boundary", day)
+		}
+		emitted++
+		if w.StartDay != day-window+1 || w.EndDay != day {
+			t.Fatalf("window %d bounds [%d..%d], want [%d..%d]", w.Index, w.StartDay, w.EndDay, day-window+1, day)
+		}
+		var flat []iclab.Record
+		for _, d := range all[w.StartDay : w.EndDay+1] {
+			flat = append(flat, d...)
+		}
+		_, want := tomo.BuildAndSolve(flat, tomo.BuildConfig{Workers: 1})
+		if len(w.Outcomes) != len(want) {
+			t.Fatalf("window %d: %d outcomes, rebuild has %d", w.Index, len(w.Outcomes), len(want))
+		}
+		for i := range want {
+			g, b := w.Outcomes[i], want[i]
+			if g.Inst.Key != b.Inst.Key || g.Class != b.Class ||
+				!reflect.DeepEqual(g.Censors, b.Censors) ||
+				!reflect.DeepEqual(g.Potential, b.Potential) ||
+				g.Eliminated != b.Eliminated || g.TotalVars != b.TotalVars {
+				t.Fatalf("window %d outcome %d (%v) differs from rebuild:\n got %+v\nwant %+v",
+					w.Index, i, b.Inst.Key, g, b)
+			}
+		}
+		if w.Index > 0 && w.Reused == 0 {
+			t.Errorf("window %d reused nothing; incrementality inert", w.Index)
+		}
+	}
+	if emitted != days-window+1 {
+		t.Fatalf("emitted %d windows, want %d", emitted, days-window+1)
+	}
+}
+
+// TestEngineCumulativeFinalMatchesBatch replays cumulatively and checks the
+// final window against the batch pipeline over all records, including the
+// identified-censor map and the record IDs the engine stamps.
+func TestEngineCumulativeFinalMatchesBatch(t *testing.T) {
+	const days = 8
+	eng := NewEngine(Config{Window: 0, MinCNFs: 2, Build: tomo.BuildConfig{Workers: 1}})
+	var shards [][]iclab.Record
+	var last *Window
+	for day := 0; day < days; day++ {
+		recs := synthDay(day)
+		shards = append(shards, recs)
+		if w := eng.Push(recs); w != nil {
+			last = w
+		}
+	}
+	if last == nil || last.StartDay != 0 || last.EndDay != days-1 {
+		t.Fatalf("final window %+v", last)
+	}
+
+	merged := iclab.MergeShards(shards)
+	_, wantOuts := tomo.BuildAndSolve(merged, tomo.BuildConfig{Workers: 1})
+	wantID := tomo.IdentifyCensors(wantOuts, 2)
+	if !reflect.DeepEqual(last.Identified, wantID) {
+		t.Fatalf("final cumulative window identified %v, batch identified %v", last.Identified, wantID)
+	}
+
+	// The engine stamped the same IDs MergeShards assigns.
+	i := 0
+	for _, sh := range shards {
+		for _, r := range sh {
+			if r.ID != merged[i].ID {
+				t.Fatalf("record %d stamped ID %d, merge assigns %d", i, r.ID, merged[i].ID)
+			}
+			i++
+		}
+	}
+}
+
+// TestEngineStrideBounds pins window indexing with stride > 1.
+func TestEngineStrideBounds(t *testing.T) {
+	eng := NewEngine(Config{Window: 4, Stride: 2, Build: tomo.BuildConfig{Workers: 1}})
+	var got [][2]int
+	for day := 0; day < 10; day++ {
+		if w := eng.Push(synthDay(day)); w != nil {
+			got = append(got, [2]int{w.StartDay, w.EndDay})
+		}
+	}
+	want := [][2]int{{0, 3}, {2, 5}, {4, 7}, {6, 9}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("stride-2 windows %v, want %v", got, want)
+	}
+}
+
+// TestEngineFlushCoversTail pins Flush: days the stride grid leaves
+// uncovered are localized in one final partial window, and a flushed
+// cumulative replay's last window equals the batch solve over all days.
+func TestEngineFlushCoversTail(t *testing.T) {
+	// Sliding: window 4, stride 3 over 9 days emits [0..3] and [3..6];
+	// days 7-8 are the tail. Flush must cover them with a window ending at
+	// day 8, at most 4 days wide.
+	eng := NewEngine(Config{Window: 4, Stride: 3, Build: tomo.BuildConfig{Workers: 1}})
+	var all [][]iclab.Record
+	var emitted [][2]int
+	for day := 0; day < 9; day++ {
+		recs := synthDay(day)
+		all = append(all, recs)
+		if w := eng.Push(recs); w != nil {
+			emitted = append(emitted, [2]int{w.StartDay, w.EndDay})
+		}
+	}
+	fw := eng.Flush()
+	if fw == nil || fw.StartDay != 5 || fw.EndDay != 8 {
+		t.Fatalf("flush window %+v, want [5..8]", fw)
+	}
+	if eng.Flush() != nil {
+		t.Fatal("second flush emitted a window")
+	}
+	var flat []iclab.Record
+	for _, d := range all[5:9] {
+		flat = append(flat, d...)
+	}
+	_, want := tomo.BuildAndSolve(flat, tomo.BuildConfig{Workers: 1})
+	if len(fw.Outcomes) != len(want) {
+		t.Fatalf("flush window has %d outcomes, rebuild has %d", len(fw.Outcomes), len(want))
+	}
+
+	// Cumulative with stride 2 over 7 days: emitted windows end at days
+	// 1, 3, 5; the flushed final window must cover [0..6] — the batch
+	// result — not stop at day 5.
+	cum := NewEngine(Config{Window: 0, Stride: 2, MinCNFs: 2, Build: tomo.BuildConfig{Workers: 1}})
+	flat = nil
+	for day := 0; day < 7; day++ {
+		recs := synthDay(day)
+		flat = append(flat, recs...)
+		cum.Push(recs)
+	}
+	fw = cum.Flush()
+	if fw == nil || fw.StartDay != 0 || fw.EndDay != 6 {
+		t.Fatalf("cumulative flush window %+v, want [0..6]", fw)
+	}
+	_, wantOuts := tomo.BuildAndSolve(flat, tomo.BuildConfig{Workers: 1})
+	wantID := tomo.IdentifyCensors(wantOuts, 2)
+	if !reflect.DeepEqual(fw.Identified, wantID) {
+		t.Fatalf("flushed cumulative window identified %v, batch %v", fw.Identified, wantID)
+	}
+
+	// Aligned replays flush nothing.
+	aligned := NewEngine(Config{Window: 3, Build: tomo.BuildConfig{Workers: 1}})
+	for day := 0; day < 5; day++ {
+		aligned.Push(synthDay(day))
+	}
+	if w := aligned.Flush(); w != nil {
+		t.Fatalf("aligned replay flushed %+v", w)
+	}
+	if NewEngine(Config{Window: 3, Build: tomo.BuildConfig{Workers: 1}}).Flush() != nil {
+		t.Fatal("empty engine flushed a window")
+	}
+}
+
+// TestConverge pins the convergence stats on a hand-built timeline.
+func TestConverge(t *testing.T) {
+	id := func(asns ...topology.ASN) map[topology.ASN]*tomo.IdentifiedCensor {
+		m := map[topology.ASN]*tomo.IdentifiedCensor{}
+		for _, a := range asns {
+			m[a] = &tomo.IdentifiedCensor{ASN: a}
+		}
+		return m
+	}
+	windows := []*Window{
+		{Index: 0, Identified: id(7)},
+		{Index: 1, Identified: id()},
+		{Index: 2, Identified: id(7, 9)},
+		{Index: 3, Identified: id(7, 9)},
+	}
+	got := Converge(windows)
+	want := []Convergence{
+		{ASN: 7, FirstWindow: 0, LastWindow: 3, Windows: 3, StableFrom: 2},
+		{ASN: 9, FirstWindow: 2, LastWindow: 3, Windows: 2, StableFrom: 2},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("convergence %+v, want %+v", got, want)
+	}
+}

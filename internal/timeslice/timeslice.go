@@ -1,10 +1,3 @@
-// Package timeslice partitions measurement timestamps into the four time
-// granularities used by the paper's CNF construction: day, week, month and
-// year. Each timestamp maps to exactly one slice key per granularity, and a
-// slice key identifies the half-open interval [Start, End) it covers.
-//
-// All computations are in UTC, mirroring how measurement platforms normalize
-// probe timestamps before aggregation.
 package timeslice
 
 import (

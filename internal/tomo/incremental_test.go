@@ -1,0 +1,251 @@
+package tomo
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"churntomo/internal/anomaly"
+	"churntomo/internal/iclab"
+	"churntomo/internal/sat"
+	"churntomo/internal/timeslice"
+	"churntomo/internal/topology"
+)
+
+// canonInstance copies an instance with each CNF clause's literals sorted.
+// Solving permutes literals inside shared clause slices (watch
+// normalization), so instances are compared modulo intra-clause order.
+func canonInstance(in *Instance) *Instance {
+	cp := *in
+	cnf := &sat.CNF{NumVars: in.CNF.NumVars}
+	for _, cl := range in.CNF.Clauses {
+		c2 := append(sat.Clause(nil), cl...)
+		sort.Slice(c2, func(i, j int) bool { return c2[i] < c2[j] })
+		cnf.Clauses = append(cnf.Clauses, c2)
+	}
+	cp.CNF = cnf
+	return &cp
+}
+
+func canonOutcome(o Outcome) Outcome {
+	o.Inst = canonInstance(o.Inst)
+	return o
+}
+
+// synthDay fabricates one day's records: a few vantages testing a few URLs
+// over paths that churn with the day index, with anomalies on some paths.
+func synthDay(day int) []iclab.Record {
+	at := time.Date(2016, 5, 25, 9, 0, 0, 0, time.UTC).AddDate(0, 0, day)
+	var recs []iclab.Record
+	urls := []string{"a.com", "b.com", "c.com"}
+	for u, url := range urls {
+		for v := 0; v < 3; v++ {
+			// Paths share a censoring AS 50 and churn a mid-path hop by day.
+			mid := topology.ASN(100 + (day+v)%4)
+			path := []topology.ASN{topology.ASN(10 + v), mid, 50, topology.ASN(200 + u)}
+			var kinds anomaly.Set
+			if (day+u+v)%3 == 0 {
+				kinds = anomaly.MakeSet(anomaly.DNS)
+			}
+			if (day+u)%5 == 0 {
+				kinds = kinds.Add(anomaly.RST)
+			}
+			recs = append(recs, rec(topology.ASN(10+v), url, at.Add(time.Duration(v)*time.Hour), path, kinds))
+			// A clean sibling path that avoids AS 50.
+			clean := []topology.ASN{topology.ASN(10 + v), mid, 60, topology.ASN(200 + u)}
+			recs = append(recs, rec(topology.ASN(10+v), url, at.Add(time.Duration(v+8)*time.Hour), clean, 0))
+		}
+	}
+	return recs
+}
+
+// TestIncrementalMatchesBatch slides a 4-day window over 13 synthetic days
+// (crossing a week and a month boundary) and checks at every position that
+// the incremental engine's instances and outcomes are identical, field for
+// field and in order, to a from-scratch batch BuildAndSolve over the same
+// in-window records.
+func TestIncrementalMatchesBatch(t *testing.T) {
+	const days, window = 13, 4
+	cfg := BuildConfig{Workers: 1}
+	inc := NewIncremental(cfg)
+	var inWindow [][]iclab.Record
+
+	for day := 0; day < days; day++ {
+		recs := synthDay(day)
+		inc.AddDay(day, recs)
+		inWindow = append(inWindow, recs)
+		if day >= window {
+			inc.RemoveDay(day - window)
+			inWindow = inWindow[1:]
+		}
+
+		gotInsts, gotOuts, stats := inc.BuildAndSolve()
+		var flat []iclab.Record
+		for _, d := range inWindow {
+			flat = append(flat, d...)
+		}
+		wantInsts, wantOuts := BuildAndSolve(flat, cfg)
+
+		if len(gotInsts) != len(wantInsts) {
+			t.Fatalf("day %d: %d instances, batch has %d", day, len(gotInsts), len(wantInsts))
+		}
+		for i := range wantInsts {
+			if !reflect.DeepEqual(canonInstance(gotInsts[i]), canonInstance(wantInsts[i])) {
+				t.Fatalf("day %d: instance %d (%v) differs from batch:\n got %+v\nwant %+v",
+					day, i, wantInsts[i].Key, gotInsts[i], wantInsts[i])
+			}
+		}
+		for i := range wantOuts {
+			if !reflect.DeepEqual(canonOutcome(gotOuts[i]), canonOutcome(wantOuts[i])) {
+				t.Fatalf("day %d: outcome %d (%v) differs from batch:\n got %+v\nwant %+v",
+					day, i, wantOuts[i].Inst.Key, gotOuts[i], wantOuts[i])
+			}
+		}
+		if day > 0 && stats.Reused == 0 {
+			t.Errorf("day %d: no cached outcomes reused while sliding", day)
+		}
+	}
+}
+
+// TestIncrementalNoChangeReusesEverything pins that a BuildAndSolve with no
+// intervening Add/Remove re-solves nothing.
+func TestIncrementalNoChangeReusesEverything(t *testing.T) {
+	inc := NewIncremental(BuildConfig{Workers: 1})
+	inc.AddDay(0, synthDay(0))
+	inc.AddDay(1, synthDay(1))
+	_, outs1, stats1 := inc.BuildAndSolve()
+	if stats1.Solved == 0 || stats1.Reused != 0 {
+		t.Fatalf("first solve: %+v", stats1)
+	}
+	_, outs2, stats2 := inc.BuildAndSolve()
+	if stats2.Solved != 0 || stats2.Reused != len(outs2) {
+		t.Fatalf("idle solve did work: %+v", stats2)
+	}
+	if !reflect.DeepEqual(outs1, outs2) {
+		t.Fatal("idle solve changed outcomes")
+	}
+}
+
+// TestIncrementalRemoveAllEmpties verifies full retraction returns the
+// engine to the empty state.
+func TestIncrementalRemoveAllEmpties(t *testing.T) {
+	inc := NewIncremental(BuildConfig{Workers: 1})
+	inc.AddDay(0, synthDay(0))
+	inc.AddDay(1, synthDay(1))
+	inc.RemoveDay(0)
+	inc.RemoveDay(1)
+	insts, outs, _ := inc.BuildAndSolve()
+	if len(insts) != 0 || len(outs) != 0 {
+		t.Fatalf("retracted engine still holds %d instances", len(insts))
+	}
+	// Re-adding after removal must work (fresh groups, fresh labels).
+	inc.AddDay(1, synthDay(1))
+	insts, _, _ = inc.BuildAndSolve()
+	want, _ := BuildAndSolve(synthDay(1), BuildConfig{Workers: 1})
+	if len(insts) != len(want) {
+		t.Fatalf("re-added day: %d instances, want %d", len(insts), len(want))
+	}
+}
+
+// TestIncrementalLongReplayEvictsAndMatches slides a narrow window far
+// enough that coarse-granularity keys retire many more day groups than
+// they hold resident, forcing the keySolver eviction/rebuild path — and
+// demands batch-identical outcomes throughout.
+func TestIncrementalLongReplayEvictsAndMatches(t *testing.T) {
+	const days, window = 40, 3
+	cfg := BuildConfig{Workers: 1}
+	inc := NewIncremental(cfg)
+	var inWindow [][]iclab.Record
+	for day := 0; day < days; day++ {
+		recs := synthDay(day)
+		inc.AddDay(day, recs)
+		inWindow = append(inWindow, recs)
+		if day >= window {
+			inc.RemoveDay(day - window)
+			inWindow = inWindow[1:]
+		}
+		var flat []iclab.Record
+		for _, d := range inWindow {
+			flat = append(flat, d...)
+		}
+		_, wantOuts := BuildAndSolve(flat, cfg)
+		_, gotOuts, _ := inc.BuildAndSolve()
+		if len(gotOuts) != len(wantOuts) {
+			t.Fatalf("day %d: %d outcomes, batch has %d", day, len(gotOuts), len(wantOuts))
+		}
+		for i := range wantOuts {
+			if !reflect.DeepEqual(canonOutcome(gotOuts[i]), canonOutcome(wantOuts[i])) {
+				t.Fatalf("day %d: outcome %d (%v) differs from batch after eviction",
+					day, i, wantOuts[i].Inst.Key)
+			}
+		}
+	}
+	// The year-granularity keys are touched (synced and later retired) by
+	// every one of the 37 removals, so without the eviction reset their
+	// retired counters would read 37 — far past the 2*resident+8 = 14
+	// threshold. A working eviction path keeps every counter at or below
+	// the threshold, proving the solver was dropped and rebuilt.
+	const removals = days - window
+	yearKeys := 0
+	for key, st := range inc.keys {
+		if key.Slice.Gran != timeslice.Year {
+			continue
+		}
+		yearKeys++
+		if st.sol == nil {
+			continue // evicted and not yet re-solved: fine
+		}
+		if st.sol.retired > 2*len(st.days)+8 {
+			t.Errorf("key %v: retired %d groups exceeds the eviction threshold %d — eviction never fired",
+				key, st.sol.retired, 2*len(st.days)+8)
+		}
+		if st.sol.retired >= removals {
+			t.Errorf("key %v: solver still remembers all %d retired groups", key, removals)
+		}
+	}
+	if yearKeys == 0 {
+		t.Fatal("no year-granularity keys resident; eviction assertion vacuous")
+	}
+}
+
+// TestIncrementalDuplicateDayPanics pins the double-add guard.
+func TestIncrementalDuplicateDayPanics(t *testing.T) {
+	inc := NewIncremental(BuildConfig{Workers: 1})
+	inc.AddDay(3, synthDay(3))
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate AddDay label did not panic")
+		}
+	}()
+	inc.AddDay(3, synthDay(3))
+}
+
+// TestIncrementalWorkersIrrelevant runs the same replay at several worker
+// counts and demands identical output — the determinism guarantee PR 1
+// established for the batch engine, extended to the incremental one.
+func TestIncrementalWorkersIrrelevant(t *testing.T) {
+	replay := func(workers int) string {
+		inc := NewIncremental(BuildConfig{Workers: workers})
+		var out string
+		for day := 0; day < 8; day++ {
+			inc.AddDay(day, synthDay(day))
+			if day >= 3 {
+				inc.RemoveDay(day - 3)
+			}
+			_, outs, _ := inc.BuildAndSolve()
+			for _, o := range outs {
+				out += fmt.Sprintf("%v/%v/%v/%d;", o.Inst.Key, o.Class, o.Censors, o.Eliminated)
+			}
+			out += "\n"
+		}
+		return out
+	}
+	serial := replay(1)
+	for _, w := range []int{0, 4} {
+		if got := replay(w); got != serial {
+			t.Fatalf("workers=%d replay differs from serial", w)
+		}
+	}
+}

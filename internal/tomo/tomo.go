@@ -1,14 +1,3 @@
-// Package tomo is the paper's primary contribution: boolean network
-// tomography over censorship measurements (§3).
-//
-// Each usable measurement record contributes one clause: the disjunction of
-// the ASes on its inferred AS-level path, asserted True when the record's
-// anomaly fired and False otherwise (a False clause is the conjunction of
-// the negated literals). Clauses are grouped into one CNF per (URL, time
-// slice, anomaly kind) — day, week, month and year granularities — and
-// solved. A unique model exactly identifies censoring ASes; multiple models
-// still eliminate most ASes as definite non-censors; no model indicates
-// measurement noise or a policy change inside the slice.
 package tomo
 
 import (
@@ -318,7 +307,22 @@ type Outcome struct {
 }
 
 // ReductionFrac returns the candidate-set reduction fraction for
-// multi-solution CNFs (Figure 2's quantity): eliminated / total.
+// multi-solution CNFs (Figure 2's quantity): Eliminated / TotalVars, the
+// fraction of the CNF's candidate ASes proven definite non-censors.
+//
+// Units and range: a dimensionless fraction in [0, 1]. 0 means no
+// candidate was eliminated (every AS in the CNF is still a potential
+// censor — Figure 2's "no elimination" mass); 1 would mean every candidate
+// was eliminated, which cannot arise from a Multiple outcome (some
+// variable is True in some model) and so only appears in degenerate
+// hand-built outcomes. A CNF with zero candidates (TotalVars == 0)
+// reports 0 rather than NaN.
+//
+// The quantity is only meaningful for Class == sat.Multiple: Unique
+// outcomes identify censors exactly (reduction is moot) and Unsat
+// outcomes eliminate nothing. For other classes the method returns
+// whatever Eliminated/TotalVars hold — 0 under Solve's population rules,
+// which never set Eliminated outside the Multiple case.
 func (o Outcome) ReductionFrac() float64 {
 	if o.TotalVars == 0 {
 		return 0
@@ -372,12 +376,20 @@ type IdentifiedCensor struct {
 }
 
 // IdentifyCensors unions the censors named by unique-solution outcomes —
-// the paper's headline "65 censoring ASes" set. minCNFs filters one-off
+// the paper's headline "65 censoring ASes" set. Only outcomes with
+// Class == sat.Unique contribute; Multiple outcomes' potential censors and
+// Unsat outcomes never name anyone.
+//
+// minCNFs is the corroboration threshold, counted in unique-solution CNFs
+// naming the AS (the IdentifiedCensor.CNFs field): an AS enters the result
+// only when at least minCNFs distinct (URL, time slice, anomaly kind) CNFs
+// each have it in their unique model. The threshold filters one-off
 // identifications: measurement noise occasionally fabricates a unique
 // solution blaming an innocent AS, but real censors are re-identified
 // across many slices and URLs; requiring at least minCNFs corroborating
-// CNFs (2 is a good default) removes most fabrications. Pass 1 for the
-// paper's unfiltered behaviour.
+// CNFs (2 is a good default; the full pipeline uses 8) removes most
+// fabrications. Pass 1 (or anything <= 1) for the paper's unfiltered
+// behaviour, where a single CNF suffices.
 func IdentifyCensors(outcomes []Outcome, minCNFs int) map[topology.ASN]*IdentifiedCensor {
 	found := map[topology.ASN]*IdentifiedCensor{}
 	for _, o := range outcomes {

@@ -1,0 +1,24 @@
+// Package topology generates the synthetic AS-level Internet the simulator
+// measures over: a hierarchy of tier-1, transit and stub autonomous systems
+// spread across countries and regions, wired with customer-provider and
+// peer-to-peer links (the inputs to Gao–Rexford routing), and each holding
+// one or more IPv4 prefixes.
+//
+// Paper correspondence: the substrate under everything. The real topology
+// is unavailable to a reproduction (the paper's vantage point dataset is
+// proprietary), so the generator is built to reproduce the structural
+// properties the paper's technique depends on: multi-homing (so BGP churn
+// yields distinct valley-free paths), regional peering locality (so leakage
+// is mostly regional, §4.4), and a handful of large international transit
+// ASes that export their routes across borders (the "China" role in the
+// paper's leakage analysis).
+//
+// Entry points: Generate builds a Graph from a GenConfig; Graph.Index /
+// MustIndex map ASNs to dense indices, HostIP derives stable host
+// addresses, and CountryByCode names regions for reports.
+//
+// Invariants: generation is deterministic for a GenConfig (same seed, same
+// graph, byte for byte); a Graph is immutable after Generate and therefore
+// safe for unsynchronized concurrent reads — routing, measurement and
+// analysis all share one instance across worker pools.
+package topology

@@ -1,16 +1,3 @@
-// Package topology generates the synthetic AS-level Internet the simulator
-// measures over: a hierarchy of tier-1, transit and stub autonomous systems
-// spread across countries and regions, wired with customer-provider and
-// peer-to-peer links (the inputs to Gao–Rexford routing), and each holding
-// one or more IPv4 prefixes.
-//
-// The real topology is unavailable to a reproduction (the paper's vantage
-// point dataset is proprietary), so the generator is built to reproduce the
-// structural properties the paper's technique depends on: multi-homing (so
-// BGP churn yields distinct valley-free paths), regional peering locality
-// (so leakage is mostly regional), and a handful of large international
-// transit ASes that export their routes across borders (the "China" role in
-// the paper's leakage analysis).
 package topology
 
 import (

@@ -1,17 +1,3 @@
-// Package traceroute simulates the platform's path measurements and the
-// AS-level path inference the tomography consumes.
-//
-// Each ICLab test records three traceroutes toward the destination (paper
-// §3.1). The simulator expands an AS-index path into router-level hops,
-// then simulates probing (non-responsive hops, outright failures). The
-// inference side converts hop addresses back to an AS path using the
-// historical IP-to-AS database and applies the paper's four elimination
-// rules for inconclusive paths:
-//
-//  1. no IP in the traceroute could be mapped;
-//  2. the traceroute itself failed;
-//  3. a silent hop sits between two different ASes (AS inference ambiguous);
-//  4. the three traceroutes disagree at the AS level.
 package traceroute
 
 import (

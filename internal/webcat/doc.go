@@ -1,0 +1,14 @@
+// Package webcat models the URL test list and its categorization — the
+// simulator's stand-in for the McAfee/trustedsource URL categorization
+// database the paper uses to characterize what censors block (Online
+// Shopping and Classifieds lead its findings; several ASes censor only ad
+// vendors).
+//
+// Entry points: GenURLs generates a deterministic categorized test list;
+// Category and Set mirror anomaly.Kind/Set's bitset idiom for category
+// membership.
+//
+// Invariants: URL generation is deterministic per seed; Category values
+// are dense and stable so per-category tallies can live in arrays and the
+// Set bitset stays coherent.
+package webcat

@@ -1,8 +1,3 @@
-// Package webcat models the URL test list and its categorization — the
-// simulator's stand-in for the McAfee/trustedsource URL categorization
-// database the paper uses to characterize what censors block (Online
-// Shopping and Classifieds lead its findings; several ASes censor only ad
-// vendors).
 package webcat
 
 import (

@@ -7,8 +7,11 @@ import (
 	"sync"
 
 	"churntomo/internal/anomaly"
+	"churntomo/internal/iclab"
 	"churntomo/internal/parallel"
 	"churntomo/internal/sat"
+	"churntomo/internal/stream"
+	"churntomo/internal/tomo"
 	"churntomo/internal/topology"
 )
 
@@ -95,6 +98,95 @@ func ScaleSweep(base Config, factors []float64) []Config {
 		out[i].Days = scale(base.Days, f, 1)
 	}
 	return out
+}
+
+// StreamConfig parameterizes a streaming replay (see StreamSweep).
+type StreamConfig struct {
+	// Window is the sliding window's width in days; 0 means cumulative
+	// (every window starts at day 0), in which case the final window
+	// reproduces the batch pipeline exactly.
+	Window int
+	// Stride is how many days the window advances between localizations;
+	// 0 means 1.
+	Stride int
+	// MinCNFs is the per-window corroboration threshold for naming a
+	// censor; 0 uses the pipeline default.
+	MinCNFs int
+}
+
+// StreamRun is a streaming replay's result: the substrate and full dataset,
+// the per-window localization timeline, and the per-censor convergence
+// stats derived from it.
+type StreamRun struct {
+	// Pipeline holds the substrate and the complete measured Dataset
+	// (identical to a batch run's); its Localize artifacts are not
+	// populated — the Windows timeline replaces them.
+	Pipeline *Pipeline
+	// Windows is the emitted timeline, in order.
+	Windows []*stream.Window
+	// Convergence summarizes each ever-identified censor's trajectory:
+	// first window seen, how many windows until it stabilized.
+	Convergence []stream.Convergence
+}
+
+// Final returns the last emitted window, or nil when the replay was too
+// short to fill one.
+func (sr *StreamRun) Final() *stream.Window {
+	if len(sr.Windows) == 0 {
+		return nil
+	}
+	return sr.Windows[len(sr.Windows)-1]
+}
+
+// StreamSweep replays one scenario day by day through the streaming
+// localizer: measurement days are generated in parallel shards (exactly the
+// batch engine's schedule), then pushed in day order into a stream.Engine
+// that re-solves only the CNFs each day boundary touches. Per-window
+// progress goes to r.Progress.
+//
+// With sc.Window == 0 the replay is cumulative and the final window's
+// identifications are identical to Run's on the same Config — the streaming
+// determinism guarantee, pinned by TestStreamReplayMatchesBatch.
+func (r *Runner) StreamSweep(cfg Config, sc StreamConfig) (*StreamRun, error) {
+	p, err := Prepare(cfg)
+	if err != nil {
+		return nil, err
+	}
+	cfg = p.Config // defaults filled
+	shards := iclab.RunByDay(p.Scenario, cfg.platformConfig())
+
+	minCNFs := sc.MinCNFs
+	if minCNFs <= 0 {
+		minCNFs = identifyMinCNFs
+	}
+	eng := stream.NewEngine(stream.Config{
+		Window:  sc.Window,
+		Stride:  sc.Stride,
+		MinCNFs: minCNFs,
+		Build:   tomo.BuildConfig{Workers: cfg.Workers},
+	})
+	run := &StreamRun{Pipeline: p}
+	emit := func(w *stream.Window) {
+		if w == nil {
+			return
+		}
+		run.Windows = append(run.Windows, w)
+		if r.Progress != nil {
+			fmt.Fprintln(r.Progress, w)
+		}
+	}
+	for _, day := range shards {
+		emit(eng.Push(day))
+	}
+	// Localize any tail days the stride grid left uncovered, so every
+	// measured day appears in the timeline and a cumulative replay's final
+	// window always equals the batch result.
+	emit(eng.Flush())
+	run.Convergence = stream.Converge(run.Windows)
+	// The pushed shards carry the IDs the batch merge would assign, so the
+	// merged dataset is bit-identical to a batch run's.
+	p.Dataset = iclab.NewDataset(p.Scenario, iclab.MergeShards(shards))
+	return run, nil
 }
 
 // AggregatedCensor is one AS's identification record across a matrix.

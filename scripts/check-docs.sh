@@ -1,0 +1,20 @@
+#!/bin/sh
+# check-docs.sh: asserts every internal/ package carries its package
+# documentation in a doc.go file opening with the conventional
+# "// Package <name>" comment — the layout ARCHITECTURE.md points readers
+# at. Run from the repo root; `make docs` wires it into CI.
+set -eu
+fail=0
+for dir in internal/*/; do
+    pkg=$(basename "$dir")
+    if [ ! -f "${dir}doc.go" ]; then
+        echo "missing ${dir}doc.go" >&2
+        fail=1
+        continue
+    fi
+    if ! grep -q "^// Package $pkg " "${dir}doc.go"; then
+        echo "${dir}doc.go lacks a '// Package $pkg ...' doc comment" >&2
+        fail=1
+    fi
+done
+exit $fail

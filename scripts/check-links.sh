@@ -1,0 +1,27 @@
+#!/bin/sh
+# check-links.sh: markdown link check. Every relative link in the repo's
+# *.md files must resolve to an existing file or directory (external
+# http(s)/mailto links and pure anchors are skipped; optional markdown
+# titles after the target are ignored). Run from the repo root; `make docs`
+# wires it into CI.
+set -eu
+broken=$(
+    find . -name '*.md' -not -path './.git/*' | while IFS= read -r md; do
+        dir=$(dirname "$md")
+        grep -o '](\([^)]*\))' "$md" | sed 's/^](//; s/)$//' |
+            while IFS= read -r link; do
+                [ -z "$link" ] && continue
+                case "$link" in
+                http://* | https://* | mailto:* | \#*) continue ;;
+                esac
+                target=${link%%#*}  # drop anchor
+                target=${target%% *} # drop optional "title"
+                [ -z "$target" ] && continue
+                [ -e "$dir/$target" ] || echo "$md: broken link: $link"
+            done || true
+    done
+)
+if [ -n "$broken" ]; then
+    printf '%s\n' "$broken" >&2
+    exit 1
+fi
