@@ -1,11 +1,11 @@
 # Development and CI entry points. `make ci` is the gate: build, the full
 # test suite under the race detector, the docs checks (vet + markdown link
-# check + per-package doc.go assertion), and a one-iteration benchmark
-# smoke so the paper-artifact benchmarks can't rot.
+# check + per-package doc.go assertion + the public-API gate), and a
+# one-iteration benchmark smoke so the paper-artifact benchmarks can't rot.
 
 GO ?= go
 
-.PHONY: all ci vet build test race bench docs fuzz clean
+.PHONY: all ci vet build test race bench docs api-check fuzz clean
 
 all: ci
 
@@ -17,9 +17,17 @@ vet:
 build:
 	$(GO) build ./...
 
+# Public-API gate: the examples must build as external consumers would and
+# must not import churntomo/internal packages — the Result/Event surface
+# has to be self-sufficient.
+api-check:
+	GOFLAGS=-mod=mod $(GO) build ./examples/...
+	sh scripts/check-api.sh
+
 # Documentation gate: every *.md relative link resolves, every internal
-# package documents itself in doc.go, and vet is clean.
-docs: vet
+# package documents itself in doc.go, the examples pass the public-API
+# check, and vet is clean.
+docs: vet api-check
 	sh scripts/check-links.sh
 	sh scripts/check-docs.sh
 

@@ -11,18 +11,28 @@
 //
 // Typical use:
 //
-//	p, err := churntomo.Run(churntomo.SmallConfig())
+//	exp, err := churntomo.New(churntomo.WithScale(churntomo.ScaleSmall))
 //	if err != nil { ... }
-//	for asn, c := range p.Identified { ... }
+//	res, err := exp.Run(ctx)
+//	if err != nil { ... }
+//	for _, c := range res.Censors { ... }
 //
-// Every run is deterministic for a given Config, at any Config.Workers
+// New constructs an Experiment from functional options; Experiment.Run
+// executes batch, streaming (WithWindow/WithStride) or matrix
+// (WithSeedSweep/WithScaleSweep/WithConfigs) runs through one cancelable
+// code path, reporting progress as typed Events to registered observers
+// and returning a Result expressed entirely in exported types.
+//
+// Every run is deterministic for a given option set, at any WithWorkers
 // setting: measurement days, CNF construction and solving are sharded
 // across worker pools whose output is bit-identical to serial execution.
-// Runner executes whole matrices of Configs (seed sweeps, scale sweeps)
-// concurrently and AggregateMatrix fuses their results.
+//
+// The pre-Experiment entry points (Run, Runner.RunMatrix,
+// Runner.StreamSweep) remain as deprecated shims over the same code path.
 package churntomo
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -64,6 +74,9 @@ type Config struct {
 	Start time.Time
 
 	// Progress, when non-nil, receives one line per pipeline stage.
+	//
+	// Deprecated: register WithObserver(TextObserver(w)) on an Experiment
+	// instead; WithConfig converts a non-nil Progress automatically.
 	Progress io.Writer
 }
 
@@ -148,31 +161,61 @@ type Pipeline struct {
 
 // Run executes the full pipeline: generate substrate, measure, build CNFs,
 // solve, identify censors, analyze leakage.
+//
+// Deprecated: use New(WithConfig(cfg)) and Experiment.Run(ctx), which add
+// cancellation, typed progress events and a Result free of internal types.
+// Run remains a thin shim over the same code path; for matching options
+// the identifications are byte-identical.
 func Run(cfg Config) (*Pipeline, error) {
-	p, err := Prepare(cfg)
+	e, err := New(WithConfig(cfg))
 	if err != nil {
 		return nil, err
 	}
-	p.Measure()
-	p.Localize()
-	return p, nil
+	cell, err := e.runCell(context.Background(), e.base, -1)
+	if err != nil {
+		return nil, err
+	}
+	return cell.pipe, nil
 }
 
 // Prepare builds the substrate (topology, churn, censors, mapping DB,
 // scenario) without running measurements — useful when a caller wants to
-// inspect or tweak the scenario first.
+// inspect or tweak the scenario first. Progress lines go to cfg.Progress.
 func Prepare(cfg Config) (*Pipeline, error) {
+	emit := func(Event) {}
+	if cfg.Progress != nil {
+		obs := TextObserver(cfg.Progress)
+		emit = func(ev Event) { obs(ev) }
+	}
+	return prepareCtx(context.Background(), cfg, emit)
+}
+
+// prepareCtx is the substrate builder behind Prepare and every Experiment
+// cell: topology, churn timeline, censors, IP-to-AS history, scenario.
+// ctx is checked before each stage; emit receives one Event per stage.
+func prepareCtx(ctx context.Context, cfg Config, emit func(Event)) (*Pipeline, error) {
 	cfg.fillDefaults()
 	end := cfg.Start.AddDate(0, 0, cfg.Days)
 	p := &Pipeline{Config: cfg}
-	progress := func(format string, args ...any) {
-		if cfg.Progress != nil {
-			fmt.Fprintf(cfg.Progress, format+"\n", args...)
+	stage := func(s Stage, fill func(*EventStats)) error {
+		if err := ctx.Err(); err != nil {
+			return err
 		}
+		ev := newEvent(s)
+		ev.Stats.Seed = cfg.Seed
+		if fill != nil {
+			fill(&ev.Stats)
+		}
+		emit(ev)
+		return nil
 	}
 
 	var err error
-	progress("generating topology (%d ASes, %d countries)", cfg.ASes, cfg.Countries)
+	if err = stage(StageTopology, func(st *EventStats) {
+		st.ASes, st.Countries = cfg.ASes, cfg.Countries
+	}); err != nil {
+		return nil, err
+	}
 	p.Graph, err = topology.Generate(topology.GenConfig{
 		Seed: cfg.Seed, ASes: cfg.ASes, Countries: cfg.Countries,
 	})
@@ -180,7 +223,9 @@ func Prepare(cfg Config) (*Pipeline, error) {
 		return nil, fmt.Errorf("churntomo: topology: %w", err)
 	}
 
-	progress("generating churn timeline (%d days)", cfg.Days)
+	if err = stage(StageTimeline, func(st *EventStats) { st.Days = cfg.Days }); err != nil {
+		return nil, err
+	}
 	p.Timeline, err = routing.GenTimeline(p.Graph, routing.TimelineConfig{
 		Seed: cfg.Seed + 1, Start: cfg.Start, End: end,
 	})
@@ -189,7 +234,9 @@ func Prepare(cfg Config) (*Pipeline, error) {
 	}
 	p.Oracle = routing.NewOracle(p.Graph, p.Timeline, 0)
 
-	progress("placing censors")
+	if err = stage(StageCensors, nil); err != nil {
+		return nil, err
+	}
 	p.Censors, err = censor.Generate(p.Graph, censor.GenConfig{
 		Seed: cfg.Seed + 2, Start: cfg.Start, End: end,
 	})
@@ -197,7 +244,9 @@ func Prepare(cfg Config) (*Pipeline, error) {
 		return nil, fmt.Errorf("churntomo: censors: %w", err)
 	}
 
-	progress("building historical IP-to-AS database")
+	if err = stage(StageIPASMap, nil); err != nil {
+		return nil, err
+	}
 	p.DB, err = ipasmap.Build(p.Graph, ipasmap.BuildConfig{
 		Seed: cfg.Seed + 3, Start: cfg.Start, End: end,
 	})
@@ -205,7 +254,11 @@ func Prepare(cfg Config) (*Pipeline, error) {
 		return nil, fmt.Errorf("churntomo: ipasmap: %w", err)
 	}
 
-	progress("selecting %d vantages and %d URLs", cfg.Vantages, cfg.URLs)
+	if err = stage(StageScenario, func(st *EventStats) {
+		st.Vantages, st.URLs = cfg.Vantages, cfg.URLs
+	}); err != nil {
+		return nil, err
+	}
 	p.Scenario, err = iclab.BuildScenario(p.Graph, p.Oracle, p.Censors, p.DB,
 		cfg.Start, end, iclab.ScenarioConfig{
 			Seed: cfg.Seed + 4, Vantages: cfg.Vantages, URLs: cfg.URLs,

@@ -6,6 +6,12 @@
 //	churnlab [-scale small|default|paper] [-seed N] [-only table1,figure3,...] [-validate]
 //	         [-parallel N] [-matrix N] [-stream] [-window D] [-stride D]
 //
+// churnlab is the reference consumer of the unified Experiment API: it
+// folds its flags into churntomo.New options and drives batch, matrix and
+// streaming runs through one Experiment.Run call on a signal-cancelable
+// context — Ctrl-C aborts the run promptly at the next stage/day/solve
+// boundary.
+//
 // -parallel bounds the per-stage worker pools (0 = all cores, 1 = serial);
 // results are identical at any setting. -matrix N runs a seed sweep of N
 // whole pipelines concurrently and prints the aggregated identifications
@@ -28,9 +34,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
 
@@ -40,7 +49,6 @@ import (
 	"churntomo/internal/leakage"
 	"churntomo/internal/report"
 	"churntomo/internal/sat"
-	"churntomo/internal/tomo"
 	"churntomo/internal/topology"
 	"churntomo/internal/webcat"
 )
@@ -58,21 +66,10 @@ func main() {
 	stride := flag.Int("stride", 1, "days the streaming window advances between localizations")
 	flag.Parse()
 
-	cfg := churntomo.DefaultConfig()
-	switch *scale {
-	case "small":
-		cfg = churntomo.SmallConfig()
-	case "default":
-	case "paper":
-		cfg = churntomo.PaperScaleConfig()
-	default:
+	sc, err := churntomo.ParseScale(*scale)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "churnlab: unknown scale %q\n", *scale)
 		os.Exit(2)
-	}
-	cfg.Seed = *seed
-	cfg.Workers = *parallel
-	if !*quiet {
-		cfg.Progress = os.Stderr
 	}
 
 	if *streamMode && *matrix > 1 {
@@ -96,26 +93,69 @@ func main() {
 			fmt.Fprintf(os.Stderr, "churnlab: -validate applies to single runs; ignored in %s mode\n", mode)
 		}
 	}
-	if *matrix > 1 {
-		warnIgnored("matrix")
-		runMatrix(cfg, *matrix, *quiet)
-		return
+
+	// Fold the flags into one option list — every mode goes through the
+	// same New(...).Run(ctx) entry point.
+	workers := *parallel
+	if *matrix > 1 && workers == 0 {
+		// The matrix supplies the concurrency: one serial pipeline per
+		// cell, rather than GOMAXPROCS cells each spawning GOMAXPROCS-wide
+		// stage pools. An explicit -parallel still overrides per cell.
+		workers = 1
 	}
-	if *streamMode {
+	opts := []churntomo.Option{
+		churntomo.WithScale(sc),
+		churntomo.WithSeed(*seed),
+		churntomo.WithWorkers(workers),
+	}
+	if !*quiet {
+		opts = append(opts, churntomo.WithObserver(churntomo.TextObserver(os.Stderr)))
+	}
+	switch {
+	case *matrix > 1:
+		warnIgnored("matrix")
+		opts = append(opts, churntomo.WithSeedSweep(*matrix))
+	case *streamMode:
 		warnIgnored("stream")
-		runStream(cfg, churntomo.StreamConfig{Window: *window, Stride: *stride}, *quiet)
-		return
+		opts = append(opts, churntomo.WithWindow(*window), churntomo.WithStride(*stride))
 	}
 
-	p, err := churntomo.Run(cfg)
+	exp, err := churntomo.New(opts...)
 	if err != nil {
+		fmt.Fprintf(os.Stderr, "churnlab: %v\n", err)
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	res, err := exp.Run(ctx)
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "churnlab: interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintf(os.Stderr, "churnlab: %v\n", err)
 		os.Exit(1)
 	}
 
+	switch res.Mode {
+	case churntomo.ModeMatrix:
+		reportMatrix(res, *seed, *matrix, *quiet)
+	case churntomo.ModeStreaming:
+		reportStream(res, *window, *stride)
+	default:
+		reportBatch(res, *only, *validate)
+	}
+}
+
+// reportBatch prints the single-run evaluation: the paper's tables and
+// figures over the full internal artifacts (res.Pipelines[0]), which the
+// in-repo analysis helpers consume directly.
+func reportBatch(res *churntomo.Result, only string, validate bool) {
+	p := res.Pipelines[0]
 	want := map[string]bool{}
-	if *only != "" {
-		for _, s := range strings.Split(*only, ",") {
+	if only != "" {
+		for _, s := range strings.Split(only, ",") {
 			want[strings.TrimSpace(s)] = true
 		}
 	}
@@ -147,11 +187,11 @@ func main() {
 	}
 	if show("figure3") {
 		fmt.Println("== Figure 3: distinct AS paths per (src,dst) pair ==")
-		printChurn(p)
+		printChurn(res)
 	}
 	if show("figure4") {
 		fmt.Println("== Figure 4: solutions without path churn (ablation) ==")
-		rows := analysis.Figure4(p.Dataset.Records, cfg.Workers)
+		rows := analysis.Figure4(p.Dataset.Records, p.Config.Workers)
 		var groups []string
 		var values [][]float64
 		for _, r := range rows {
@@ -177,45 +217,35 @@ func main() {
 		printHeadline(p)
 		printCategories(p)
 	}
-	if *validate && len(want) == 0 {
+	if validate && len(want) == 0 {
 		printValidation(p)
 	}
 }
 
-// runMatrix executes a seed sweep of n pipelines and prints the aggregated
-// identifications: which ASes are named in how many runs, which survive
-// every resampling, and the summed leakage.
-func runMatrix(base churntomo.Config, n int, quiet bool) {
-	if base.Workers == 0 {
-		// The matrix supplies the concurrency: one serial pipeline per
-		// cell, rather than GOMAXPROCS cells each spawning GOMAXPROCS-wide
-		// stage pools. An explicit -parallel still overrides per cell.
-		base.Workers = 1
-	}
-	r := &churntomo.Runner{}
-	if !quiet {
-		r.Progress = os.Stderr
-	}
-	results := r.RunMatrix(churntomo.SeedSweep(base, n))
-	agg := churntomo.AggregateMatrix(results)
+// reportMatrix prints the aggregated identifications of a seed sweep:
+// which ASes are named in how many runs, which survive every resampling,
+// and the summed leakage.
+func reportMatrix(res *churntomo.Result, seed uint64, n int, quiet bool) {
+	agg := res.Matrix
 	if quiet {
-		// With no Progress writer the runner reported nothing; failures
+		// With no observer registered nothing was reported; failures
 		// still need to surface.
-		for _, res := range results {
-			if res.Err != nil {
-				fmt.Fprintf(os.Stderr, "churnlab: matrix cell %d (seed %d): %v\n", res.Index, res.Config.Seed, res.Err)
+		for _, cell := range res.Cells {
+			if cell.Err != nil {
+				fmt.Fprintf(os.Stderr, "churnlab: matrix cell %d (seed %d): %v\n",
+					cell.Index, cell.Config.Seed, cell.Err)
 			}
 		}
 	}
 
 	fmt.Printf("== Matrix aggregate: %d runs (%d failed), seeds %d..%d ==\n",
-		agg.Runs, agg.Failed, base.Seed, base.Seed+uint64(n-1))
+		agg.Runs, agg.Failed, seed, seed+uint64(n-1))
 	fmt.Printf("CNFs: %d total, %d unique-solution\n", agg.TotalCNFs, agg.UniqueCNFs)
 	fmt.Printf("leakage (summed): %d censors leak to other ASes, %d to other countries\n\n",
 		agg.LeakASes, agg.LeakCountries)
 
 	rows := [][]string{}
-	for _, c := range agg.RankedCensors() {
+	for _, c := range agg.Censors {
 		rows = append(rows, []string{
 			c.ASN.String(),
 			fmt.Sprintf("%d/%d", c.Runs, agg.Runs),
@@ -224,9 +254,8 @@ func runMatrix(base churntomo.Config, n int, quiet bool) {
 		})
 	}
 	fmt.Print(report.Table([]string{"AS", "Runs", "CNFs", "Anomalies"}, rows))
-	stable := agg.StableCensors()
-	names := make([]string, len(stable))
-	for i, asn := range stable {
+	names := make([]string, len(agg.Stable))
+	for i, asn := range agg.Stable {
 		names[i] = asn.String()
 	}
 	fmt.Printf("\nstable across every run: %s\n", strings.Join(names, ", "))
@@ -235,32 +264,24 @@ func runMatrix(base churntomo.Config, n int, quiet bool) {
 	}
 }
 
-// runStream replays the scenario through the streaming localizer and prints
-// the window timeline and the per-censor convergence report.
-func runStream(cfg churntomo.Config, sc churntomo.StreamConfig, quiet bool) {
-	r := &churntomo.Runner{}
-	if !quiet {
-		r.Progress = os.Stderr
-	}
-	run, err := r.StreamSweep(cfg, sc)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "churnlab: %v\n", err)
-		os.Exit(1)
-	}
-	if len(run.Windows) == 0 {
-		fmt.Fprintf(os.Stderr, "churnlab: %d days never filled a %d-day window\n", cfg.Days, sc.Window)
+// reportStream prints the window timeline and the per-censor convergence
+// report of a streaming replay.
+func reportStream(res *churntomo.Result, window, stride int) {
+	if len(res.Windows) == 0 {
+		fmt.Fprintf(os.Stderr, "churnlab: %d days never filled a %d-day window\n",
+			res.Config.Days, window)
 		os.Exit(1)
 	}
 
-	mode := fmt.Sprintf("%d-day sliding", sc.Window)
-	if sc.Window == 0 {
+	mode := fmt.Sprintf("%d-day sliding", window)
+	if window == 0 {
 		mode = "cumulative"
 	}
 	fmt.Printf("== Streaming timeline: %s window, stride %d, %d windows over %d days ==\n",
-		mode, max(sc.Stride, 1), len(run.Windows), cfg.Days)
+		mode, max(stride, 1), len(res.Windows), res.Config.Days)
 	rows := [][]string{}
-	var prev map[topology.ASN]*tomo.IdentifiedCensor
-	for _, w := range run.Windows {
+	var prev map[churntomo.ASN]*churntomo.IdentifiedCensor
+	for _, w := range res.Windows {
 		var gained, lost []string
 		for asn := range w.Identified {
 			if _, ok := prev[asn]; !ok {
@@ -281,7 +302,7 @@ func runStream(cfg churntomo.Config, sc churntomo.StreamConfig, quiet bool) {
 		rows = append(rows, []string{
 			fmt.Sprint(w.Index),
 			fmt.Sprintf("%d..%d", w.StartDay, w.EndDay),
-			fmt.Sprint(len(w.Outcomes)),
+			fmt.Sprint(w.CNFs),
 			fmt.Sprintf("%d/%d", w.Solved, w.Reused),
 			fmt.Sprint(len(w.Identified)),
 			strings.TrimSpace(delta),
@@ -292,7 +313,7 @@ func runStream(cfg churntomo.Config, sc churntomo.StreamConfig, quiet bool) {
 
 	fmt.Println("\n== Censor convergence (windows until identification stabilizes) ==")
 	crows := [][]string{}
-	for _, c := range run.Convergence {
+	for _, c := range res.Convergence {
 		stable := "unstable"
 		if c.StableFrom >= 0 {
 			stable = fmt.Sprintf("window %d", c.StableFrom)
@@ -300,20 +321,20 @@ func runStream(cfg churntomo.Config, sc churntomo.StreamConfig, quiet bool) {
 		crows = append(crows, []string{
 			c.ASN.String(),
 			fmt.Sprint(c.FirstWindow),
-			fmt.Sprintf("%d/%d", c.Windows, len(run.Windows)),
+			fmt.Sprintf("%d/%d", c.Windows, len(res.Windows)),
 			stable,
 		})
 	}
 	fmt.Print(report.Table([]string{"AS", "First seen", "Windows", "Stable from"}, crows))
 
-	final := run.Final()
+	final := res.FinalWindow()
 	solved, reused := 0, 0
-	for _, w := range run.Windows {
+	for _, w := range res.Windows {
 		solved += w.Solved
 		reused += w.Reused
 	}
 	fmt.Printf("\nfinal window [day %d..%d]: %d censors over %d CNFs\n",
-		final.StartDay, final.EndDay, len(final.Identified), len(final.Outcomes))
+		final.StartDay, final.EndDay, len(final.Identified), final.CNFs)
 	fmt.Printf("incremental work: %d CNF solves, %d cache reuses (%.0f%% avoided)\n",
 		solved, reused, 100*float64(reused)/float64(max(solved+reused, 1)))
 }
@@ -329,14 +350,14 @@ func printSolvability(rows []analysis.SolvabilityRow) {
 	fmt.Println()
 }
 
-func printChurn(p *churntomo.Pipeline) {
+func printChurn(res *churntomo.Result) {
 	rows := [][]string{}
-	for _, d := range analysis.Figure3(p.Dataset.Records) {
-		row := []string{d.Gran.String()}
+	for _, d := range res.Churn {
+		row := []string{d.Period}
 		for b := 1; b <= 5; b++ {
 			row = append(row, fmt.Sprintf("%.1f%%", 100*d.Buckets[b]))
 		}
-		row = append(row, fmt.Sprintf("%.1f%%", 100*d.ChangedFrac()), fmt.Sprint(d.Samples))
+		row = append(row, fmt.Sprintf("%.1f%%", 100*d.ChangedFrac), fmt.Sprint(d.Samples))
 		rows = append(rows, row)
 	}
 	fmt.Print(report.Table(

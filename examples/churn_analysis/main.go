@@ -3,76 +3,65 @@
 // ablation (Figure 4) demonstrating that churn is what makes the tomography
 // solvable.
 //
+// The churn distributions, the per-class split and the ablation all come
+// from the public Result (the ablation via WithChurnAblation) — no
+// churntomo/internal imports.
+//
 //	go run ./examples/churn_analysis
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 
 	"churntomo"
-	"churntomo/internal/analysis"
-	"churntomo/internal/churn"
-	"churntomo/internal/report"
-	"churntomo/internal/sat"
-	"churntomo/internal/timeslice"
-	"churntomo/internal/tomo"
 )
 
 func main() {
-	cfg := churntomo.SmallConfig()
-	cfg.Days = 90
-	cfg.Progress = os.Stderr
-
-	p, err := churntomo.Run(cfg)
+	exp, err := churntomo.New(
+		churntomo.WithScale(churntomo.ScaleSmall),
+		churntomo.WithDays(90),
+		churntomo.WithChurnAblation(),
+		churntomo.WithObserver(churntomo.TextObserver(os.Stderr)),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := exp.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Println("\ndistinct AS-level paths per (vantage, URL) pair (paper Figure 3):")
-	rows := [][]string{}
-	for _, d := range analysis.Figure3(p.Dataset.Records) {
-		rows = append(rows, []string{
-			d.Gran.String(),
-			fmt.Sprintf("%.1f%%", 100*d.Buckets[1]),
-			fmt.Sprintf("%.1f%%", 100*d.Buckets[2]),
-			fmt.Sprintf("%.1f%%", 100*(d.Buckets[3]+d.Buckets[4])),
-			fmt.Sprintf("%.1f%%", 100*d.Buckets[churn.MaxBucket]),
-			fmt.Sprintf("%.1f%%", 100*d.ChangedFrac()),
-		})
+	fmt.Printf("  %-8s %8s %8s %8s %8s %9s\n", "period", "1 path", "2", "3-4", "5+", "changed")
+	for _, d := range res.Churn {
+		fmt.Printf("  %-8s %7.1f%% %7.1f%% %7.1f%% %7.1f%% %8.1f%%\n",
+			d.Period,
+			100*d.Buckets[1], 100*d.Buckets[2],
+			100*(d.Buckets[3]+d.Buckets[4]), 100*d.Buckets[5],
+			100*d.ChangedFrac)
 	}
-	fmt.Print(report.Table([]string{"period", "1 path", "2", "3-4", "5+", "changed"}, rows))
 
 	fmt.Println("\nchurn by destination class (paper: no significant difference):")
-	byClass := churn.ByDestinationClass(p.Dataset.Records, p.Graph, timeslice.Month)
-	for _, class := range churn.Classes(byClass) {
-		fmt.Printf("  %-12s changed %.1f%% (n=%d)\n",
-			class, 100*byClass[class].ChangedFrac(), byClass[class].Samples)
+	for _, c := range res.ChurnByClass {
+		fmt.Printf("  %-12s changed %.1f%% (n=%d)\n", c.Class, 100*c.ChangedFrac, c.Samples)
 	}
 
 	// Ablation: with churn vs without (first observed path only).
 	fmt.Println("\nsolvability with churn vs without (paper Figure 4):")
-	withChurn := classCounts(p.Outcomes)
-	noChurnRows := analysis.Figure4(p.Dataset.Records, 0)
+	total := float64(res.Summary.CNFs)
+	if total == 0 {
+		total = 1
+	}
 	fmt.Printf("  %-18s unique %.1f%%, none %.1f%%, multiple %.1f%%\n",
-		"with churn:", 100*withChurn[sat.Unique], 100*withChurn[sat.Unsat], 100*withChurn[sat.Multiple])
-	for _, r := range noChurnRows {
+		"with churn:",
+		100*float64(res.Summary.UniqueCNFs)/total,
+		100*float64(res.Summary.UnsatCNFs)/total,
+		100*float64(res.Summary.MultipleCNFs)/total)
+	for _, r := range res.NoChurn {
 		fmt.Printf("  no churn (%s): 5+ solutions %.1f%%, unique %.1f%%\n",
-			r.Gran, 100*r.Frac[5], 100*r.Frac[1])
+			r.Period, 100*r.Frac[5], 100*r.Frac[1])
 	}
-}
-
-func classCounts(outcomes []tomo.Outcome) [3]float64 {
-	var frac [3]float64
-	if len(outcomes) == 0 {
-		return frac
-	}
-	for _, o := range outcomes {
-		frac[o.Class]++
-	}
-	for i := range frac {
-		frac[i] /= float64(len(outcomes))
-	}
-	return frac
 }

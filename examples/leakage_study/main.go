@@ -1,61 +1,64 @@
 // Leakage study: reproduce the paper's §3.3 analysis — which censoring ASes
-// leak their policies to users in other networks and countries (Tables 3
+// leak their policies to users in other networks and countries (Table 3
 // and Figure 5), and how regional that leakage is.
+//
+// Everything comes from the public Result.Leakage summary: ranked leakers
+// with their resolved victims, country-level flow edges with display
+// names, and the regional fraction — no churntomo/internal imports.
 //
 //	go run ./examples/leakage_study
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 
 	"churntomo"
-	"churntomo/internal/leakage"
-	"churntomo/internal/report"
-	"churntomo/internal/topology"
 )
 
 func main() {
-	cfg := churntomo.SmallConfig()
-	cfg.Days = 120 // leakage needs unique solutions; give churn time to accrue
-	cfg.Progress = os.Stderr
-
-	p, err := churntomo.Run(cfg)
+	exp, err := churntomo.New(
+		churntomo.WithScale(churntomo.ScaleSmall),
+		churntomo.WithDays(120), // leakage needs unique solutions; give churn time to accrue
+		churntomo.WithObserver(churntomo.TextObserver(os.Stderr)),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
+	res, err := exp.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	leak := res.Leakage
 
 	fmt.Printf("\ncensors identified: %d; leaking to other ASes: %d; to other countries: %d\n\n",
-		len(p.Identified), p.Leakage.LeakToOtherASes(), p.Leakage.LeakToOtherCountries())
+		len(res.Censors), leak.LeakToOtherASes, leak.LeakToOtherCountries)
 
 	fmt.Println("top leakers (paper Table 3):")
-	rows := [][]string{}
-	for _, l := range p.Leakage.TopLeakers(p.Graph, 8) {
-		rows = append(rows, []string{
-			l.ASN.String(), l.Name, l.Country,
-			fmt.Sprint(l.LeakedASes), fmt.Sprint(l.LeakedCountries),
-		})
+	fmt.Printf("  %-9s %-20s %-8s %10s %15s\n", "AS", "Name", "Country", "Leaks(AS)", "Leaks(Country)")
+	for i, l := range leak.Leakers {
+		if i == 8 {
+			break
+		}
+		fmt.Printf("  %-9v %-20s %-8s %10d %15d\n",
+			l.ASN, l.Name, l.Country, l.LeakedASes, l.LeakedCountries)
 	}
-	fmt.Print(report.Table([]string{"AS", "Name", "Country", "Leaks(AS)", "Leaks(Country)"}, rows))
 
 	fmt.Println("\ncountry-level flow (paper Figure 5):")
-	for _, e := range p.Leakage.FlowEdges() {
-		from, _ := topology.CountryByCode(e.Edge.From)
-		to, _ := topology.CountryByCode(e.Edge.To)
-		fmt.Printf("  %-20s -> %-20s weight %d\n", from.Name, to.Name, e.Weight)
+	for _, e := range leak.Flow {
+		fmt.Printf("  %-20s -> %-20s weight %d\n", e.FromName, e.ToName, e.Weight)
 	}
 	fmt.Printf("\nregional fraction of non-CN leakage: %.0f%% (paper: mostly regional outside China)\n",
-		100*p.Leakage.RegionalFrac(p.Graph, "CN"))
+		100*leak.RegionalFracNonCN)
 
-	// Inspect one leak in detail.
-	for _, l := range p.Leakage.TopLeakers(p.Graph, 1) {
-		detail := p.Leakage.ByCensor[l.ASN]
-		fmt.Printf("\nvictims of %v (%s):\n", l.ASN, l.Country)
-		for victim := range detail.VictimASes {
-			as, _ := p.Graph.ByASN(victim)
-			fmt.Printf("  %-9v %-20s %s\n", victim, as.Name, as.Country)
+	// Inspect one leak in detail: the top leaker's victims.
+	if len(leak.Leakers) > 0 {
+		top := leak.Leakers[0]
+		fmt.Printf("\nvictims of %v (%s):\n", top.ASN, top.Country)
+		for _, v := range top.Victims {
+			fmt.Printf("  %-9v %-20s %s\n", v.ASN, v.Name, v.Country)
 		}
 	}
-	_ = leakage.FlowEdge{}
 }

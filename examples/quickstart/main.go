@@ -2,48 +2,47 @@
 // Internet and print which ASes were localized as censors, compared against
 // the scenario's ground truth.
 //
+// The example consumes only churntomo's public Experiment API — no
+// churntomo/internal imports (enforced by `make api-check`) — exactly as
+// an external module would.
+//
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
-	"sort"
 
 	"churntomo"
-	"churntomo/internal/topology"
 )
 
 func main() {
-	cfg := churntomo.SmallConfig()
-	cfg.Progress = os.Stderr
-
-	p, err := churntomo.Run(cfg)
+	exp, err := churntomo.New(
+		churntomo.WithScale(churntomo.ScaleSmall),
+		churntomo.WithObserver(churntomo.TextObserver(os.Stderr)),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := exp.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Printf("\nmeasurements: %d, usable CNFs: %d\n\n",
-		p.Dataset.Stats.Measurements, len(p.Outcomes))
-
-	var asns []topology.ASN
-	for asn := range p.Identified {
-		asns = append(asns, asn)
-	}
-	sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+		res.Summary.Measurements, res.Summary.CNFs)
 
 	fmt.Println("localized censoring ASes:")
-	for _, asn := range asns {
-		c := p.Identified[asn]
-		as, _ := p.Graph.ByASN(asn)
+	for _, c := range res.Censors {
 		truth := "SPURIOUS (noise artifact)"
-		if _, ok := p.Censors.Policy(asn); ok {
+		if c.TrueCensor {
 			truth = "confirmed by ground truth"
 		}
 		fmt.Printf("  %-9v %-20s %s  kinds=%-14v via %d CNFs  [%s]\n",
-			asn, as.Name, as.Country, c.Kinds, c.CNFs, truth)
+			c.ASN, c.Name, c.Country, c.Kinds, c.CNFs, truth)
 	}
 	fmt.Printf("\ncensors leaking across ASes: %d, across countries: %d\n",
-		p.Leakage.LeakToOtherASes(), p.Leakage.LeakToOtherCountries())
+		res.Leakage.LeakToOtherASes, res.Leakage.LeakToOtherCountries)
 }

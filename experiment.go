@@ -1,0 +1,390 @@
+package churntomo
+
+// Experiment is the unified entry point: one context-aware, option-driven
+// abstraction that executes batch, streaming and matrix runs through a
+// single cell runner. The deprecated Run/StreamSweep/RunMatrix entry
+// points are thin shims over the same code path, which is what keeps their
+// outputs byte-identical to Experiment's.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"churntomo/internal/iclab"
+	"churntomo/internal/leakage"
+	"churntomo/internal/parallel"
+	"churntomo/internal/stream"
+	"churntomo/internal/tomo"
+)
+
+// Mode is how an Experiment executes.
+type Mode int
+
+const (
+	// ModeBatch measures everything, then builds and solves once.
+	ModeBatch Mode = iota
+	// ModeStreaming replays the scenario day by day through the
+	// incremental windowed localizer.
+	ModeStreaming
+	// ModeMatrix runs many whole pipelines concurrently and aggregates.
+	ModeMatrix
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case ModeBatch:
+		return "batch"
+	case ModeStreaming:
+		return "streaming"
+	case ModeMatrix:
+		return "matrix"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Experiment is one configured experiment: construct with New, execute
+// with Run. An Experiment is immutable after New and safe to Run multiple
+// times (every run is deterministic for the same options) or concurrently.
+type Experiment struct {
+	base Config
+
+	streaming      bool
+	window, stride int
+	minCNFs        int
+	seedSweep      int
+	scaleFactors   []float64
+	cells          []Config
+	matrixWorkers  int
+	ablation       bool
+
+	observers []Observer
+	obsMu     sync.Mutex
+}
+
+// New constructs an Experiment from functional options, validating every
+// option and the combination: streaming options (WithWindow, WithStride,
+// WithStreaming) and matrix options (WithSeedSweep, WithScaleSweep,
+// WithConfigs) are mutually exclusive, and at most one matrix shape may be
+// given. With no options the experiment is a batch DefaultConfig run.
+func New(opts ...Option) (*Experiment, error) {
+	e := &Experiment{}
+	for _, opt := range opts {
+		if opt == nil {
+			return nil, fmt.Errorf("churntomo: New: nil Option")
+		}
+		if err := opt(e); err != nil {
+			return nil, err
+		}
+	}
+	shapes := 0
+	for _, set := range []bool{e.seedSweep > 1, len(e.scaleFactors) > 0, len(e.cells) > 0} {
+		if set {
+			shapes++
+		}
+	}
+	if shapes > 1 {
+		return nil, fmt.Errorf("churntomo: New: choose at most one of WithSeedSweep, WithScaleSweep and WithConfigs")
+	}
+	if shapes > 0 && e.streaming {
+		return nil, fmt.Errorf("churntomo: New: streaming and matrix modes are mutually exclusive")
+	}
+	return e, nil
+}
+
+// Mode reports how the experiment will execute.
+func (e *Experiment) Mode() Mode {
+	switch {
+	case e.seedSweep > 1 || len(e.scaleFactors) > 0 || len(e.cells) > 0:
+		return ModeMatrix
+	case e.streaming:
+		return ModeStreaming
+	default:
+		return ModeBatch
+	}
+}
+
+// emit delivers an event to every registered observer, serialized so
+// concurrent matrix cells never interleave observer calls.
+func (e *Experiment) emit(ev Event) {
+	if len(e.observers) == 0 {
+		return
+	}
+	e.obsMu.Lock()
+	defer e.obsMu.Unlock()
+	for _, obs := range e.observers {
+		obs(ev)
+	}
+}
+
+// Run executes the experiment: substrate generation, measurement,
+// localization — batch, streaming or matrix, per the options — honoring
+// ctx cancellation and deadline at every stage boundary and inside the
+// sharded day/solve loops. Once ctx is done, no further stage, day shard,
+// CNF solve or matrix cell starts and Run returns ctx.Err(); work already
+// in flight finishes first (bounded by one day's measurement or one CNF
+// solve), and no goroutines are leaked. A nil ctx means context.Background.
+//
+// In matrix mode a failed cell does not abort the run — its error lands in
+// Result.Cells and MatrixSummary.Failed — but a done ctx does.
+func (e *Experiment) Run(ctx context.Context) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if e.Mode() == ModeMatrix {
+		return e.runMatrixMode(ctx)
+	}
+	cell, err := e.runCell(ctx, e.base, -1)
+	if err != nil {
+		return nil, err
+	}
+	return e.singleResult(cell), nil
+}
+
+// cellRun is one cell's raw outcome before Result conversion.
+type cellRun struct {
+	cfg     Config // defaults filled
+	pipe    *Pipeline
+	windows []*stream.Window
+	conv    []stream.Convergence
+}
+
+// final returns the last emitted window, or nil.
+func (cr *cellRun) final() *stream.Window {
+	if len(cr.windows) == 0 {
+		return nil
+	}
+	return cr.windows[len(cr.windows)-1]
+}
+
+// resolvedMinCNFs is the corroboration threshold after defaulting.
+func (e *Experiment) resolvedMinCNFs() int {
+	if e.minCNFs > 0 {
+		return e.minCNFs
+	}
+	return identifyMinCNFs
+}
+
+// runCell executes one pipeline — THE code path shared by every mode and
+// every deprecated shim. cell is the matrix cell index, -1 outside matrix
+// mode; it tags every emitted event. Batch cells localize with one
+// BuildAndSolve; streaming cells replay the measured days through a
+// stream.Engine. Cancellation is checked at each stage boundary, between
+// streamed days, and inside the sharded loops via the ctx-aware engines.
+func (e *Experiment) runCell(ctx context.Context, cfg Config, cell int) (*cellRun, error) {
+	cfg.Progress = nil // progress flows through the event stream only
+	emit := func(ev Event) {
+		ev.Cell = cell
+		e.emit(ev)
+	}
+
+	p, err := prepareCtx(ctx, cfg, emit)
+	if err != nil {
+		return nil, err
+	}
+	cfg = p.Config // defaults filled
+	cr := &cellRun{cfg: cfg, pipe: p}
+
+	ev := newEvent(StageMeasure)
+	ev.Stats.Seed = cfg.Seed
+	emit(ev)
+	shards, err := iclab.RunByDayCtx(ctx, p.Scenario, cfg.platformConfig())
+	if err != nil {
+		return nil, err
+	}
+
+	if e.streaming && cell < 0 {
+		if err := e.replay(ctx, cr, shards, emit); err != nil {
+			return nil, err
+		}
+		// The pushed shards carry the IDs the batch merge would assign, so
+		// the merged dataset is bit-identical to a batch run's. The batch
+		// Localize artifacts stay nil — the window timeline replaces them.
+		p.Dataset = iclab.NewDataset(p.Scenario, iclab.MergeShards(shards))
+		return cr, nil
+	}
+
+	p.Dataset = iclab.NewDataset(p.Scenario, iclab.MergeShards(shards))
+	ev = newEvent(StageSolve)
+	ev.Stats.Seed = cfg.Seed
+	emit(ev)
+	p.Instances, p.Outcomes, err = tomo.BuildAndSolveCtx(ctx, p.Dataset.Records, tomo.BuildConfig{Workers: cfg.Workers})
+	if err != nil {
+		return nil, err
+	}
+	p.Identified = tomo.IdentifyCensors(p.Outcomes, e.resolvedMinCNFs())
+	p.Leakage = leakage.Analyze(p.Outcomes, p.Graph)
+	return cr, nil
+}
+
+// replay pushes the measured day shards through the streaming localizer,
+// emitting StageDay and StageWindow events as the timeline unfolds.
+func (e *Experiment) replay(ctx context.Context, cr *cellRun, shards [][]iclab.Record, emit func(Event)) error {
+	eng := stream.NewEngine(stream.Config{
+		Window:  e.window,
+		Stride:  e.stride,
+		MinCNFs: e.resolvedMinCNFs(),
+		Build:   tomo.BuildConfig{Workers: cr.cfg.Workers},
+	})
+	record := func(w *stream.Window) {
+		if w == nil {
+			return
+		}
+		cr.windows = append(cr.windows, w)
+		ev := newEvent(StageWindow)
+		ev.Window = w.Index
+		ev.Stats = EventStats{
+			Seed: cr.cfg.Seed, StartDay: w.StartDay, EndDay: w.EndDay,
+			CNFs: len(w.Outcomes), Solved: w.Solved, Reused: w.Reused,
+			Censors: len(w.Identified),
+		}
+		emit(ev)
+	}
+	for day, records := range shards {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		w, err := eng.PushCtx(ctx, records)
+		if err != nil {
+			return err
+		}
+		ev := newEvent(StageDay)
+		ev.Day = day
+		ev.Stats.Seed = cr.cfg.Seed
+		emit(ev)
+		record(w)
+	}
+	// Localize any tail days the stride grid left uncovered, so every
+	// measured day appears in the timeline and a cumulative replay's
+	// final window always equals the batch result.
+	w, err := eng.FlushCtx(ctx)
+	if err != nil {
+		return err
+	}
+	record(w)
+	cr.conv = stream.Converge(cr.windows)
+	return nil
+}
+
+// singleResult converts a batch or streaming cell into the public Result.
+func (e *Experiment) singleResult(cr *cellRun) *Result {
+	p := cr.pipe
+	res := &Result{
+		Config:    cr.cfg,
+		Mode:      e.Mode(),
+		Pipelines: []*Pipeline{p},
+	}
+	var outcomes []tomo.Outcome
+	if e.streaming {
+		res.Windows = windowResultsOf(cr.windows)
+		res.Convergence = convergencesOf(cr.conv)
+		if final := cr.final(); final != nil {
+			outcomes = final.Outcomes
+			res.Identified = final.Identified
+		} else {
+			res.Identified = map[ASN]*IdentifiedCensor{}
+		}
+		if outcomes != nil {
+			res.Leakage = leakageSummaryOf(leakage.Analyze(outcomes, p.Graph), p.Graph)
+		}
+	} else {
+		outcomes = p.Outcomes
+		res.Identified = p.Identified
+		res.Leakage = leakageSummaryOf(p.Leakage, p.Graph)
+	}
+	res.Censors = censorsOf(res.Identified, p)
+	res.Summary = summaryOf(p, outcomes)
+	res.Churn = churnOf(p)
+	res.ChurnByClass = churnByClassOf(p)
+	if e.ablation {
+		res.NoChurn = ablationOf(p, cr.cfg.Workers)
+	}
+	return res
+}
+
+// matrixConfigs expands the configured sweep into per-cell configs.
+func (e *Experiment) matrixConfigs() []Config {
+	base := e.base
+	base.fillDefaults()
+	var out []Config
+	switch {
+	case len(e.cells) > 0:
+		out = append([]Config(nil), e.cells...)
+	case len(e.scaleFactors) > 0:
+		out = ScaleSweep(base, e.scaleFactors)
+	default:
+		out = SeedSweep(base, e.seedSweep)
+	}
+	for i := range out {
+		// Per-stage progress from concurrent pipelines would interleave;
+		// the event stream reports per cell instead.
+		out[i].Progress = nil
+	}
+	return out
+}
+
+// runMatrixCells executes every cell on the matrix worker pool, returning
+// per-cell results in input order — the core shared with the deprecated
+// Runner.RunMatrix. A failed cell carries its error instead of aborting
+// the sweep; a done ctx stops dispatching further cells.
+func (e *Experiment) runMatrixCells(ctx context.Context, cfgs []Config) []MatrixResult {
+	results := make([]MatrixResult, len(cfgs))
+	_ = parallel.ForEachCtx(ctx, e.matrixWorkers, len(cfgs), func(i int) {
+		cfg := cfgs[i]
+		cr, err := e.runCell(ctx, cfg, i)
+		res := MatrixResult{Index: i, Config: cfg, Err: err}
+		if err == nil {
+			res.Pipeline = cr.pipe
+		}
+		results[i] = res
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return // a canceled cell is not an outcome worth reporting
+		}
+		ev := newEvent(StageCell)
+		ev.Cell = i
+		ev.Err = err
+		ev.Stats.Seed = cfg.Seed
+		if err == nil {
+			ev.Stats.Censors = len(cr.pipe.Identified)
+			ev.Stats.CNFs = len(cr.pipe.Outcomes)
+		}
+		// runCell tags events with its own index; StageCell is emitted
+		// here so its Cell index survives the TextObserver filter.
+		e.emit(ev)
+	})
+	return results
+}
+
+// runMatrixMode executes the matrix and folds it into a Result.
+func (e *Experiment) runMatrixMode(ctx context.Context) (*Result, error) {
+	cfgs := e.matrixConfigs()
+	results := e.runMatrixCells(ctx, cfgs)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	base := e.base
+	base.fillDefaults()
+	base.Progress = nil
+	agg := AggregateMatrix(results)
+	res := &Result{
+		Config: base,
+		Mode:   ModeMatrix,
+		Matrix: matrixSummaryOf(agg, results),
+	}
+	for _, mr := range results {
+		cs := CellStatus{Index: mr.Index, Config: mr.Config, Err: mr.Err}
+		if mr.Pipeline != nil {
+			cs.Censors = len(mr.Pipeline.Identified)
+			cs.CNFs = len(mr.Pipeline.Outcomes)
+		}
+		res.Cells = append(res.Cells, cs)
+		res.Pipelines = append(res.Pipelines, mr.Pipeline)
+	}
+	return res, nil
+}

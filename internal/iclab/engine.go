@@ -1,6 +1,8 @@
 package iclab
 
 import (
+	"context"
+
 	"churntomo/internal/parallel"
 )
 
@@ -38,9 +40,22 @@ func (s *Scenario) Days() int {
 // across cfg.Workers goroutines. Deterministic for identical scenario and
 // config at every worker count: parallel output is bit-identical to serial.
 func Run(s *Scenario, cfg PlatformConfig) *Dataset {
-	ds := &Dataset{Scenario: s, Records: MergeShards(RunByDay(s, cfg))}
-	ds.Stats = ComputeTable1(ds)
+	ds, _ := RunCtx(context.Background(), s, cfg)
 	return ds
+}
+
+// RunCtx is Run with cooperative cancellation: once ctx is done no further
+// day shard starts and the call returns (nil, ctx.Err()). Days already in
+// flight finish first, so cancellation latency is bounded by one day's
+// measurement, not the whole schedule.
+func RunCtx(ctx context.Context, s *Scenario, cfg PlatformConfig) (*Dataset, error) {
+	shards, err := RunByDayCtx(ctx, s, cfg)
+	if err != nil {
+		return nil, err
+	}
+	ds := &Dataset{Scenario: s, Records: MergeShards(shards)}
+	ds.Stats = ComputeTable1(ds)
+	return ds, nil
 }
 
 // RunByDay executes the same schedule as Run but keeps the output sharded
@@ -49,13 +64,23 @@ func Run(s *Scenario, cfg PlatformConfig) *Dataset {
 // windowed localizer as the day "arrives", and MergeShards over all shards
 // reconstructs exactly Run's record sequence.
 func RunByDay(s *Scenario, cfg PlatformConfig) [][]Record {
+	shards, _ := RunByDayCtx(context.Background(), s, cfg)
+	return shards
+}
+
+// RunByDayCtx is RunByDay with cooperative cancellation; see RunCtx. The
+// partially measured shards are discarded on cancellation — day shards are
+// only meaningful as a complete schedule.
+func RunByDayCtx(ctx context.Context, s *Scenario, cfg PlatformConfig) ([][]Record, error) {
 	cfg.fillDefaults()
 	days := s.Days()
 	shards := make([][]Record, days)
-	parallel.ForEach(cfg.Workers, days, func(day int) {
+	if err := parallel.ForEachCtx(ctx, cfg.Workers, days, func(day int) {
 		shards[day] = s.runDay(cfg, day)
-	})
-	return shards
+	}); err != nil {
+		return nil, err
+	}
+	return shards, nil
 }
 
 // NewDataset assembles a Dataset from already-measured records (typically a

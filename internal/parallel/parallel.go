@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -11,17 +12,39 @@ import (
 // inline loop, so callers get the serial path — and serial determinism —
 // for free.
 func ForEach(workers, n int, fn func(int)) {
+	_ = ForEachCtx(context.Background(), workers, n, fn)
+}
+
+// ForEachCtx is ForEach with cooperative cancellation: once ctx is done no
+// further item starts, and the call returns ctx.Err(). Items already in
+// flight run to completion — fn is never interrupted mid-call — so on a
+// non-nil return between 0 and n-1 trailing items were skipped, never a
+// gap in the middle of a worker's current item. A nil return means every
+// item ran. The worker pool is always fully drained before returning;
+// ForEachCtx leaks no goroutines on any path.
+func ForEachCtx(ctx context.Context, workers, n int, fn func(int)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > n {
 		workers = n
 	}
+	done := ctx.Done()
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if done != nil {
+				select {
+				case <-done:
+					return ctx.Err()
+				default:
+				}
+			}
 			fn(i)
 		}
-		return
+		return nil
 	}
 	var wg sync.WaitGroup
 	next := make(chan int)
@@ -34,9 +57,17 @@ func ForEach(workers, n int, fn func(int)) {
 			}
 		}()
 	}
+	var err error
+dispatch:
 	for i := 0; i < n; i++ {
-		next <- i
+		select {
+		case next <- i:
+		case <-done:
+			err = ctx.Err()
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()
+	return err
 }

@@ -1,8 +1,11 @@
 package parallel
 
 import (
+	"context"
+	"errors"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestForEachCoversAllIndices(t *testing.T) {
@@ -29,4 +32,59 @@ func TestForEachSerialOrder(t *testing.T) {
 
 func TestForEachEmpty(t *testing.T) {
 	ForEach(4, 0, func(int) { t.Fatal("fn called for n=0") })
+}
+
+func TestForEachCtxCompletesUncanceled(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var hits atomic.Int32
+		if err := ForEachCtx(context.Background(), workers, 16, func(int) { hits.Add(1) }); err != nil {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+		if hits.Load() != 16 {
+			t.Fatalf("workers=%d: ran %d of 16 items", workers, hits.Load())
+		}
+	}
+}
+
+func TestForEachCtxPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		var hits atomic.Int32
+		err := ForEachCtx(ctx, workers, 100, func(int) { hits.Add(1) })
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		// The pool path may hand out up to `workers` items before the
+		// dispatcher observes cancellation; nothing beyond that may start.
+		if got := hits.Load(); int(got) > workers {
+			t.Fatalf("workers=%d: %d items ran after pre-cancel", workers, got)
+		}
+	}
+}
+
+func TestForEachCtxCancelMidway(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var hits atomic.Int32
+	err := ForEachCtx(ctx, 4, 1000, func(i int) {
+		if hits.Add(1) == 8 {
+			cancel()
+		}
+		time.Sleep(time.Millisecond)
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := hits.Load(); got >= 1000 {
+		t.Fatal("cancellation skipped nothing")
+	}
+}
+
+func TestForEachCtxDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	err := ForEachCtx(ctx, 1, 1000, func(int) { time.Sleep(time.Millisecond) })
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
 }

@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -96,6 +97,18 @@ func (e *Engine) windowBounds(w int) (start, end int) {
 // window, Push ages out any days that fell behind the window start, solves,
 // and returns the window; otherwise it returns nil.
 func (e *Engine) Push(records []iclab.Record) *Window {
+	w, _ := e.PushCtx(context.Background(), records)
+	return w
+}
+
+// PushCtx is Push with cooperative cancellation. The day's records are
+// always ingested; only the window solve a completing day triggers is
+// cancelable. On a non-nil error the day still counts as pushed but its
+// window was not emitted — the engine's incremental state stays coherent
+// (unsolved keys remain dirty), so a caller that keeps the engine can
+// Flush later to recover the localization; callers abandoning the run just
+// drop the engine.
+func (e *Engine) PushCtx(ctx context.Context, records []iclab.Record) (*Window, error) {
 	day := e.nextDay
 	e.nextDay++
 	for i := range records {
@@ -106,19 +119,22 @@ func (e *Engine) Push(records []iclab.Record) *Window {
 
 	start, end := e.windowBounds(e.nextWindow)
 	if day != end {
-		return nil
+		return nil, ctx.Err()
 	}
-	return e.emit(start, end)
+	return e.emit(ctx, start, end)
 }
 
 // emit ages out days behind start, solves, and packages the window
 // [start, end] under the next ordinal — the single emission path shared by
-// Push and Flush.
-func (e *Engine) emit(start, end int) *Window {
+// Push and Flush. On cancellation the window ordinal is not consumed.
+func (e *Engine) emit(ctx context.Context, start, end int) (*Window, error) {
 	for ; e.residentLo < start; e.residentLo++ {
 		e.inc.RemoveDay(e.residentLo)
 	}
-	insts, outs, stats := e.inc.BuildAndSolve()
+	insts, outs, stats, err := e.inc.BuildAndSolveCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
 	w := &Window{
 		Index:    e.nextWindow,
 		StartDay: start, EndDay: end,
@@ -129,7 +145,7 @@ func (e *Engine) emit(start, end int) *Window {
 		Reused:     stats.Reused,
 	}
 	e.nextWindow++
-	return w
+	return w, nil
 }
 
 // Flush localizes any pushed days that no emitted window has covered yet —
@@ -142,13 +158,20 @@ func (e *Engine) emit(start, end int) *Window {
 // the next window ordinal, so resuming Push afterwards continues emitting
 // but the flushed window's day range will not realign with the stride grid.
 func (e *Engine) Flush() *Window {
+	w, _ := e.FlushCtx(context.Background())
+	return w
+}
+
+// FlushCtx is Flush with cooperative cancellation; see PushCtx for the
+// engine-state guarantees on a non-nil error.
+func (e *Engine) FlushCtx(ctx context.Context) (*Window, error) {
 	last := e.nextDay - 1
 	if last < 0 {
-		return nil
+		return nil, ctx.Err()
 	}
 	if e.nextWindow > 0 {
 		if _, prevEnd := e.windowBounds(e.nextWindow - 1); prevEnd >= last {
-			return nil
+			return nil, ctx.Err()
 		}
 	}
 	start := 0
@@ -157,7 +180,7 @@ func (e *Engine) Flush() *Window {
 			start = 0
 		}
 	}
-	return e.emit(start, last)
+	return e.emit(ctx, start, last)
 }
 
 // Days reports how many days have been pushed.

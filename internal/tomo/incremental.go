@@ -19,6 +19,7 @@ package tomo
 // regression tests pin that equivalence.
 
 import (
+	"context"
 	"sort"
 
 	"churntomo/internal/iclab"
@@ -246,6 +247,16 @@ func (inc *Incremental) solveKey(key Key, st *keyState) {
 // re-solved — across a sliding-window replay that is the small minority of
 // keys a day boundary touches — and the per-key work runs on cfg.Workers.
 func (inc *Incremental) BuildAndSolve() ([]*Instance, []Outcome, IncStats) {
+	insts, outs, stats, _ := inc.BuildAndSolveCtx(context.Background())
+	return insts, outs, stats
+}
+
+// BuildAndSolveCtx is BuildAndSolve with cooperative cancellation: once ctx
+// is done no further dirty key is re-solved and the call returns ctx.Err().
+// Keys solved before the cancellation keep their refreshed caches and the
+// remaining keys stay dirty, so a later call resumes exactly the leftover
+// work — cancellation never corrupts the incremental state.
+func (inc *Incremental) BuildAndSolveCtx(ctx context.Context) ([]*Instance, []Outcome, IncStats, error) {
 	keys := make([]Key, 0, len(inc.keys))
 	for key, st := range inc.keys {
 		if !inc.hasSignal(st) {
@@ -262,9 +273,13 @@ func (inc *Incremental) BuildAndSolve() ([]*Instance, []Outcome, IncStats) {
 			work = append(work, key)
 		}
 	}
-	parallel.ForEach(inc.cfg.Workers, len(work), func(i int) {
+	if err := parallel.ForEachCtx(ctx, inc.cfg.Workers, len(work), func(i int) {
 		inc.solveKey(work[i], inc.keys[work[i]])
-	})
+	}); err != nil {
+		// Solved keys are cached but stay marked dirty; re-solving a clean
+		// key is idempotent, so the next call just redoes a little work.
+		return nil, nil, stats, err
+	}
 	stats.Solved = len(work)
 	stats.Reused = len(keys) - len(work)
 	inc.dirty = map[Key]bool{}
@@ -275,7 +290,7 @@ func (inc *Incremental) BuildAndSolve() ([]*Instance, []Outcome, IncStats) {
 		st := inc.keys[key]
 		insts[i], outs[i] = st.inst, st.out
 	}
-	return insts, outs, stats
+	return insts, outs, stats, nil
 }
 
 // hasSignal applies the solvable-key filter: a key becomes a CNF only when

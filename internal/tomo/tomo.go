@@ -1,6 +1,7 @@
 package tomo
 
 import (
+	"context"
 	"runtime"
 	"sort"
 
@@ -142,8 +143,12 @@ func mergeGroups(dst, src map[Key]*builderGroup) {
 }
 
 // buildGroups shards the records across cfg.Workers, groups each shard
-// independently, and merges the shard maps.
-func buildGroups(records []iclab.Record, cfg *BuildConfig) map[Key]*builderGroup {
+// independently, and merges the shard maps. Cancellation is honored at
+// chunk granularity; on a non-nil error the partial grouping is discarded.
+func buildGroups(ctx context.Context, records []iclab.Record, cfg *BuildConfig) (map[Key]*builderGroup, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	// Grouping a chunk is cheap; below this size the fan-out costs more
 	// than it saves.
 	const minChunk = 2048
@@ -155,23 +160,25 @@ func buildGroups(records []iclab.Record, cfg *BuildConfig) map[Key]*builderGroup
 		workers = max
 	}
 	if workers <= 1 {
-		return groupChunk(records, cfg)
+		return groupChunk(records, cfg), nil
 	}
 	parts := make([]map[Key]*builderGroup, workers)
 	chunk := (len(records) + workers - 1) / workers
-	parallel.ForEach(workers, workers, func(w int) {
+	if err := parallel.ForEachCtx(ctx, workers, workers, func(w int) {
 		lo := w * chunk
 		hi := lo + chunk
 		if hi > len(records) {
 			hi = len(records)
 		}
 		parts[w] = groupChunk(records[lo:hi], cfg)
-	})
+	}); err != nil {
+		return nil, err
+	}
 	groups := parts[0]
 	for _, part := range parts[1:] {
 		mergeGroups(groups, part)
 	}
-	return groups
+	return groups, nil
 }
 
 // keyLess is the deterministic instance order: URL, granularity, slice
@@ -207,7 +214,7 @@ func solvableKeys(groups map[Key]*builderGroup, cfg *BuildConfig) []Key {
 // deterministically and identical at any worker count.
 func Build(records []iclab.Record, cfg BuildConfig) []*Instance {
 	cfg.fillDefaults()
-	groups := buildGroups(records, &cfg)
+	groups, _ := buildGroups(context.Background(), records, &cfg)
 	keys := solvableKeys(groups, &cfg)
 	out := make([]*Instance, len(keys))
 	parallel.ForEach(cfg.Workers, len(keys), func(i int) {
@@ -223,17 +230,31 @@ func Build(records []iclab.Record, cfg BuildConfig) []*Instance {
 // Build followed by SolveAll would produce, with outcome i belonging to
 // instance i.
 func BuildAndSolve(records []iclab.Record, cfg BuildConfig) ([]*Instance, []Outcome) {
+	insts, outs, _ := BuildAndSolveCtx(context.Background(), records, cfg)
+	return insts, outs
+}
+
+// BuildAndSolveCtx is BuildAndSolve with cooperative cancellation: once ctx
+// is done no further CNF is grouped, materialized or solved, and the call
+// returns (nil, nil, ctx.Err()). The in-flight CNFs finish first, so
+// cancellation latency is bounded by one solve.
+func BuildAndSolveCtx(ctx context.Context, records []iclab.Record, cfg BuildConfig) ([]*Instance, []Outcome, error) {
 	cfg.fillDefaults()
-	groups := buildGroups(records, &cfg)
+	groups, err := buildGroups(ctx, records, &cfg)
+	if err != nil {
+		return nil, nil, err
+	}
 	keys := solvableKeys(groups, &cfg)
 	insts := make([]*Instance, len(keys))
 	outs := make([]Outcome, len(keys))
-	parallel.ForEach(cfg.Workers, len(keys), func(i int) {
+	if err := parallel.ForEachCtx(ctx, cfg.Workers, len(keys), func(i int) {
 		in := materialize(keys[i], groups[keys[i]])
 		insts[i] = in
 		outs[i] = Solve(in)
-	})
-	return insts, outs
+	}); err != nil {
+		return nil, nil, err
+	}
+	return insts, outs, nil
 }
 
 // materialize turns accumulated paths into a CNF. Duplicate clauses are

@@ -1,0 +1,262 @@
+package churntomo
+
+// Functional options for New. Every option validates its argument and
+// returns a descriptive error from New instead of silently misbehaving at
+// run time — the construction-time counterpart of StreamConfig.Validate.
+
+import (
+	"fmt"
+	"time"
+)
+
+// Option configures an Experiment under construction; see New.
+type Option func(*Experiment) error
+
+// Scale names one of the preset experiment sizes.
+type Scale int
+
+const (
+	// ScaleDefault is DefaultConfig: a mid-scale year-long run.
+	ScaleDefault Scale = iota
+	// ScaleSmall is SmallConfig: a seconds-scale run for tests/examples.
+	ScaleSmall
+	// ScalePaper is PaperScaleConfig: the paper's dataset dimensions.
+	ScalePaper
+)
+
+// String returns the scale's churnlab flag spelling.
+func (s Scale) String() string {
+	switch s {
+	case ScaleDefault:
+		return "default"
+	case ScaleSmall:
+		return "small"
+	case ScalePaper:
+		return "paper"
+	default:
+		return fmt.Sprintf("scale(%d)", int(s))
+	}
+}
+
+// ParseScale converts a churnlab-style scale name ("small", "default",
+// "paper") to a Scale.
+func ParseScale(name string) (Scale, error) {
+	for _, s := range []Scale{ScaleDefault, ScaleSmall, ScalePaper} {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("churntomo: unknown scale %q (want small, default or paper)", name)
+}
+
+// WithConfig replaces the experiment's base configuration wholesale. A
+// non-nil cfg.Progress is converted to a registered TextObserver, so
+// legacy configs migrate without behaviour change. Later dimension options
+// (WithSeed, WithScale, WithDays, ...) still apply on top.
+func WithConfig(cfg Config) Option {
+	return func(e *Experiment) error {
+		if cfg.Progress != nil {
+			e.observers = append(e.observers, TextObserver(cfg.Progress))
+			cfg.Progress = nil
+		}
+		e.base = cfg
+		return nil
+	}
+}
+
+// WithScale sets the experiment's dimensions (topology and platform scale)
+// from a preset, leaving seed, workers and start time untouched.
+func WithScale(s Scale) Option {
+	return func(e *Experiment) error {
+		var c Config
+		switch s {
+		case ScaleSmall:
+			c = SmallConfig()
+		case ScaleDefault:
+			c = DefaultConfig()
+		case ScalePaper:
+			c = PaperScaleConfig()
+		default:
+			return fmt.Errorf("churntomo: WithScale: unknown scale %d", int(s))
+		}
+		e.base.ASes, e.base.Countries = c.ASes, c.Countries
+		e.base.Vantages, e.base.URLs = c.Vantages, c.URLs
+		e.base.Days, e.base.URLsPerDay, e.base.RepeatsPerDay = c.Days, c.URLsPerDay, c.RepeatsPerDay
+		return nil
+	}
+}
+
+// WithSeed sets the master random seed (0 means the default seed, 1).
+func WithSeed(seed uint64) Option {
+	return func(e *Experiment) error {
+		e.base.Seed = seed
+		return nil
+	}
+}
+
+// WithWorkers bounds the per-stage parallelism of each pipeline:
+// measurement-day sharding, CNF grouping, materialization and solving.
+// 0 uses GOMAXPROCS, 1 forces fully serial execution; results are
+// identical at every setting.
+func WithWorkers(n int) Option {
+	return func(e *Experiment) error {
+		if n < 0 {
+			return fmt.Errorf("churntomo: WithWorkers(%d): worker count must be >= 0 (0 = GOMAXPROCS)", n)
+		}
+		e.base.Workers = n
+		return nil
+	}
+}
+
+// WithDays sets the measurement window length in days.
+func WithDays(n int) Option {
+	return func(e *Experiment) error {
+		if n < 1 {
+			return fmt.Errorf("churntomo: WithDays(%d): day count must be >= 1", n)
+		}
+		e.base.Days = n
+		return nil
+	}
+}
+
+// WithStart anchors the measurement period (the zero value means
+// 2016-05-01, the paper's window).
+func WithStart(t time.Time) Option {
+	return func(e *Experiment) error {
+		e.base.Start = t
+		return nil
+	}
+}
+
+// WithWindow switches the experiment to streaming mode with a sliding
+// window of the given width in days. 0 means cumulative: every window
+// starts at day 0 and only the end advances, so the final window
+// reproduces the batch pipeline exactly.
+func WithWindow(days int) Option {
+	return func(e *Experiment) error {
+		if days < 0 {
+			return fmt.Errorf("churntomo: WithWindow(%d): window must be >= 0 days (0 = cumulative)", days)
+		}
+		e.streaming = true
+		e.window = days
+		return nil
+	}
+}
+
+// WithStride switches the experiment to streaming mode and sets how many
+// days the window advances between localizations (0 means 1: a window per
+// day once the first fills).
+func WithStride(days int) Option {
+	return func(e *Experiment) error {
+		if days < 0 {
+			return fmt.Errorf("churntomo: WithStride(%d): stride must be >= 0 days (0 = every day)", days)
+		}
+		e.streaming = true
+		e.stride = days
+		return nil
+	}
+}
+
+// WithStreaming switches the experiment to streaming mode with the default
+// cumulative window and per-day stride — shorthand for WithWindow(0).
+func WithStreaming() Option {
+	return func(e *Experiment) error {
+		e.streaming = true
+		return nil
+	}
+}
+
+// WithMinCNFs sets the corroboration threshold for naming a censor: an AS
+// must be the unique solution of at least n distinct CNFs. 0 means the
+// pipeline default (8). Applies to batch identification and to every
+// streaming window.
+func WithMinCNFs(n int) Option {
+	return func(e *Experiment) error {
+		if n < 0 {
+			return fmt.Errorf("churntomo: WithMinCNFs(%d): threshold must be >= 0 (0 = pipeline default)", n)
+		}
+		e.minCNFs = n
+		return nil
+	}
+}
+
+// WithSeedSweep switches the experiment to matrix mode: n whole pipelines
+// with consecutive seeds starting at the base seed, run concurrently and
+// aggregated — the standard way to measure identification stability under
+// substrate resampling. n == 1 is equivalent to a single batch run.
+func WithSeedSweep(n int) Option {
+	return func(e *Experiment) error {
+		if n < 1 {
+			return fmt.Errorf("churntomo: WithSeedSweep(%d): sweep size must be >= 1", n)
+		}
+		e.seedSweep = n
+		return nil
+	}
+}
+
+// WithScaleSweep switches the experiment to matrix mode: one cell per
+// factor, scaling the base config's platform dimensions (vantages, URLs,
+// days) while keeping its seed and topology fixed.
+func WithScaleSweep(factors ...float64) Option {
+	return func(e *Experiment) error {
+		if len(factors) == 0 {
+			return fmt.Errorf("churntomo: WithScaleSweep: at least one factor required")
+		}
+		for _, f := range factors {
+			if f <= 0 {
+				return fmt.Errorf("churntomo: WithScaleSweep: factor %v must be > 0", f)
+			}
+		}
+		e.scaleFactors = append([]float64(nil), factors...)
+		return nil
+	}
+}
+
+// WithConfigs switches the experiment to matrix mode over an explicit,
+// hand-built grid of configurations (an ablation grid, a mixed sweep).
+// Cell Progress writers are ignored; register observers instead.
+func WithConfigs(cfgs ...Config) Option {
+	return func(e *Experiment) error {
+		if len(cfgs) == 0 {
+			return fmt.Errorf("churntomo: WithConfigs: at least one config required")
+		}
+		e.cells = append([]Config(nil), cfgs...)
+		return nil
+	}
+}
+
+// WithMatrixWorkers bounds how many matrix cells run concurrently; 0 uses
+// GOMAXPROCS. For wide matrices it usually pays to combine this with
+// WithWorkers(1) and let the matrix supply the concurrency.
+func WithMatrixWorkers(n int) Option {
+	return func(e *Experiment) error {
+		if n < 0 {
+			return fmt.Errorf("churntomo: WithMatrixWorkers(%d): worker count must be >= 0 (0 = GOMAXPROCS)", n)
+		}
+		e.matrixWorkers = n
+		return nil
+	}
+}
+
+// WithObserver registers an observer for the experiment's event stream;
+// repeat to register several. See Observer for the delivery contract.
+func WithObserver(obs Observer) Option {
+	return func(e *Experiment) error {
+		if obs == nil {
+			return fmt.Errorf("churntomo: WithObserver(nil): observer must be non-nil")
+		}
+		e.observers = append(e.observers, obs)
+		return nil
+	}
+}
+
+// WithChurnAblation additionally runs the no-churn ablation (the paper's
+// Figure 4): CNFs are rebuilt from first-observed-path records only and
+// their model counts bucketed, populating Result.NoChurn. Costs one extra
+// build+count pass over the dataset.
+func WithChurnAblation() Option {
+	return func(e *Experiment) error {
+		e.ablation = true
+		return nil
+	}
+}

@@ -1,17 +1,14 @@
 package churntomo
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
-	"sync"
 
 	"churntomo/internal/anomaly"
-	"churntomo/internal/iclab"
-	"churntomo/internal/parallel"
 	"churntomo/internal/sat"
 	"churntomo/internal/stream"
-	"churntomo/internal/tomo"
 	"churntomo/internal/topology"
 )
 
@@ -19,6 +16,11 @@ import (
 // grids — with whole pipelines running concurrently, and feeds the results
 // to AggregateMatrix. Each cell is an independent deterministic pipeline,
 // so a matrix run is reproducible cell-by-cell regardless of scheduling.
+//
+// Deprecated: use New(WithConfigs(cfgs...), WithMatrixWorkers(n)) — or
+// WithSeedSweep/WithScaleSweep — and Experiment.Run(ctx), which add
+// cancellation and an aggregated Result. Runner remains a thin shim over
+// the same code path.
 type Runner struct {
 	// Workers is how many pipelines run at once; 0 uses GOMAXPROCS.
 	// Stage-level parallelism inside each pipeline still follows that
@@ -39,29 +41,14 @@ type MatrixResult struct {
 
 // RunMatrix runs every config and returns results in input order. A failed
 // cell carries its error instead of aborting the sweep.
+//
+// Deprecated: use New(WithConfigs(cfgs...)) and Experiment.Run(ctx).
 func (r *Runner) RunMatrix(cfgs []Config) []MatrixResult {
-	results := make([]MatrixResult, len(cfgs))
-	var mu sync.Mutex // serializes Progress writes
-	runCell := func(i int) {
-		cfg := cfgs[i]
-		// Per-stage progress from concurrent pipelines would interleave;
-		// the runner reports per cell instead.
-		cfg.Progress = nil
-		p, err := Run(cfg)
-		results[i] = MatrixResult{Index: i, Config: cfg, Pipeline: p, Err: err}
-		if r.Progress != nil {
-			mu.Lock()
-			if err != nil {
-				fmt.Fprintf(r.Progress, "matrix cell %d (seed %d): %v\n", i, cfg.Seed, err)
-			} else {
-				fmt.Fprintf(r.Progress, "matrix cell %d (seed %d): %d censors, %d CNFs\n",
-					i, cfg.Seed, len(p.Identified), len(p.Outcomes))
-			}
-			mu.Unlock()
-		}
+	e := &Experiment{cells: append([]Config(nil), cfgs...), matrixWorkers: r.Workers}
+	if r.Progress != nil {
+		e.observers = []Observer{TextObserver(r.Progress)}
 	}
-	parallel.ForEach(r.Workers, len(cfgs), runCell)
-	return results
+	return e.runMatrixCells(context.Background(), e.matrixConfigs())
 }
 
 // SeedSweep derives n configs from base with consecutive seeds starting at
@@ -104,14 +91,29 @@ func ScaleSweep(base Config, factors []float64) []Config {
 type StreamConfig struct {
 	// Window is the sliding window's width in days; 0 means cumulative
 	// (every window starts at day 0), in which case the final window
-	// reproduces the batch pipeline exactly.
+	// reproduces the batch pipeline exactly. Negative is invalid.
 	Window int
 	// Stride is how many days the window advances between localizations;
-	// 0 means 1.
+	// 0 means 1. Negative is invalid.
 	Stride int
 	// MinCNFs is the per-window corroboration threshold for naming a
-	// censor; 0 uses the pipeline default.
+	// censor; 0 uses the pipeline default. Negative is invalid.
 	MinCNFs int
+}
+
+// Validate rejects configurations that earlier versions silently
+// misinterpreted (a negative Stride, for example, was treated as 1).
+func (sc StreamConfig) Validate() error {
+	if sc.Window < 0 {
+		return fmt.Errorf("churntomo: StreamConfig.Window is %d; the window width must be >= 0 days (0 = cumulative)", sc.Window)
+	}
+	if sc.Stride < 0 {
+		return fmt.Errorf("churntomo: StreamConfig.Stride is %d; the stride must be >= 0 days (0 = every day)", sc.Stride)
+	}
+	if sc.MinCNFs < 0 {
+		return fmt.Errorf("churntomo: StreamConfig.MinCNFs is %d; the corroboration threshold must be >= 0 (0 = pipeline default)", sc.MinCNFs)
+	}
+	return nil
 }
 
 // StreamRun is a streaming replay's result: the substrate and full dataset,
@@ -141,52 +143,58 @@ func (sr *StreamRun) Final() *stream.Window {
 // StreamSweep replays one scenario day by day through the streaming
 // localizer: measurement days are generated in parallel shards (exactly the
 // batch engine's schedule), then pushed in day order into a stream.Engine
-// that re-solves only the CNFs each day boundary touches. Per-window
-// progress goes to r.Progress.
+// that re-solves only the CNFs each day boundary touches. Substrate-stage
+// progress goes to cfg.Progress, per-window progress to r.Progress; sc is
+// validated up front (see StreamConfig.Validate).
 //
 // With sc.Window == 0 the replay is cumulative and the final window's
 // identifications are identical to Run's on the same Config — the streaming
 // determinism guarantee, pinned by TestStreamReplayMatchesBatch.
+//
+// Deprecated: use New(WithConfig(cfg), WithWindow(sc.Window),
+// WithStride(sc.Stride)) and Experiment.Run(ctx).
 func (r *Runner) StreamSweep(cfg Config, sc StreamConfig) (*StreamRun, error) {
-	p, err := Prepare(cfg)
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Experiment{
+		base:      cfg,
+		streaming: true,
+		window:    sc.Window,
+		stride:    sc.Stride,
+		minCNFs:   sc.MinCNFs,
+	}
+	e.base.Progress = nil
+	// Legacy writer split: substrate stages printed to cfg.Progress (the
+	// old path called Prepare, which stopped before the measurement
+	// line), window lines to r.Progress (churnlab pointed both at
+	// stderr). StageMeasure is excluded to keep the shim's output
+	// byte-identical to the legacy StreamSweep's.
+	if cfg.Progress != nil {
+		stages := TextObserver(cfg.Progress)
+		e.observers = append(e.observers, func(ev Event) {
+			if ev.Stage != StageWindow && ev.Stage != StageMeasure {
+				stages(ev)
+			}
+		})
+	}
+	if r.Progress != nil {
+		windows := TextObserver(r.Progress)
+		e.observers = append(e.observers, func(ev Event) {
+			if ev.Stage == StageWindow {
+				windows(ev)
+			}
+		})
+	}
+	cell, err := e.runCell(context.Background(), e.base, -1)
 	if err != nil {
 		return nil, err
 	}
-	cfg = p.Config // defaults filled
-	shards := iclab.RunByDay(p.Scenario, cfg.platformConfig())
-
-	minCNFs := sc.MinCNFs
-	if minCNFs <= 0 {
-		minCNFs = identifyMinCNFs
-	}
-	eng := stream.NewEngine(stream.Config{
-		Window:  sc.Window,
-		Stride:  sc.Stride,
-		MinCNFs: minCNFs,
-		Build:   tomo.BuildConfig{Workers: cfg.Workers},
-	})
-	run := &StreamRun{Pipeline: p}
-	emit := func(w *stream.Window) {
-		if w == nil {
-			return
-		}
-		run.Windows = append(run.Windows, w)
-		if r.Progress != nil {
-			fmt.Fprintln(r.Progress, w)
-		}
-	}
-	for _, day := range shards {
-		emit(eng.Push(day))
-	}
-	// Localize any tail days the stride grid left uncovered, so every
-	// measured day appears in the timeline and a cumulative replay's final
-	// window always equals the batch result.
-	emit(eng.Flush())
-	run.Convergence = stream.Converge(run.Windows)
-	// The pushed shards carry the IDs the batch merge would assign, so the
-	// merged dataset is bit-identical to a batch run's.
-	p.Dataset = iclab.NewDataset(p.Scenario, iclab.MergeShards(shards))
-	return run, nil
+	return &StreamRun{
+		Pipeline:    cell.pipe,
+		Windows:     cell.windows,
+		Convergence: cell.conv,
+	}, nil
 }
 
 // AggregatedCensor is one AS's identification record across a matrix.

@@ -1,0 +1,14 @@
+#!/bin/sh
+# check-api.sh: asserts the examples consume only churntomo's public API.
+# The examples stand in for external modules — which cannot import
+# churntomo/internal/... — so any such import here means the public
+# Experiment/Result surface regressed. Run from the repo root;
+# `make api-check` (part of the docs gate and `make ci`) wires it in.
+set -eu
+# Match the quoted import path, not prose mentioning it in comments.
+hits=$(grep -rn '"churntomo/internal' examples/ || true)
+if [ -n "$hits" ]; then
+    echo "examples must not import churntomo/internal packages:" >&2
+    echo "$hits" >&2
+    exit 1
+fi
