@@ -1,15 +1,16 @@
 # Development and CI entry points. `make ci` is the gate: build, the full
 # test suite under the race detector, the docs checks (vet + markdown link
-# check + per-package doc.go assertion + the public-API gate), and a
+# check + per-package doc.go assertion + the public-API gate), the scenario
+# gate (every registered preset runs end to end at smoke scale), and a
 # one-iteration benchmark smoke so the paper-artifact benchmarks can't rot.
 
 GO ?= go
 
-.PHONY: all ci vet build test race bench docs api-check fuzz clean
+.PHONY: all ci vet build test race bench bench-json docs api-check scenario-check fuzz clean
 
 all: ci
 
-ci: build race docs bench
+ci: build race docs scenario-check bench
 
 vet:
 	$(GO) vet ./...
@@ -37,10 +38,22 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Scenario gate: the preset catalog is intact, every registered preset
+# runs the full pipeline end to end at smoke scale with deterministic
+# output, and the catalog tooling stays wired.
+scenario-check:
+	$(GO) test -count 1 -run 'TestScenarioCatalog|TestScenarioPresetsSmoke|TestScenarioDeterminism|TestScenarioBaselineMatchesDefault' .
+	$(GO) run ./cmd/genlab -list >/dev/null
+
 # One iteration of every benchmark: catches compile/runtime rot without
 # paying for a real measurement run.
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Root benchmarks with -benchmem, rendered as JSON so the performance
+# trajectory has machine-readable datapoints (BENCH_PR4.json is this PR's).
+bench-json:
+	sh scripts/bench-json.sh BENCH_PR4.json
 
 # Short fuzz pass over the DIMACS parser; extend -fuzztime for real hunts.
 fuzz:

@@ -35,6 +35,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"strings"
 	"time"
 
 	"churntomo/internal/censor"
@@ -42,6 +43,7 @@ import (
 	"churntomo/internal/ipasmap"
 	"churntomo/internal/leakage"
 	"churntomo/internal/routing"
+	"churntomo/internal/scenario"
 	"churntomo/internal/tomo"
 	"churntomo/internal/topology"
 )
@@ -50,6 +52,12 @@ import (
 // DefaultConfig.
 type Config struct {
 	Seed uint64
+
+	// Scenario names the world-construction preset from the scenario
+	// registry (see Scenarios for the catalog); "" means ScenarioBaseline,
+	// the paper's original pipeline byte for byte. WithScenarioSpec
+	// overrides the name lookup with an explicit composed spec.
+	Scenario string
 
 	// Workers bounds the per-stage parallelism: measurement days are
 	// sharded across this many goroutines, and CNF grouping,
@@ -109,6 +117,9 @@ func (c *Config) fillDefaults() {
 	d := DefaultConfig()
 	if c.Seed == 0 {
 		c.Seed = d.Seed
+	}
+	if c.Scenario == "" {
+		c.Scenario = scenario.DefaultName
 	}
 	if c.ASes == 0 {
 		c.ASes = d.ASes
@@ -190,82 +201,86 @@ func Prepare(cfg Config) (*Pipeline, error) {
 	return prepareCtx(context.Background(), cfg, emit)
 }
 
-// prepareCtx is the substrate builder behind Prepare and every Experiment
-// cell: topology, churn timeline, censors, IP-to-AS history, scenario.
-// ctx is checked before each stage; emit receives one Event per stage.
+// resolveScenario maps a preset name ("" = the paper baseline) to its
+// registered spec.
+func resolveScenario(name string) (scenario.Spec, error) {
+	if name == "" {
+		name = scenario.DefaultName
+	}
+	spec, ok := scenario.Preset(name)
+	if !ok {
+		return scenario.Spec{}, fmt.Errorf("churntomo: unknown scenario %q (known: %s)",
+			name, strings.Join(scenario.SortedNames(), ", "))
+	}
+	return spec, nil
+}
+
+// buildStageOf maps a scenario build stage onto the public event stage.
+func buildStageOf(s scenario.Stage) Stage {
+	switch s {
+	case scenario.StageTopology:
+		return StageTopology
+	case scenario.StageTimeline:
+		return StageTimeline
+	case scenario.StageCensors:
+		return StageCensors
+	case scenario.StageIPASMap:
+		return StageIPASMap
+	default:
+		return StageScenario
+	}
+}
+
+// prepareCtx is the substrate builder behind Prepare and the deprecated
+// shims: it resolves cfg.Scenario against the preset registry and builds
+// through prepareSpecCtx.
 func prepareCtx(ctx context.Context, cfg Config, emit func(Event)) (*Pipeline, error) {
+	spec, err := resolveScenario(cfg.Scenario)
+	if err != nil {
+		return nil, err
+	}
+	return prepareSpecCtx(ctx, cfg, spec, emit)
+}
+
+// prepareSpecCtx builds the substrate behind every Experiment cell by
+// driving scenario.Build with the resolved spec: topology, churn timeline,
+// censors, IP-to-AS history, measurement scenario. ctx is checked before
+// each stage; emit receives one Event per stage.
+func prepareSpecCtx(ctx context.Context, cfg Config, spec scenario.Spec, emit func(Event)) (*Pipeline, error) {
 	cfg.fillDefaults()
-	end := cfg.Start.AddDate(0, 0, cfg.Days)
 	p := &Pipeline{Config: cfg}
-	stage := func(s Stage, fill func(*EventStats)) error {
+	params := scenario.Params{
+		Seed: cfg.Seed,
+		ASes: cfg.ASes, Countries: cfg.Countries,
+		Vantages: cfg.Vantages, URLs: cfg.URLs,
+		Start: cfg.Start, End: cfg.Start.AddDate(0, 0, cfg.Days),
+	}
+	onStage := func(s scenario.Stage) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		ev := newEvent(s)
+		ev := newEvent(buildStageOf(s))
 		ev.Stats.Seed = cfg.Seed
-		if fill != nil {
-			fill(&ev.Stats)
+		switch s {
+		case scenario.StageTopology:
+			ev.Stats.ASes, ev.Stats.Countries = cfg.ASes, cfg.Countries
+		case scenario.StageTimeline:
+			ev.Stats.Days = cfg.Days
+		case scenario.StagePlatform:
+			ev.Stats.Vantages, ev.Stats.URLs = cfg.Vantages, cfg.URLs
 		}
 		emit(ev)
 		return nil
 	}
-
-	var err error
-	if err = stage(StageTopology, func(st *EventStats) {
-		st.ASes, st.Countries = cfg.ASes, cfg.Countries
-	}); err != nil {
-		return nil, err
-	}
-	p.Graph, err = topology.Generate(topology.GenConfig{
-		Seed: cfg.Seed, ASes: cfg.ASes, Countries: cfg.Countries,
-	})
+	w, err := scenario.Build(spec, params, onStage)
 	if err != nil {
-		return nil, fmt.Errorf("churntomo: topology: %w", err)
+		if ctx.Err() != nil {
+			return nil, err // cancellation, already unwrapped
+		}
+		return nil, fmt.Errorf("churntomo: %w", err)
 	}
-
-	if err = stage(StageTimeline, func(st *EventStats) { st.Days = cfg.Days }); err != nil {
-		return nil, err
-	}
-	p.Timeline, err = routing.GenTimeline(p.Graph, routing.TimelineConfig{
-		Seed: cfg.Seed + 1, Start: cfg.Start, End: end,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("churntomo: timeline: %w", err)
-	}
-	p.Oracle = routing.NewOracle(p.Graph, p.Timeline, 0)
-
-	if err = stage(StageCensors, nil); err != nil {
-		return nil, err
-	}
-	p.Censors, err = censor.Generate(p.Graph, censor.GenConfig{
-		Seed: cfg.Seed + 2, Start: cfg.Start, End: end,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("churntomo: censors: %w", err)
-	}
-
-	if err = stage(StageIPASMap, nil); err != nil {
-		return nil, err
-	}
-	p.DB, err = ipasmap.Build(p.Graph, ipasmap.BuildConfig{
-		Seed: cfg.Seed + 3, Start: cfg.Start, End: end,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("churntomo: ipasmap: %w", err)
-	}
-
-	if err = stage(StageScenario, func(st *EventStats) {
-		st.Vantages, st.URLs = cfg.Vantages, cfg.URLs
-	}); err != nil {
-		return nil, err
-	}
-	p.Scenario, err = iclab.BuildScenario(p.Graph, p.Oracle, p.Censors, p.DB,
-		cfg.Start, end, iclab.ScenarioConfig{
-			Seed: cfg.Seed + 4, Vantages: cfg.Vantages, URLs: cfg.URLs,
-		})
-	if err != nil {
-		return nil, fmt.Errorf("churntomo: scenario: %w", err)
-	}
+	p.Graph, p.Timeline, p.Oracle = w.Graph, w.Timeline, w.Oracle
+	p.Censors, p.DB, p.Scenario = w.Censors, w.DB, w.Platform
 	return p, nil
 }
 

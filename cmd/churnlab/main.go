@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	churnlab [-scale small|default|paper] [-seed N] [-only table1,figure3,...] [-validate]
+//	churnlab [-scale small|default|paper] [-scenario NAME] [-seed N]
+//	         [-only table1,figure3,...] [-validate]
 //	         [-parallel N] [-matrix N] [-stream] [-window D] [-stride D]
 //
 // churnlab is the reference consumer of the unified Experiment API: it
@@ -12,11 +13,21 @@
 // context — Ctrl-C aborts the run promptly at the next stage/day/solve
 // boundary.
 //
+// -scenario selects a world-construction preset from the scenario registry
+// (paper-baseline, national-firewall, transit-leakage, bgp-storm,
+// regional-outage, policy-flap, path-diverse; `genlab -list` prints the
+// catalog). The preset decides how the world is generated; -scale/-seed
+// keep deciding its dimensions and randomness.
+//
 // -parallel bounds the per-stage worker pools (0 = all cores, 1 = serial);
 // results are identical at any setting. -matrix N runs a seed sweep of N
 // whole pipelines concurrently and prints the aggregated identifications
-// instead of the single-run evaluation; -only and -validate apply to single
-// runs only and are ignored in matrix mode.
+// instead of the single-run evaluation.
+//
+// Contradictory flag combinations (-stream with -matrix, -window/-stride
+// without -stream, -only or an explicit -validate in a mode that cannot
+// honor them) are rejected with an error up front rather than silently
+// resolved by precedence.
 //
 // -stream replays the scenario day by day through the streaming localizer
 // and prints a per-window timeline plus per-censor convergence stats
@@ -53,8 +64,40 @@ import (
 	"churntomo/internal/webcat"
 )
 
+// flagConflicts returns the contradictory flag combinations in a parsed
+// flag set, one message each. explicit holds the flag names the user set
+// on the command line (flag.Visit); it distinguishes an explicit -validate
+// or -stride from their defaults.
+func flagConflicts(explicit map[string]bool, matrix int, stream bool, only string) []string {
+	var conflicts []string
+	if matrix < 1 {
+		conflicts = append(conflicts, fmt.Sprintf("-matrix %d: sweep size must be >= 1", matrix))
+	}
+	if stream && matrix > 1 {
+		conflicts = append(conflicts, "-stream and -matrix are mutually exclusive")
+	}
+	if !stream && (explicit["window"] || explicit["stride"]) {
+		conflicts = append(conflicts, "-window/-stride require -stream")
+	}
+	modal := func() string {
+		if stream {
+			return "-stream"
+		}
+		return "-matrix"
+	}
+	if only != "" && (stream || matrix > 1) {
+		conflicts = append(conflicts, fmt.Sprintf("-only applies to single batch runs and contradicts %s; drop one", modal()))
+	}
+	if explicit["validate"] && (stream || matrix > 1) {
+		conflicts = append(conflicts, fmt.Sprintf("-validate applies to single batch runs and contradicts %s; drop one", modal()))
+	}
+	return conflicts
+}
+
 func main() {
 	scale := flag.String("scale", "default", "experiment scale: small, default or paper")
+	scenarioName := flag.String("scenario", churntomo.ScenarioBaseline,
+		"world-construction preset (see `genlab -list` for the catalog)")
 	seed := flag.Uint64("seed", 1, "master random seed")
 	only := flag.String("only", "", "comma-separated subset: table1,figure1a,figure1b,figure2,figure3,figure4,table2,table3,figure5")
 	validate := flag.Bool("validate", true, "score identified censors against ground truth")
@@ -72,26 +115,15 @@ func main() {
 		os.Exit(2)
 	}
 
-	if *streamMode && *matrix > 1 {
-		fmt.Fprintln(os.Stderr, "churnlab: -stream and -matrix are mutually exclusive")
-		os.Exit(2)
-	}
-	if !*streamMode && (*window != 0 || *stride != 1) {
-		fmt.Fprintln(os.Stderr, "churnlab: -window/-stride require -stream")
-		os.Exit(2)
-	}
-	// -only/-validate apply to single batch runs; warn when they are
-	// explicitly set alongside a mode that ignores them (-validate defaults
-	// to true, so only a user-supplied value warrants the notice).
+	// Contradictory combinations are hard errors: silent precedence would
+	// run something other than what the command line asked for.
 	explicit := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
-	warnIgnored := func(mode string) {
-		if *only != "" {
-			fmt.Fprintf(os.Stderr, "churnlab: -only applies to single runs; ignored in %s mode\n", mode)
+	if conflicts := flagConflicts(explicit, *matrix, *streamMode, *only); len(conflicts) > 0 {
+		for _, c := range conflicts {
+			fmt.Fprintf(os.Stderr, "churnlab: %s\n", c)
 		}
-		if explicit["validate"] {
-			fmt.Fprintf(os.Stderr, "churnlab: -validate applies to single runs; ignored in %s mode\n", mode)
-		}
+		os.Exit(2)
 	}
 
 	// Fold the flags into one option list — every mode goes through the
@@ -105,6 +137,7 @@ func main() {
 	}
 	opts := []churntomo.Option{
 		churntomo.WithScale(sc),
+		churntomo.WithScenario(*scenarioName),
 		churntomo.WithSeed(*seed),
 		churntomo.WithWorkers(workers),
 	}
@@ -113,10 +146,8 @@ func main() {
 	}
 	switch {
 	case *matrix > 1:
-		warnIgnored("matrix")
 		opts = append(opts, churntomo.WithSeedSweep(*matrix))
 	case *streamMode:
-		warnIgnored("stream")
 		opts = append(opts, churntomo.WithWindow(*window), churntomo.WithStride(*stride))
 	}
 
@@ -416,6 +447,7 @@ func printFigure5(p *churntomo.Pipeline) {
 
 func printHeadline(p *churntomo.Pipeline) {
 	fmt.Println("== Headline results ==")
+	fmt.Printf("scenario: %s (seed %d)\n", p.Config.Scenario, p.Config.Seed)
 	fmt.Printf("censoring ASes exactly identified: %d (in %d countries)\n",
 		len(p.Identified), analysis.CensorCountries(p.Identified, p.Graph))
 	fmt.Printf("censors leaking to other ASes: %d; to other countries: %d\n",
@@ -464,9 +496,16 @@ func printValidation(p *churntomo.Pipeline) {
 		}
 		fmt.Printf("spurious: %s\n", strings.Join(names, ", "))
 	}
-	for asn, c := range p.Identified {
+	// Sorted iteration: map order would shuffle these lines between runs,
+	// breaking the byte-identical-output determinism contract.
+	asns := make([]churntomo.ASN, 0, len(p.Identified))
+	for asn := range p.Identified {
+		asns = append(asns, asn)
+	}
+	sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+	for _, asn := range asns {
 		if _, ok := p.Censors.Policy(asn); ok {
-			fmt.Printf("true censor %v corroborated by %d CNFs\n", asn, c.CNFs)
+			fmt.Printf("true censor %v corroborated by %d CNFs\n", asn, p.Identified[asn].CNFs)
 		}
 	}
 	fmt.Println()

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFlagConflicts(t *testing.T) {
+	set := func(names ...string) map[string]bool {
+		m := map[string]bool{}
+		for _, n := range names {
+			m[n] = true
+		}
+		return m
+	}
+	cases := []struct {
+		name     string
+		explicit map[string]bool
+		matrix   int
+		stream   bool
+		only     string
+		want     []string // substrings of expected conflict messages; empty = none
+	}{
+		{name: "defaults", explicit: set(), matrix: 1},
+		{name: "stream alone", explicit: set("stream"), matrix: 1, stream: true},
+		{name: "matrix alone", explicit: set("matrix"), matrix: 4},
+		{name: "stream with window/stride", explicit: set("stream", "window", "stride"), matrix: 1, stream: true},
+		{
+			name: "stream and matrix", explicit: set("stream", "matrix"), matrix: 4, stream: true,
+			want: []string{"mutually exclusive"},
+		},
+		{
+			name: "window without stream", explicit: set("window"), matrix: 1,
+			want: []string{"-window/-stride require -stream"},
+		},
+		{
+			name: "stride without stream", explicit: set("stride"), matrix: 1,
+			want: []string{"-window/-stride require -stream"},
+		},
+		{
+			name: "matrix zero", explicit: set("matrix"), matrix: 0,
+			want: []string{"must be >= 1"},
+		},
+		{
+			name: "only in matrix mode", explicit: set("matrix", "only"), matrix: 3, only: "table1",
+			want: []string{"-only", "-matrix"},
+		},
+		{
+			name: "only in stream mode", explicit: set("stream", "only"), matrix: 1, stream: true, only: "table1",
+			want: []string{"-only", "-stream"},
+		},
+		{
+			name: "explicit validate in matrix mode", explicit: set("matrix", "validate"), matrix: 3,
+			want: []string{"-validate", "-matrix"},
+		},
+		{
+			// -validate defaults to true; only a user-supplied value conflicts.
+			name: "default validate in matrix mode", explicit: set("matrix"), matrix: 3,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := flagConflicts(tc.explicit, tc.matrix, tc.stream, tc.only)
+			if len(tc.want) == 0 {
+				if len(got) > 0 {
+					t.Fatalf("unexpected conflicts: %v", got)
+				}
+				return
+			}
+			joined := strings.Join(got, "\n")
+			for _, w := range tc.want {
+				if !strings.Contains(joined, w) {
+					t.Errorf("conflicts %q missing %q", joined, w)
+				}
+			}
+		})
+	}
+}

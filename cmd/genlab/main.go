@@ -1,10 +1,15 @@
 // Command genlab generates a measurement dataset and exports it as JSON
 // lines (one record per line) for offline analysis with external tools.
+// It is also the scenario catalog browser: -list prints every registered
+// world-construction preset, -describe explains one.
 //
-//	genlab [-scale small|default] [-seed N] [-truth] > records.jsonl
+//	genlab [-scale small|default] [-scenario NAME] [-seed N] [-truth] > records.jsonl
+//	genlab -list
+//	genlab -describe NAME
 //
 // Without -truth, ground-truth fields are stripped, producing exactly what
-// a real platform would publish.
+// a real platform would publish. -scenario selects which preset builds the
+// world the platform measures (default paper-baseline).
 package main
 
 import (
@@ -16,6 +21,7 @@ import (
 
 	"churntomo"
 	"churntomo/internal/anomaly"
+	"churntomo/internal/report"
 	"churntomo/internal/traceroute"
 )
 
@@ -35,17 +41,65 @@ type exportRecord struct {
 	TrueCensors []uint32 `json:"true_censors,omitempty"`
 }
 
+// listScenarios prints the preset catalog.
+func listScenarios() {
+	rows := [][]string{}
+	for _, info := range churntomo.Scenarios() {
+		rows = append(rows, []string{info.Name, info.Description})
+	}
+	fmt.Print(report.Table([]string{"Scenario", "Models"}, rows))
+	fmt.Println("\nrun `genlab -describe <name>` for the provider composition,")
+	fmt.Println("`churnlab -scenario <name>` for a full evaluation under it.")
+}
+
+// describeScenario prints one preset's composition.
+func describeScenario(name string) error {
+	for _, info := range churntomo.Scenarios() {
+		if info.Name != name {
+			continue
+		}
+		fmt.Printf("%s — %s\n", info.Name, info.Description)
+		fmt.Printf("echoes: %s\n\n", info.Echoes)
+		fmt.Print(report.Table([]string{"Axis", "Provider"}, [][]string{
+			{"topology", info.Topology},
+			{"churn", info.Churn},
+			{"censors", info.Censors},
+			{"platform", info.Platform},
+		}))
+		return nil
+	}
+	// Reuse the library's unknown-name error for the known-names list.
+	_, err := churntomo.ScenarioByName(name)
+	return err
+}
+
 func main() {
 	scale := flag.String("scale", "small", "small or default")
+	scenarioName := flag.String("scenario", churntomo.ScenarioBaseline, "world-construction preset (see -list)")
 	seed := flag.Uint64("seed", 1, "master seed")
 	truth := flag.Bool("truth", false, "include ground-truth fields")
+	list := flag.Bool("list", false, "list registered scenario presets and exit")
+	describe := flag.String("describe", "", "describe one scenario preset and exit")
 	flag.Parse()
+
+	if *list {
+		listScenarios()
+		return
+	}
+	if *describe != "" {
+		if err := describeScenario(*describe); err != nil {
+			fmt.Fprintf(os.Stderr, "genlab: %v\n", err)
+			os.Exit(2)
+		}
+		return
+	}
 
 	cfg := churntomo.SmallConfig()
 	if *scale == "default" {
 		cfg = churntomo.DefaultConfig()
 	}
 	cfg.Seed = *seed
+	cfg.Scenario = *scenarioName
 	cfg.Progress = os.Stderr
 
 	p, err := churntomo.Prepare(cfg)
@@ -93,5 +147,6 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	fmt.Fprintf(os.Stderr, "genlab: wrote %d records\n", len(p.Dataset.Records))
+	fmt.Fprintf(os.Stderr, "genlab: wrote %d records under scenario %q\n",
+		len(p.Dataset.Records), p.Config.Scenario)
 }

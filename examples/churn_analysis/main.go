@@ -5,7 +5,9 @@
 //
 // The churn distributions, the per-class split and the ablation all come
 // from the public Result (the ablation via WithChurnAblation) — no
-// churntomo/internal imports.
+// churntomo/internal imports. A second run under the bgp-storm scenario
+// preset shows the same effect from the other direction: more churn, more
+// measurement diversity, more unique solutions.
 //
 //	go run ./examples/churn_analysis
 package main
@@ -64,4 +66,44 @@ func main() {
 		fmt.Printf("  no churn (%s): 5+ solutions %.1f%%, unique %.1f%%\n",
 			r.Period, 100*r.Frac[5], 100*r.Frac[1])
 	}
+
+	// The ablation removes churn; the bgp-storm scenario preset adds it.
+	// Same dimensions, same seed, a different ChurnProcess behind the
+	// preset registry — the solvability shift is the paper's Figure 4
+	// effect run forward.
+	storm, err := churntomo.New(
+		churntomo.WithScale(churntomo.ScaleSmall),
+		churntomo.WithScenario("bgp-storm"),
+		churntomo.WithDays(90),
+		churntomo.WithObserver(churntomo.TextObserver(os.Stderr)),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sres, err := storm.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	stotal := float64(sres.Summary.CNFs)
+	if stotal == 0 {
+		stotal = 1
+	}
+	fmt.Printf("\nunder %q churn (same seed and dimensions):\n", sres.Summary.Scenario)
+	fmt.Printf("  monthly changed-path fraction %.1f%% (baseline %.1f%%)\n",
+		100*monthlyChanged(sres), 100*monthlyChanged(res))
+	fmt.Printf("  unique %.1f%%, none %.1f%%, multiple %.1f%% over %d CNFs\n",
+		100*float64(sres.Summary.UniqueCNFs)/stotal,
+		100*float64(sres.Summary.UnsatCNFs)/stotal,
+		100*float64(sres.Summary.MultipleCNFs)/stotal,
+		sres.Summary.CNFs)
+}
+
+// monthlyChanged extracts the month-granularity changed-path fraction.
+func monthlyChanged(res *churntomo.Result) float64 {
+	for _, d := range res.Churn {
+		if d.Period == "month" {
+			return d.ChangedFrac
+		}
+	}
+	return 0
 }

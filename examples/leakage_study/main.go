@@ -2,6 +2,11 @@
 // leak their policies to users in other networks and countries (Table 3
 // and Figure 5), and how regional that leakage is.
 //
+// The study runs under the transit-leakage scenario preset: censors sit at
+// transit/tier-1 ASes over a topology where stubs often buy transit
+// abroad, the structural combination the paper identifies as the source of
+// cross-border leakage.
+//
 // Everything comes from the public Result.Leakage summary: ranked leakers
 // with their resolved victims, country-level flow edges with display
 // names, and the regional fraction — no churntomo/internal imports.
@@ -21,7 +26,8 @@ import (
 func main() {
 	exp, err := churntomo.New(
 		churntomo.WithScale(churntomo.ScaleSmall),
-		churntomo.WithDays(120), // leakage needs unique solutions; give churn time to accrue
+		churntomo.WithScenario("transit-leakage"), // the leakage-prone world
+		churntomo.WithDays(120),                   // leakage needs unique solutions; give churn time to accrue
 		churntomo.WithObserver(churntomo.TextObserver(os.Stderr)),
 	)
 	if err != nil {

@@ -15,6 +15,7 @@ import (
 	"churntomo/internal/iclab"
 	"churntomo/internal/leakage"
 	"churntomo/internal/parallel"
+	"churntomo/internal/scenario"
 	"churntomo/internal/stream"
 	"churntomo/internal/tomo"
 )
@@ -61,6 +62,13 @@ type Experiment struct {
 	matrixWorkers  int
 	ablation       bool
 
+	// specOverride is the explicit composed spec from WithScenarioSpec;
+	// nil means cells resolve their Config.Scenario name against the
+	// preset registry. scenarioName is the WithScenario selection; both
+	// survive a later WithConfig (New re-applies them to the base config).
+	specOverride *scenario.Spec
+	scenarioName string
+
 	observers []Observer
 	obsMu     sync.Mutex
 }
@@ -91,6 +99,44 @@ func New(opts ...Option) (*Experiment, error) {
 	}
 	if shapes > 0 && e.streaming {
 		return nil, fmt.Errorf("churntomo: New: streaming and matrix modes are mutually exclusive")
+	}
+	// Scenario selection is order-insensitive with respect to WithConfig:
+	// a WithScenario/WithScenarioSpec anywhere in the option list wins
+	// over whatever Config.Scenario a WithConfig carried, and the world
+	// actually built is always the one the result records. Scenario names
+	// fail here, at construction, not mid-run.
+	switch {
+	case e.specOverride != nil:
+		e.base.Scenario = e.specOverride.Name
+		// The override decides every cell's world; a cell config naming a
+		// different scenario would be silently ignored, so reject it.
+		for i := range e.cells {
+			if s := e.cells[i].Scenario; s != "" && s != e.specOverride.Name {
+				return nil, fmt.Errorf("churntomo: New: cell %d names scenario %q, which WithScenarioSpec(%q) would override; drop one",
+					i, s, e.specOverride.Name)
+			}
+			e.cells[i].Scenario = e.specOverride.Name
+		}
+	case e.scenarioName != "":
+		e.base.Scenario = e.scenarioName
+		// Cells that don't name their own scenario inherit the
+		// experiment-level selection; explicit cell names stay honored
+		// (a WithConfigs grid may mix scenarios per cell).
+		for i := range e.cells {
+			if e.cells[i].Scenario == "" {
+				e.cells[i].Scenario = e.scenarioName
+			}
+		}
+		fallthrough
+	default:
+		if _, err := resolveScenario(e.base.Scenario); err != nil {
+			return nil, err
+		}
+		for i := range e.cells {
+			if _, err := resolveScenario(e.cells[i].Scenario); err != nil {
+				return nil, fmt.Errorf("churntomo: New: cell %d: %w", i, err)
+			}
+		}
 	}
 	return e, nil
 }
@@ -163,6 +209,16 @@ func (cr *cellRun) final() *stream.Window {
 	return cr.windows[len(cr.windows)-1]
 }
 
+// cellSpec resolves the scenario one cell builds under: the explicit
+// WithScenarioSpec composition when given, the cell config's named preset
+// otherwise (so a WithConfigs grid may mix scenarios per cell).
+func (e *Experiment) cellSpec(cfg Config) (scenario.Spec, error) {
+	if e.specOverride != nil {
+		return *e.specOverride, nil
+	}
+	return resolveScenario(cfg.Scenario)
+}
+
 // resolvedMinCNFs is the corroboration threshold after defaulting.
 func (e *Experiment) resolvedMinCNFs() int {
 	if e.minCNFs > 0 {
@@ -184,7 +240,11 @@ func (e *Experiment) runCell(ctx context.Context, cfg Config, cell int) (*cellRu
 		e.emit(ev)
 	}
 
-	p, err := prepareCtx(ctx, cfg, emit)
+	spec, err := e.cellSpec(cfg)
+	if err != nil {
+		return nil, err
+	}
+	p, err := prepareSpecCtx(ctx, cfg, spec, emit)
 	if err != nil {
 		return nil, err
 	}

@@ -228,3 +228,100 @@ func TestGenerateAdsOnlyProfiles(t *testing.T) {
 		t.Error("no ad-vendor-only censors (paper: IE/ES censor only ad URLs)")
 	}
 }
+
+// TestGeneratePolicyChangesDefaultUnchanged pins the byte-compatibility of
+// the multi-change scheduler: PolicyChanges unset (default 1) and an
+// explicit 1 must produce identical registries, epoch for epoch.
+func TestGeneratePolicyChangesDefaultUnchanged(t *testing.T) {
+	g := genGraph(t)
+	implicit, err := Generate(g, GenConfig{Seed: 7, Start: start, End: end})
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit, err := Generate(g, GenConfig{Seed: 7, Start: start, End: end, PolicyChanges: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := implicit.ASNs(), explicit.ASNs()
+	if len(a) != len(b) {
+		t.Fatalf("censor counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("censor %d differs: %v vs %v", i, a[i], b[i])
+		}
+		pa, _ := implicit.Policy(a[i])
+		pb, _ := explicit.Policy(b[i])
+		ea, eb := pa.Epochs(), pb.Epochs()
+		if len(ea) != len(eb) {
+			t.Fatalf("%v: epoch counts differ: %d vs %d", a[i], len(ea), len(eb))
+		}
+		for j := range ea {
+			if !ea[j].Start.Equal(eb[j].Start) || ea[j].Techniques != eb[j].Techniques || ea[j].Categories != eb[j].Categories {
+				t.Fatalf("%v epoch %d differs: %+v vs %+v", a[i], j, ea[j], eb[j])
+			}
+		}
+	}
+}
+
+// TestGeneratePolicyChangesMulti exercises the flap regime: with a high
+// change probability and a raised cap, some censor must accumulate several
+// chronological changes.
+func TestGeneratePolicyChangesMulti(t *testing.T) {
+	g := genGraph(t)
+	reg, err := Generate(g, GenConfig{
+		Seed: 8, Start: start, End: end,
+		PolicyChangeProb: 0.95, PolicyChanges: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	most := 0
+	for _, asn := range reg.ASNs() {
+		p, _ := reg.Policy(asn)
+		eps := p.Epochs()
+		if n := len(eps) - 1; n > most {
+			most = n
+		}
+		for j := 1; j < len(eps); j++ {
+			if j > 1 && !eps[j-1].Start.Before(eps[j].Start) {
+				t.Fatalf("%v: changes out of order: %v then %v", asn, eps[j-1].Start, eps[j].Start)
+			}
+			if eps[j].Start.Before(start) || !eps[j].Start.Before(end) {
+				t.Fatalf("%v: change at %v outside window", asn, eps[j].Start)
+			}
+		}
+	}
+	if most < 2 {
+		t.Errorf("no censor accumulated 2+ changes at prob 0.95 cap 4 (max %d)", most)
+	}
+}
+
+// TestGeneratePolicyChangesDisabled pins the documented sentinel: a
+// negative PolicyChangeProb yields a registry whose policies never change.
+func TestGeneratePolicyChangesDisabled(t *testing.T) {
+	g := genGraph(t)
+	reg, err := Generate(g, GenConfig{Seed: 9, Start: start, End: end, PolicyChangeProb: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, asn := range reg.ASNs() {
+		p, _ := reg.Policy(asn)
+		if len(p.Epochs()) != 1 {
+			t.Errorf("censor %v changed policy %d times with PolicyChangeProb -1",
+				asn, len(p.Epochs())-1)
+		}
+	}
+	// The negative PolicyChanges sentinel disables changes too.
+	reg2, err := Generate(g, GenConfig{Seed: 9, Start: start, End: end, PolicyChanges: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, asn := range reg2.ASNs() {
+		p, _ := reg2.Policy(asn)
+		if len(p.Epochs()) != 1 {
+			t.Errorf("censor %v changed policy %d times with PolicyChanges -1",
+				asn, len(p.Epochs())-1)
+		}
+	}
+}

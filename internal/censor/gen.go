@@ -66,12 +66,23 @@ type GenConfig struct {
 
 	// ExtraCountries adds this many randomly-chosen additional censoring
 	// countries with one stub censor each, so the identified-censor count
-	// spreads over ~30 countries like the paper's. Default 8.
+	// spreads over ~30 countries like the paper's. Default 8; negative
+	// means none (a regime that wants exactly its profiled censors).
 	ExtraCountries int
-	// PolicyChangeProb is the probability that a censor changes policy once
-	// during [Start, End). Default 0.35. Changes inside a time slice are
-	// the mechanism behind the paper's unsolvable coarse-granularity CNFs.
+	// PolicyChangeProb is the probability that a censor changes policy
+	// during [Start, End). Default 0.35; negative means policies never
+	// change (0 cannot express that — it selects the default). Changes
+	// inside a time slice are the mechanism behind the paper's unsolvable
+	// coarse-granularity CNFs.
 	PolicyChangeProb float64
+	// PolicyChanges caps how many mid-scenario changes one censor may
+	// accumulate; each successive change is gated on PolicyChangeProb
+	// again, so the count is geometrically distributed up to the cap.
+	// Default 1 (the paper-baseline behaviour, byte for byte); negative
+	// means none. Either negative sentinel disables changes; both alter
+	// the RNG draw sequence relative to the default regime, so censor
+	// placement is deterministic per config, not across configs.
+	PolicyChanges int
 	// Start and End bound the scenario (for scheduling policy changes).
 	Start, End time.Time
 }
@@ -85,6 +96,9 @@ func (c *GenConfig) fillDefaults() {
 	}
 	if c.PolicyChangeProb == 0 {
 		c.PolicyChangeProb = 0.35
+	}
+	if c.PolicyChanges == 0 {
+		c.PolicyChanges = 1
 	}
 }
 
@@ -168,7 +182,7 @@ func Generate(g *topology.Graph, cfg GenConfig) (*Registry, error) {
 			}
 			blockpageID++
 			pol := NewPolicy(as.ASN, as.Country, b, techs, cats)
-			schedulePolicyChange(rng, pol, cfg)
+			schedulePolicyChanges(rng, pol, cfg)
 			reg.Add(pol)
 		}
 		transitByCountry[p.Country] = transit
@@ -261,15 +275,30 @@ func netTTL(rng *rand.Rand) uint8 {
 	return 255 // maximizes delivery, maximally fingerprintable
 }
 
-// schedulePolicyChange maybe adds one mid-scenario policy change: a category
-// set tweak or a technique toggle.
-func schedulePolicyChange(rng *rand.Rand, p *Policy, cfg GenConfig) {
-	if rng.Float64() >= cfg.PolicyChangeProb {
-		return
+// schedulePolicyChanges adds up to cfg.PolicyChanges mid-scenario policy
+// changes, each independently gated on PolicyChangeProb and scheduled after
+// the previous one so epochs stay chronological. The first iteration's draw
+// sequence is exactly the historical single-change one, keeping default
+// registries byte-identical.
+func schedulePolicyChanges(rng *rand.Rand, p *Policy, cfg GenConfig) {
+	span := float64(cfg.End.Sub(cfg.Start))
+	// Keep changes away from the edges so every epoch gets measured. The
+	// first window is written as 0.15 + 0.7*u — the historical expression,
+	// not 0.85-0.15, whose float64 value differs in the last ulp.
+	lo, width := 0.15, 0.7
+	for i := 0; i < cfg.PolicyChanges; i++ {
+		if rng.Float64() >= cfg.PolicyChangeProb {
+			return
+		}
+		frac := lo + width*rng.Float64()
+		applyPolicyChange(rng, p, cfg.Start.Add(time.Duration(frac*span)))
+		lo, width = frac, 0.85-frac
 	}
-	span := cfg.End.Sub(cfg.Start)
-	// Keep changes away from the edges so both epochs get measured.
-	at := cfg.Start.Add(time.Duration((0.15 + 0.7*rng.Float64()) * float64(span)))
+}
+
+// applyPolicyChange appends one change at t: a category set tweak or a
+// technique toggle relative to the epoch in force at t.
+func applyPolicyChange(rng *rand.Rand, p *Policy, at time.Time) {
 	e := p.EpochAt(at)
 	techs, cats := e.Techniques, e.Categories
 

@@ -37,9 +37,11 @@ type treeCall struct {
 }
 
 // NewOracle creates an oracle with room for cacheTrees cached routing
-// trees; 0 selects a default sized for year-long scenario replays.
+// trees; zero or negative values select a default sized for year-long
+// scenario replays (a negative capacity would make the LRU evict on every
+// put, so it is clamped rather than honored).
 func NewOracle(g *topology.Graph, tl *Timeline, cacheTrees int) *Oracle {
-	if cacheTrees == 0 {
+	if cacheTrees <= 0 {
 		cacheTrees = 4096
 	}
 	return &Oracle{G: g, TL: tl, cache: newLRU(cacheTrees), inflight: map[treeKey]*treeCall{}}

@@ -463,3 +463,97 @@ func TestOracleConcurrentQueries(t *testing.T) {
 			concurrentComputes, serialComputes)
 	}
 }
+
+func TestOracleNegativeCacheClamped(t *testing.T) {
+	g := graph(t, 9, 100)
+	startT := time.Date(2016, 5, 1, 0, 0, 0, 0, time.UTC)
+	tl, err := GenTimeline(g, TimelineConfig{Seed: 3, Start: startT, End: startT.AddDate(0, 1, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, trees := range []int{-1, -4096, 0} {
+		o := NewOracle(g, tl, trees)
+		if o.cache.cap != 4096 {
+			t.Errorf("NewOracle(%d): cache capacity %d, want default 4096", trees, o.cache.cap)
+		}
+		if _, ok := o.PathIdxAt(1, 2, startT.Add(time.Hour)); !ok {
+			t.Errorf("NewOracle(%d): no path between connected ASes", trees)
+		}
+		// A negative capacity must never shrink the cache below its content.
+		if o.cache.len() == 0 {
+			t.Errorf("NewOracle(%d): computed tree not cached", trees)
+		}
+	}
+}
+
+func TestTimelineRegionalOutage(t *testing.T) {
+	g := graph(t, 10, 200)
+	startT := time.Date(2016, 5, 1, 0, 0, 0, 0, time.UTC)
+	endT := startT.AddDate(0, 2, 0)
+	base := TimelineConfig{Seed: 4, Start: startT, End: endT}
+	plain, err := GenTimeline(g, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	burst := base
+	burst.Outages = []RegionalOutage{{
+		Region: topology.RegionAsia, At: 0.5, Duration: 24 * time.Hour, Frac: 1,
+	}}
+	tl, err := GenTimeline(g, burst)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The burst adds events on top of unchanged background churn.
+	if tl.NumEvents() <= plain.NumEvents() {
+		t.Fatalf("outage timeline has %d events, baseline %d — burst inert",
+			tl.NumEvents(), plain.NumEvents())
+	}
+
+	// At the burst instant every Asia-touching link is down (Frac 1).
+	at := startT.Add(time.Duration(0.5 * float64(endT.Sub(startT))))
+	ep := tl.EpochAt(at.Add(time.Minute))
+	down := 0
+	for _, link := range g.Links {
+		if g.ASes[link.A].Region != topology.RegionAsia && g.ASes[link.B].Region != topology.RegionAsia {
+			continue
+		}
+		if tl.LinkDownAt(link.ID, ep) {
+			down++
+		}
+	}
+	if down == 0 {
+		t.Fatal("no regional link down during the scheduled burst")
+	}
+
+	// Same config, same burst schedule: bit-identical.
+	again, err := GenTimeline(g, burst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.NumEvents() != tl.NumEvents() || again.NumEpochs() != tl.NumEpochs() {
+		t.Errorf("outage timeline nondeterministic: %d/%d events, %d/%d epochs",
+			tl.NumEvents(), again.NumEvents(), tl.NumEpochs(), again.NumEpochs())
+	}
+}
+
+func TestTimelineOutageValidation(t *testing.T) {
+	g := graph(t, 11, 60)
+	startT := time.Date(2016, 5, 1, 0, 0, 0, 0, time.UTC)
+	base := TimelineConfig{Seed: 5, Start: startT, End: startT.AddDate(0, 1, 0)}
+	bad := []RegionalOutage{
+		{Region: topology.RegionAsia, At: 1.0, Duration: time.Hour, Frac: 0.5},
+		{Region: topology.RegionAsia, At: -0.1, Duration: time.Hour, Frac: 0.5},
+		{Region: topology.RegionAsia, At: 0.5, Duration: 0, Frac: 0.5},
+		{Region: topology.RegionAsia, At: 0.5, Duration: time.Hour, Frac: 0},
+		{Region: topology.RegionAsia, At: 0.5, Duration: time.Hour, Frac: 1.5},
+	}
+	for i, o := range bad {
+		cfg := base
+		cfg.Outages = []RegionalOutage{o}
+		if _, err := GenTimeline(g, cfg); err == nil {
+			t.Errorf("invalid outage %d (%+v) accepted", i, o)
+		}
+	}
+}

@@ -83,6 +83,25 @@ type TimelineConfig struct {
 	// pairs change paths within a day as the paper observes.
 	FlappyFrac float64
 	FlappyMult float64
+
+	// Outages schedules correlated regional failure bursts on top of the
+	// independent per-link churn (a cable cut, a blackout, a hurricane).
+	// Empty means none, which leaves the generated timeline bit-identical
+	// to one built without the field.
+	Outages []RegionalOutage
+}
+
+// RegionalOutage is one correlated failure burst: at Start + At*(End-Start)
+// a Frac-sized random subset of the links touching Region fails, and every
+// failed link recovers together after Duration. Correlated failures are
+// what distinguish a regional incident from background churn — they shift
+// many paths at once, giving the tomography a very different measurement
+// mix than independent flaps.
+type RegionalOutage struct {
+	Region   topology.Region
+	At       float64       // burst position as a fraction of the span, in [0, 1)
+	Duration time.Duration // how long the burst lasts; must be > 0
+	Frac     float64       // fraction of the region's links taken down, in (0, 1]
 }
 
 func (c *TimelineConfig) fillDefaults() {
@@ -109,6 +128,17 @@ func GenTimeline(g *topology.Graph, cfg TimelineConfig) (*Timeline, error) {
 	cfg.fillDefaults()
 	if !cfg.Start.Before(cfg.End) {
 		return nil, fmt.Errorf("routing: timeline start %v not before end %v", cfg.Start, cfg.End)
+	}
+	for i, o := range cfg.Outages {
+		if o.At < 0 || o.At >= 1 {
+			return nil, fmt.Errorf("routing: outage %d: At %v outside [0, 1)", i, o.At)
+		}
+		if o.Frac <= 0 || o.Frac > 1 {
+			return nil, fmt.Errorf("routing: outage %d: Frac %v outside (0, 1]", i, o.Frac)
+		}
+		if o.Duration <= 0 {
+			return nil, fmt.Errorf("routing: outage %d: Duration %v must be > 0", i, o.Duration)
+		}
 	}
 	rng := rand.New(rand.NewPCG(cfg.Seed, 0x636875726e)) // "churn"
 	span := cfg.End.Sub(cfg.Start)
@@ -149,6 +179,27 @@ func GenTimeline(g *topology.Graph, cfg TimelineConfig) (*Timeline, error) {
 		for k := 0; k < n; k++ {
 			at := cfg.Start.Add(time.Duration(rng.Float64() * float64(span)))
 			events = append(events, Event{At: at, Kind: PolicyShift, AS: int32(i), Salt: rng.Uint64()})
+		}
+	}
+
+	// Regional outage bursts. A dedicated RNG keeps the background churn
+	// above byte-identical whether or not bursts are scheduled.
+	if len(cfg.Outages) > 0 {
+		orng := rand.New(rand.NewPCG(cfg.Seed, 0x6f757461676573)) // "outages"
+		for _, o := range cfg.Outages {
+			at := cfg.Start.Add(time.Duration(o.At * float64(span)))
+			for _, link := range g.Links {
+				if g.ASes[link.A].Region != o.Region && g.ASes[link.B].Region != o.Region {
+					continue
+				}
+				if orng.Float64() >= o.Frac {
+					continue
+				}
+				events = append(events, Event{At: at, Kind: LinkDown, Link: link.ID})
+				if upAt := at.Add(o.Duration); upAt.Before(cfg.End) {
+					events = append(events, Event{At: upAt, Kind: LinkUp, Link: link.ID})
+				}
+			}
 		}
 	}
 

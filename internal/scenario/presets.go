@@ -1,0 +1,111 @@
+package scenario
+
+// The built-in preset catalog. Every preset is a Spec composed from the
+// tweak providers in providers.go; registration order is catalog order.
+// README.md carries the user-facing table; keep the two in sync.
+
+import (
+	"time"
+
+	"churntomo/internal/anomaly"
+	"churntomo/internal/censor"
+	"churntomo/internal/iclab"
+	"churntomo/internal/routing"
+	"churntomo/internal/topology"
+)
+
+func init() {
+	MustRegister(Spec{
+		Name:        DefaultName,
+		Description: "the paper's world: baseline churn, Table-2 censor mix, VPN-biased vantages",
+		Echoes:      "the paper, §3 method and §4 evaluation",
+		// All axes nil: the paper providers, and with them bit-identical
+		// output to the pre-framework pipeline.
+	})
+
+	MustRegister(Spec{
+		Name:        "national-firewall",
+		Description: "one country censors at every border with a centralized, slow-moving policy",
+		Echoes:      "the paper's CN rows in Tables 2-3 (GFW-style filtering at transit)",
+		Censors: CensorTweak{Label: "national-firewall", Apply: func(c *censor.GenConfig) {
+			c.Profiles = []censor.CountryProfile{{
+				Country: "CN", ASes: 10, Techniques: anomaly.AllKinds,
+				PreferTransit: true, CatMin: 3, CatMax: 6,
+			}}
+			c.ExtraCountries = -1
+			// A centralized apparatus changes policy rarely — and when it
+			// does, the change shows up at every border at once.
+			c.PolicyChangeProb = 0.15
+		}},
+		Platform: PlatformTweak{Label: "domestic-heavy", Apply: func(c *iclab.ScenarioConfig) {
+			// More vantages inside the censoring country: the regime is
+			// observed from within, not only through leakage.
+			c.VantageNeutralBias = 0.35
+		}},
+	})
+
+	MustRegister(Spec{
+		Name:        "transit-leakage",
+		Description: "censors sit at transit/tier-1 ASes over a heavily foreign-homed topology",
+		Echoes:      "the paper's §3.3 leakage analysis (Table 3, Figure 5)",
+		Topology: TopologyTweak{Label: "foreign-homed", Apply: func(c *topology.GenConfig) {
+			// Triple the stubs buying transit abroad: every such customer
+			// is a potential cross-border victim.
+			c.ForeignProviderProb = 0.18
+		}},
+		Censors: CensorTweak{Label: "transit-heavy", Apply: func(c *censor.GenConfig) {
+			c.Profiles = transitHeavyProfiles()
+		}},
+	})
+
+	MustRegister(Spec{
+		Name:        "bgp-storm",
+		Description: "pathological churn: storm-level link failures, half the links flapping",
+		Echoes:      "routing events reshaping censorship (arXiv:2406.19304)",
+		Churn: ChurnTweak{Label: "bgp-storm", Apply: func(c *routing.TimelineConfig) {
+			c.FailuresPerLinkYear = 36
+			c.MeanOutage = 90 * time.Minute
+			c.FlappyFrac = 0.5
+			c.FlappyMult = 200
+			c.PolicyShiftsPerASYear = 45
+		}},
+	})
+
+	MustRegister(Spec{
+		Name:        "regional-outage",
+		Description: "correlated regional failure bursts (cable cuts) on top of baseline churn",
+		Echoes:      "the paper's §2 churn sources, pushed to the correlated extreme",
+		Churn: ChurnTweak{Label: "regional-outage", Apply: func(c *routing.TimelineConfig) {
+			c.Outages = []routing.RegionalOutage{
+				{Region: topology.RegionAsia, At: 0.25, Duration: 36 * time.Hour, Frac: 0.6},
+				{Region: topology.RegionEurope, At: 0.55, Duration: 24 * time.Hour, Frac: 0.5},
+				{Region: topology.RegionMiddleEast, At: 0.8, Duration: 48 * time.Hour, Frac: 0.7},
+			}
+		}},
+	})
+
+	MustRegister(Spec{
+		Name:        "policy-flap",
+		Description: "per-ISP censors that keep changing what and how they block",
+		Echoes:      "the paper's §4.1 unsolvable coarse-granularity CNFs (policy changed mid-slice)",
+		Churn: ChurnTweak{Label: "policy-shift-heavy", Apply: func(c *routing.TimelineConfig) {
+			c.PolicyShiftsPerASYear = 45
+		}},
+		Censors: CensorTweak{Label: "per-isp-flapping", Apply: func(c *censor.GenConfig) {
+			c.Profiles = perISPProfiles()
+			c.PolicyChangeProb = 0.85
+			c.PolicyChanges = 4
+		}},
+	})
+
+	MustRegister(Spec{
+		Name:        "path-diverse",
+		Description: "densely peered, multi-homed topology maximizing measurement path diversity",
+		Echoes:      "Pathfinder's deliberate path diversity (arXiv:2407.04213)",
+		Topology: TopologyTweak{Label: "path-diverse", Apply: func(c *topology.GenConfig) {
+			c.PeerProb = 0.5
+			c.ForeignProviderProb = 0.12
+			c.ContentFrac = 0.4
+		}},
+	})
+}

@@ -1,0 +1,127 @@
+package scenario
+
+// The concrete providers. Each axis has one generic "tweak" implementation
+// that drives the corresponding generator package with the scale knobs from
+// Params and an optional config mutation on top — presets compose worlds
+// from deltas against the paper baseline instead of re-implementing
+// generators. A custom provider only needs to satisfy the interface; the
+// tweak types are a convenience, not a requirement.
+
+import (
+	"churntomo/internal/censor"
+	"churntomo/internal/iclab"
+	"churntomo/internal/routing"
+	"churntomo/internal/topology"
+)
+
+// The paper-baseline providers: the exact generator calls the monolithic
+// pipeline used to hard-code, one per axis.
+var (
+	PaperTopology TopologyProvider = TopologyTweak{Label: "paper"}
+	PaperChurn    ChurnProcess     = ChurnTweak{Label: "paper"}
+	PaperCensors  CensorRegime     = CensorTweak{Label: "paper"}
+	PaperPlatform PlatformProfile  = PlatformTweak{Label: "paper"}
+)
+
+// TopologyTweak generates via topology.Generate, after applying Apply (if
+// any) to a config pre-filled with the Params scale knobs.
+type TopologyTweak struct {
+	Label string
+	Apply func(*topology.GenConfig)
+}
+
+// Name returns the provider label.
+func (t TopologyTweak) Name() string { return t.Label }
+
+// Topology generates the AS graph.
+func (t TopologyTweak) Topology(seed uint64, p Params) (*topology.Graph, error) {
+	cfg := topology.GenConfig{Seed: seed, ASes: p.ASes, Countries: p.Countries}
+	if t.Apply != nil {
+		t.Apply(&cfg)
+	}
+	return topology.Generate(cfg)
+}
+
+// ChurnTweak generates via routing.GenTimeline with an optional config
+// mutation (failure rates, flappiness, scheduled regional outages).
+type ChurnTweak struct {
+	Label string
+	Apply func(*routing.TimelineConfig)
+}
+
+// Name returns the provider label.
+func (t ChurnTweak) Name() string { return t.Label }
+
+// Timeline generates the churn timeline.
+func (t ChurnTweak) Timeline(g *topology.Graph, seed uint64, p Params) (*routing.Timeline, error) {
+	cfg := routing.TimelineConfig{Seed: seed, Start: p.Start, End: p.End}
+	if t.Apply != nil {
+		t.Apply(&cfg)
+	}
+	return routing.GenTimeline(g, cfg)
+}
+
+// CensorTweak generates via censor.Generate with an optional config
+// mutation (country profiles, policy-change cadence).
+type CensorTweak struct {
+	Label string
+	Apply func(*censor.GenConfig)
+}
+
+// Name returns the provider label.
+func (t CensorTweak) Name() string { return t.Label }
+
+// Censors places the censorship policies.
+func (t CensorTweak) Censors(g *topology.Graph, seed uint64, p Params) (*censor.Registry, error) {
+	cfg := censor.GenConfig{Seed: seed, Start: p.Start, End: p.End}
+	if t.Apply != nil {
+		t.Apply(&cfg)
+	}
+	return censor.Generate(g, cfg)
+}
+
+// PlatformTweak selects vantages and targets via iclab.BuildScenario with
+// an optional config mutation (vantage placement bias, fingerprint
+// coverage).
+type PlatformTweak struct {
+	Label string
+	Apply func(*iclab.ScenarioConfig)
+}
+
+// Name returns the provider label.
+func (t PlatformTweak) Name() string { return t.Label }
+
+// Platform builds the measurement scenario over the prepared substrate.
+func (t PlatformTweak) Platform(w *World, seed uint64, p Params) (*iclab.Scenario, error) {
+	cfg := iclab.ScenarioConfig{Seed: seed, Vantages: p.Vantages, URLs: p.URLs}
+	if t.Apply != nil {
+		t.Apply(&cfg)
+	}
+	return iclab.BuildScenario(w.Graph, w.Oracle, w.Censors, w.DB, p.Start, p.End, cfg)
+}
+
+// transitHeavyProfiles returns censor.DefaultProfiles with every profile
+// forced onto transit/tier-1 placement — the structural precondition for
+// cross-border leakage.
+func transitHeavyProfiles() []censor.CountryProfile {
+	out := append([]censor.CountryProfile(nil), censor.DefaultProfiles...)
+	for i := range out {
+		out[i].PreferTransit = true
+	}
+	return out
+}
+
+// perISPProfiles returns censor.DefaultProfiles re-targeted at access
+// networks: no transit preference, and the larger regimes split across
+// more, smaller ASes — each ISP implements the national mandate on its own
+// equipment with its own quirks.
+func perISPProfiles() []censor.CountryProfile {
+	out := append([]censor.CountryProfile(nil), censor.DefaultProfiles...)
+	for i := range out {
+		out[i].PreferTransit = false
+		if out[i].ASes >= 3 {
+			out[i].ASes += 2
+		}
+	}
+	return out
+}

@@ -1,0 +1,185 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"churntomo/internal/censor"
+	"churntomo/internal/iclab"
+	"churntomo/internal/ipasmap"
+	"churntomo/internal/routing"
+	"churntomo/internal/topology"
+)
+
+// Params carries the scale knobs a provider may consume: the master seed,
+// the topology and platform dimensions, and the measurement period. They
+// are resolved from the experiment configuration before Build runs, so a
+// provider never sees zero values needing defaulting.
+type Params struct {
+	Seed            uint64
+	ASes, Countries int
+	Vantages, URLs  int
+	Start, End      time.Time
+}
+
+// Stage identifies one world-construction stage, in build order.
+type Stage int
+
+// The build stages. Build invokes its onStage hook with each before the
+// stage runs, which is where the caller checks cancellation and reports
+// progress.
+const (
+	StageTopology Stage = iota // AS graph
+	StageTimeline              // churn timeline + routing oracle
+	StageCensors               // censor policies
+	StageIPASMap               // historical IP-to-AS database
+	StagePlatform              // vantage/target selection
+)
+
+// World is a fully constructed experiment substrate: everything the
+// measurement platform and the tomography consume.
+type World struct {
+	Spec   Spec
+	Params Params
+
+	Graph    *topology.Graph
+	Timeline *routing.Timeline
+	Oracle   *routing.Oracle
+	Censors  *censor.Registry
+	DB       *ipasmap.DB
+	Platform *iclab.Scenario
+}
+
+// TopologyProvider generates the AS-level graph. seed is already offset
+// from the master seed, so providers draw from it directly.
+type TopologyProvider interface {
+	Name() string
+	Topology(seed uint64, p Params) (*topology.Graph, error)
+}
+
+// ChurnProcess drives the routing timeline: link flaps, policy shifts,
+// correlated regional outages — whatever makes paths move.
+type ChurnProcess interface {
+	Name() string
+	Timeline(g *topology.Graph, seed uint64, p Params) (*routing.Timeline, error)
+}
+
+// CensorRegime places censorship policies into the topology: a national
+// firewall, per-ISP blocking, transit-heavy leakage-prone deployments.
+type CensorRegime interface {
+	Name() string
+	Censors(g *topology.Graph, seed uint64, p Params) (*censor.Registry, error)
+}
+
+// PlatformProfile selects the measurement platform's vantages, targets and
+// fingerprint corpus over the already-built substrate (w.Graph, w.Oracle,
+// w.Censors and w.DB are populated when it runs).
+type PlatformProfile interface {
+	Name() string
+	Platform(w *World, seed uint64, p Params) (*iclab.Scenario, error)
+}
+
+// Spec composes one world generator from the four provider axes. A nil
+// provider means the paper-baseline implementation for that axis, so a
+// spec overriding a single axis stays a one-liner.
+type Spec struct {
+	// Name keys the preset registry and is recorded in results.
+	Name string
+	// Description is one line for catalogs (genlab -list).
+	Description string
+	// Echoes names the paper section or related work the preset models.
+	Echoes string
+
+	Topology TopologyProvider
+	Churn    ChurnProcess
+	Censors  CensorRegime
+	Platform PlatformProfile
+}
+
+// withDefaults fills nil axes with the paper-baseline providers.
+func (s Spec) withDefaults() Spec {
+	if s.Topology == nil {
+		s.Topology = PaperTopology
+	}
+	if s.Churn == nil {
+		s.Churn = PaperChurn
+	}
+	if s.Censors == nil {
+		s.Censors = PaperCensors
+	}
+	if s.Platform == nil {
+		s.Platform = PaperPlatform
+	}
+	return s
+}
+
+// Components returns the four resolved provider names, in build-axis order
+// (topology, churn, censors, platform).
+func (s Spec) Components() [4]string {
+	d := s.withDefaults()
+	return [4]string{d.Topology.Name(), d.Churn.Name(), d.Censors.Name(), d.Platform.Name()}
+}
+
+// Build constructs the world spec describes at the scale p describes.
+// onStage, when non-nil, runs before each stage; a non-nil error aborts the
+// build and is returned unwrapped (the cancellation hook). Identical
+// (spec, p) inputs produce bit-identical worlds: every provider draws from
+// a seed derived from p.Seed with the same per-stage offsets the original
+// monolithic pipeline used, so the paper-baseline spec reproduces it
+// byte for byte.
+func Build(spec Spec, p Params, onStage func(Stage) error) (*World, error) {
+	spec = spec.withDefaults()
+	if !p.Start.Before(p.End) {
+		return nil, fmt.Errorf("scenario %q: start %v not before end %v", spec.Name, p.Start, p.End)
+	}
+	step := func(s Stage) error {
+		if onStage == nil {
+			return nil
+		}
+		return onStage(s)
+	}
+	w := &World{Spec: spec, Params: p}
+
+	var err error
+	if err = step(StageTopology); err != nil {
+		return nil, err
+	}
+	if w.Graph, err = spec.Topology.Topology(p.Seed, p); err != nil {
+		return nil, fmt.Errorf("scenario %q: topology: %w", spec.Name, err)
+	}
+
+	if err = step(StageTimeline); err != nil {
+		return nil, err
+	}
+	if w.Timeline, err = spec.Churn.Timeline(w.Graph, p.Seed+1, p); err != nil {
+		return nil, fmt.Errorf("scenario %q: timeline: %w", spec.Name, err)
+	}
+	w.Oracle = routing.NewOracle(w.Graph, w.Timeline, 0)
+
+	if err = step(StageCensors); err != nil {
+		return nil, err
+	}
+	if w.Censors, err = spec.Censors.Censors(w.Graph, p.Seed+2, p); err != nil {
+		return nil, fmt.Errorf("scenario %q: censors: %w", spec.Name, err)
+	}
+
+	// The IP-to-AS history is platform plumbing, not a scenario dimension:
+	// every world needs the same honest mapping database for traceroute
+	// resolution, so it stays hard-wired rather than pluggable.
+	if err = step(StageIPASMap); err != nil {
+		return nil, err
+	}
+	if w.DB, err = ipasmap.Build(w.Graph, ipasmap.BuildConfig{
+		Seed: p.Seed + 3, Start: p.Start, End: p.End,
+	}); err != nil {
+		return nil, fmt.Errorf("scenario %q: ipasmap: %w", spec.Name, err)
+	}
+
+	if err = step(StagePlatform); err != nil {
+		return nil, err
+	}
+	if w.Platform, err = spec.Platform.Platform(w, p.Seed+4, p); err != nil {
+		return nil, fmt.Errorf("scenario %q: platform: %w", spec.Name, err)
+	}
+	return w, nil
+}

@@ -86,6 +86,48 @@ func WithScale(s Scale) Option {
 	}
 }
 
+// WithScenario selects a named world-construction preset from the
+// scenario registry (see Scenarios for the catalog). The preset decides
+// how the four generator axes behave — topology shape, churn process,
+// censor regime, platform profile — while WithScale/WithSeed keep deciding
+// the dimensions and randomness. Same preset + same seed is bit-identical
+// across runs and across serial/parallel/streaming execution.
+//
+// Scenario selection is position-independent: like WithScenarioSpec, it
+// survives a later WithConfig (the last scenario option wins over any
+// Config.Scenario a WithConfig carries).
+func WithScenario(name string) Option {
+	return func(e *Experiment) error {
+		if name == "" {
+			return fmt.Errorf("churntomo: WithScenario: empty scenario name (omit the option for %q)", ScenarioBaseline)
+		}
+		if _, err := resolveScenario(name); err != nil {
+			return err
+		}
+		e.base.Scenario = name
+		e.scenarioName = name
+		e.specOverride = nil // a later name wins over an earlier spec
+		return nil
+	}
+}
+
+// WithScenarioSpec drives world construction through an explicitly
+// composed spec instead of a registered preset — mix and match the
+// provider axes (spec fields left nil use the paper-baseline provider for
+// that axis). The spec's name is recorded in results; it defaults to
+// "custom".
+func WithScenarioSpec(spec ScenarioSpec) Option {
+	return func(e *Experiment) error {
+		if spec.Name == "" {
+			spec.Name = "custom"
+		}
+		e.specOverride = &spec
+		e.scenarioName = ""
+		e.base.Scenario = spec.Name
+		return nil
+	}
+}
+
 // WithSeed sets the master random seed (0 means the default seed, 1).
 func WithSeed(seed uint64) Option {
 	return func(e *Experiment) error {

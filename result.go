@@ -65,6 +65,9 @@ type Censor struct {
 
 // Summary condenses the measured dataset and the solve outcome.
 type Summary struct {
+	// Scenario names the world-construction preset the run built under
+	// ("paper-baseline" unless WithScenario/WithScenarioSpec changed it).
+	Scenario string
 	// Period is the measurement period, e.g. "2016-05-01..2017-05-02".
 	Period string
 	// Measurements counts all platform measurements.
@@ -292,6 +295,7 @@ func censorsOf(identified map[topology.ASN]*tomo.IdentifiedCensor, p *Pipeline) 
 func summaryOf(ds *Pipeline, outcomes []tomo.Outcome) Summary {
 	t := ds.Dataset.Stats
 	s := Summary{
+		Scenario:     ds.Config.Scenario,
 		Period:       t.Period,
 		Measurements: t.Measurements,
 		VantageASes:  t.VantageASes, DestinationASes: t.DestinationASes,

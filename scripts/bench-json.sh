@@ -1,0 +1,40 @@
+#!/bin/sh
+# bench-json.sh: run the root package's benchmarks with -benchmem and emit
+# the results as a JSON array, one object per benchmark, to the file named
+# by $1 (default BENCH.json). This is the machine-readable perf datapoint
+# `make bench-json` records per PR; diff successive files to see the
+# trajectory.
+#
+# Output shape:
+#   [{"name": "BenchmarkKernel_CNFBuild-8", "iterations": 1,
+#     "ns_per_op": 123456.0, "bytes_per_op": 789, "allocs_per_op": 12}, ...]
+set -eu
+out=${1:-BENCH.json}
+go=${GO:-go}
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+# -benchtime 1x keeps this a smoke-speed pass; bump via BENCHTIME for a
+# statistically serious run.
+"$go" test -run '^$' -bench . -benchmem -benchtime "${BENCHTIME:-1x}" . >"$tmp"
+
+awk '
+/^Benchmark/ {
+    name = $1; iters = $2; ns = $3
+    bytes = "null"; allocs = "null"
+    for (i = 4; i <= NF; i++) {
+        if ($i == "B/op")      bytes  = $(i - 1)
+        if ($i == "allocs/op") allocs = $(i - 1)
+    }
+    line = sprintf("  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
+                   name, iters, ns, bytes, allocs)
+    if (n++) printf(",\n")
+    printf("%s", line)
+}
+BEGIN { printf("[\n") }
+END   { printf("\n]\n") }
+' "$tmp" >"$out"
+
+count=$(grep -c '"name"' "$out" || true)
+echo "bench-json: wrote $count benchmarks to $out" >&2
