@@ -6,11 +6,11 @@
 
 GO ?= go
 
-.PHONY: all ci vet build test race bench bench-json docs api-check scenario-check fuzz clean
+.PHONY: all ci vet build test race bench bench-json docs api-check scenario-check dataset-check fuzz clean
 
 all: ci
 
-ci: build race docs scenario-check bench
+ci: build race docs scenario-check dataset-check bench
 
 vet:
 	$(GO) vet ./...
@@ -45,15 +45,27 @@ scenario-check:
 	$(GO) test -count 1 -run 'TestScenarioCatalog|TestScenarioPresetsSmoke|TestScenarioDeterminism|TestScenarioBaselineMatchesDefault' .
 	$(GO) run ./cmd/genlab -list >/dev/null
 
+# Dataset gate: the on-disk format keeps round-tripping — the codec's
+# golden v1 file still decodes and re-encodes byte-identically, an
+# export→import→localize round trip produces identifications
+# byte-identical to the direct run in batch and streaming modes, and the
+# genlab -export → churnlab -input CLI workflow stays wired end to end
+# (smoke scale, full evaluation diffed against the direct run).
+dataset-check:
+	$(GO) test -count 1 -run 'TestGoldenV1|TestEncodeDecodeRoundTrip' ./internal/dataset
+	$(GO) test -count 1 -run 'TestDatasetRoundTripIdentifications|TestDatasetRoundTripStreaming|TestInMemoryDatasetSource' .
+	sh scripts/check-dataset-cli.sh
+
 # One iteration of every benchmark: catches compile/runtime rot without
 # paying for a real measurement run.
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 # Root benchmarks with -benchmem, rendered as JSON so the performance
-# trajectory has machine-readable datapoints (BENCH_PR4.json is this PR's).
+# trajectory has machine-readable datapoints (BENCH_PR5.json is this
+# PR's; it adds the BenchmarkDatasetEncodeDecode codec throughput row).
 bench-json:
-	sh scripts/bench-json.sh BENCH_PR4.json
+	sh scripts/bench-json.sh BENCH_PR5.json
 
 # Short fuzz pass over the DIMACS parser; extend -fuzztime for real hunts.
 fuzz:

@@ -12,12 +12,14 @@ package churntomo
 // the timed loop then measures the analysis cost itself.
 
 import (
+	"bytes"
 	"fmt"
 	"os"
 	"sync"
 	"testing"
 
 	"churntomo/internal/analysis"
+	"churntomo/internal/dataset"
 	"churntomo/internal/iclab"
 	"churntomo/internal/leakage"
 	"churntomo/internal/report"
@@ -57,6 +59,34 @@ func printOnce(name, artifact string) {
 	}
 	printedArtifact[name] = true
 	fmt.Fprintf(os.Stderr, "\n===== %s =====\n%s\n", name, artifact)
+}
+
+// BenchmarkDatasetEncodeDecode measures the on-disk codec's round-trip
+// throughput over the shared pipeline's dataset: one encode to the
+// versioned gzipped-JSONL format plus one decode per iteration, with
+// bytes/sec reporting the compressed stream size.
+func BenchmarkDatasetEncodeDecode(b *testing.B) {
+	p := benchPipeline(b)
+	f, err := pipelineToFile(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := dataset.Encode(&buf, f); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(buf.Len()))
+	b.ReportMetric(float64(len(p.Dataset.Records)), "records")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := dataset.Encode(&buf, f); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := dataset.Decode(bytes.NewReader(buf.Bytes())); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 func BenchmarkTable1_DatasetCharacteristics(b *testing.B) {

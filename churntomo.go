@@ -23,9 +23,19 @@
 // code path, reporting progress as typed Events to registered observers
 // and returning a Result expressed entirely in exported types.
 //
+// Where measurements come from is decoupled from how they are localized:
+// a Source (see WithSource/WithInput) supplies day-ordered Measurement
+// batches plus world metadata. The default ScenarioSource synthesizes
+// them from the configured scenario; FileSource replays a dataset
+// exported by Result.Export (genlab -export / churnlab -input at the
+// CLI); external ingesters implement Source to analyze real recorded
+// corpora through the same pipeline.
+//
 // Every run is deterministic for a given option set, at any WithWorkers
 // setting: measurement days, CNF construction and solving are sharded
 // across worker pools whose output is bit-identical to serial execution.
+// Replaying an exported dataset reproduces the direct run's
+// identifications byte for byte, in batch and streaming modes.
 //
 // The pre-Experiment entry points (Run, Runner.RunMatrix,
 // Runner.StreamSweep) remain as deprecated shims over the same code path.
@@ -48,8 +58,11 @@ import (
 	"churntomo/internal/topology"
 )
 
-// Config scales a full experiment. Zero fields take defaults from
-// DefaultConfig.
+// Config scales a full experiment. The zero-value rule: a zero field
+// means "use the default" — zero fields take DefaultConfig's values (and
+// Seed 0 takes the default seed 1). Construction-time options therefore
+// reject arguments equal to the zero value instead of silently renaming
+// them (WithSeed(0) errors rather than running under seed 1).
 type Config struct {
 	Seed uint64
 
@@ -297,24 +310,78 @@ func (c *Config) platformConfig() iclab.PlatformConfig {
 	}
 }
 
-// Measure runs the measurement platform, populating Dataset.
-func (p *Pipeline) Measure() {
+// MeasureCtx runs the measurement platform, populating Dataset. It
+// returns an error — rather than panicking like the deprecated Measure —
+// when the pipeline carries no scenario (Prepare has not run, or the
+// pipeline was reconstructed from a dataset whose records are already
+// measured), and honors ctx cancellation at day-shard granularity.
+func (p *Pipeline) MeasureCtx(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if p.Scenario == nil {
+		return fmt.Errorf("churntomo: Measure before Prepare: pipeline carries no scenario")
+	}
 	if p.Config.Progress != nil {
 		fmt.Fprintln(p.Config.Progress, "running measurement platform")
 	}
-	p.Dataset = iclab.Run(p.Scenario, p.Config.platformConfig())
+	ds, err := iclab.RunCtx(ctx, p.Scenario, p.Config.platformConfig())
+	if err != nil {
+		return err
+	}
+	p.Dataset = ds
+	return nil
 }
 
-// Localize builds and solves the tomography CNFs and derives censors and
-// leakage. Requires Measure to have run.
-func (p *Pipeline) Localize() {
+// Measure runs the measurement platform, populating Dataset.
+//
+// Deprecated: use MeasureCtx, which returns an error instead of
+// panicking on a pipeline without a scenario and supports cancellation.
+// The panic on a scenario-less pipeline is pinned behavior.
+func (p *Pipeline) Measure() {
+	if p.Scenario == nil {
+		panic("churntomo: Measure before Prepare")
+	}
+	if err := p.MeasureCtx(context.Background()); err != nil {
+		panic(err) // unreachable: RunCtx only fails on ctx cancellation
+	}
+}
+
+// LocalizeCtx builds and solves the tomography CNFs and derives censors
+// and leakage. It returns an error — rather than panicking like the
+// deprecated Localize — when no Dataset has been measured or adopted, and
+// honors ctx cancellation inside the grouped build and the solve loop.
+func (p *Pipeline) LocalizeCtx(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if p.Dataset == nil {
-		panic("churntomo: Localize before Measure")
+		return fmt.Errorf("churntomo: Localize before Measure: pipeline carries no dataset")
 	}
 	if p.Config.Progress != nil {
 		fmt.Fprintln(p.Config.Progress, "building and solving CNFs")
 	}
-	p.Instances, p.Outcomes = tomo.BuildAndSolve(p.Dataset.Records, tomo.BuildConfig{Workers: p.Config.Workers})
+	insts, outcomes, err := tomo.BuildAndSolveCtx(ctx, p.Dataset.Records, tomo.BuildConfig{Workers: p.Config.Workers})
+	if err != nil {
+		return err
+	}
+	p.Instances, p.Outcomes = insts, outcomes
 	p.Identified = tomo.IdentifyCensors(p.Outcomes, identifyMinCNFs)
 	p.Leakage = leakage.Analyze(p.Outcomes, p.Graph)
+	return nil
+}
+
+// Localize builds and solves the tomography CNFs and derives censors and
+// leakage. Requires Measure to have run.
+//
+// Deprecated: use LocalizeCtx, which returns an error instead of
+// panicking on a nil Dataset and supports cancellation. The
+// "Localize before Measure" panic is pinned behavior.
+func (p *Pipeline) Localize() {
+	if p.Dataset == nil {
+		panic("churntomo: Localize before Measure")
+	}
+	if err := p.LocalizeCtx(context.Background()); err != nil {
+		panic(err) // unreachable: BuildAndSolveCtx only fails on ctx cancellation
+	}
 }

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	churnlab [-scale small|default|paper] [-scenario NAME] [-seed N]
+//	         [-input dataset.jsonl.gz]
 //	         [-only table1,figure3,...] [-validate]
 //	         [-parallel N] [-matrix N] [-stream] [-window D] [-stride D]
 //
@@ -12,6 +13,14 @@
 // streaming runs through one Experiment.Run call on a signal-cancelable
 // context — Ctrl-C aborts the run promptly at the next stage/day/solve
 // boundary.
+//
+// -input analyzes a recorded dataset (written by genlab -export or
+// Result.Export) instead of synthesizing one: the file's world metadata —
+// scenario label, seed, period, vantage/target/AS tables, ground truth —
+// replaces the -scale/-scenario/-seed world, so those flags conflict with
+// it, as does -matrix (a seed sweep would replay the same file N times).
+// -stream composes with -input: the recorded days replay through the
+// incremental windowed localizer exactly as a live run would.
 //
 // -scenario selects a world-construction preset from the scenario registry
 // (paper-baseline, national-firewall, transit-leakage, bgp-storm,
@@ -68,13 +77,23 @@ import (
 // flag set, one message each. explicit holds the flag names the user set
 // on the command line (flag.Visit); it distinguishes an explicit -validate
 // or -stride from their defaults.
-func flagConflicts(explicit map[string]bool, matrix int, stream bool, only string) []string {
+func flagConflicts(explicit map[string]bool, matrix int, stream bool, only string, input string) []string {
 	var conflicts []string
 	if matrix < 1 {
 		conflicts = append(conflicts, fmt.Sprintf("-matrix %d: sweep size must be >= 1", matrix))
 	}
 	if stream && matrix > 1 {
 		conflicts = append(conflicts, "-stream and -matrix are mutually exclusive")
+	}
+	if input != "" {
+		for _, name := range []string{"scale", "scenario", "seed"} {
+			if explicit[name] {
+				conflicts = append(conflicts, fmt.Sprintf("-%s steers world synthesis and contradicts -input, which replays a recorded world; drop one", name))
+			}
+		}
+		if matrix > 1 {
+			conflicts = append(conflicts, "-matrix resamples the world per cell and contradicts -input, which would replay the same file every cell; drop one")
+		}
 	}
 	if !stream && (explicit["window"] || explicit["stride"]) {
 		conflicts = append(conflicts, "-window/-stride require -stream")
@@ -107,6 +126,7 @@ func main() {
 	streamMode := flag.Bool("stream", false, "replay the scenario day by day and print the window timeline")
 	window := flag.Int("window", 0, "streaming window width in days (0 = cumulative)")
 	stride := flag.Int("stride", 1, "days the streaming window advances between localizations")
+	input := flag.String("input", "", "analyze this recorded dataset (genlab -export) instead of synthesizing one")
 	flag.Parse()
 
 	sc, err := churntomo.ParseScale(*scale)
@@ -119,7 +139,7 @@ func main() {
 	// run something other than what the command line asked for.
 	explicit := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
-	if conflicts := flagConflicts(explicit, *matrix, *streamMode, *only); len(conflicts) > 0 {
+	if conflicts := flagConflicts(explicit, *matrix, *streamMode, *only, *input); len(conflicts) > 0 {
 		for _, c := range conflicts {
 			fmt.Fprintf(os.Stderr, "churnlab: %s\n", c)
 		}
@@ -135,11 +155,20 @@ func main() {
 		// stage pools. An explicit -parallel still overrides per cell.
 		workers = 1
 	}
-	opts := []churntomo.Option{
-		churntomo.WithScale(sc),
-		churntomo.WithScenario(*scenarioName),
-		churntomo.WithSeed(*seed),
-		churntomo.WithWorkers(workers),
+	var opts []churntomo.Option
+	if *input != "" {
+		// The recorded world replaces the synthesis flags wholesale.
+		opts = []churntomo.Option{
+			churntomo.WithInput(*input),
+			churntomo.WithWorkers(workers),
+		}
+	} else {
+		opts = []churntomo.Option{
+			churntomo.WithScale(sc),
+			churntomo.WithScenario(*scenarioName),
+			churntomo.WithSeed(*seed),
+			churntomo.WithWorkers(workers),
+		}
 	}
 	if !*quiet {
 		opts = append(opts, churntomo.WithObserver(churntomo.TextObserver(os.Stderr)))

@@ -19,6 +19,7 @@ func TestFlagConflicts(t *testing.T) {
 		matrix   int
 		stream   bool
 		only     string
+		input    string
 		want     []string // substrings of expected conflict messages; empty = none
 	}{
 		{name: "defaults", explicit: set(), matrix: 1},
@@ -57,10 +58,29 @@ func TestFlagConflicts(t *testing.T) {
 			// -validate defaults to true; only a user-supplied value conflicts.
 			name: "default validate in matrix mode", explicit: set("matrix"), matrix: 3,
 		},
+		{name: "input alone", explicit: set("input"), matrix: 1, input: "ds.jsonl.gz"},
+		{
+			// Replaying a recorded dataset through the streaming engine is
+			// the supported workflow, not a conflict.
+			name: "input with stream", explicit: set("input", "stream", "window"), matrix: 1,
+			stream: true, input: "ds.jsonl.gz",
+		},
+		{
+			name: "input with seed", explicit: set("input", "seed"), matrix: 1, input: "ds.jsonl.gz",
+			want: []string{"-seed", "-input"},
+		},
+		{
+			name: "input with scale and scenario", explicit: set("input", "scale", "scenario"), matrix: 1, input: "ds.jsonl.gz",
+			want: []string{"-scale", "-scenario", "-input"},
+		},
+		{
+			name: "input with matrix", explicit: set("input", "matrix"), matrix: 4, input: "ds.jsonl.gz",
+			want: []string{"-matrix", "same file every cell"},
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			got := flagConflicts(tc.explicit, tc.matrix, tc.stream, tc.only)
+			got := flagConflicts(tc.explicit, tc.matrix, tc.stream, tc.only, tc.input)
 			if len(tc.want) == 0 {
 				if len(got) > 0 {
 					t.Fatalf("unexpected conflicts: %v", got)

@@ -1,19 +1,27 @@
-// Command genlab generates a measurement dataset and exports it as JSON
-// lines (one record per line) for offline analysis with external tools.
-// It is also the scenario catalog browser: -list prints every registered
-// world-construction preset, -describe explains one.
+// Command genlab generates a measurement dataset. With -export it writes
+// the versioned churntomo dataset format (gzipped JSONL with a
+// self-describing header) that churnlab -input and churntomo.FileSource
+// analyze without regenerating the world — the generation half of the
+// export→import→replay workflow. Without -export it prints legacy JSON
+// lines (one record per line) to stdout for offline analysis with
+// external tools. It is also the scenario catalog browser: -list prints
+// every registered world-construction preset, -describe explains one.
 //
+//	genlab -export ds.jsonl.gz [-scale small|default] [-scenario NAME] [-seed N]
 //	genlab [-scale small|default] [-scenario NAME] [-seed N] [-truth] > records.jsonl
 //	genlab -list
 //	genlab -describe NAME
 //
-// Without -truth, ground-truth fields are stripped, producing exactly what
-// a real platform would publish. -scenario selects which preset builds the
+// Without -truth, ground-truth fields are stripped from the legacy stdout
+// export, producing exactly what a real platform would publish (-export
+// always records the world's ground truth so a re-import can validate
+// identifications against it). -scenario selects which preset builds the
 // world the platform measures (default paper-baseline).
 package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -77,7 +85,8 @@ func main() {
 	scale := flag.String("scale", "small", "small or default")
 	scenarioName := flag.String("scenario", churntomo.ScenarioBaseline, "world-construction preset (see -list)")
 	seed := flag.Uint64("seed", 1, "master seed")
-	truth := flag.Bool("truth", false, "include ground-truth fields")
+	truth := flag.Bool("truth", false, "include ground-truth fields in the legacy stdout export")
+	export := flag.String("export", "", "write the versioned dataset format to this path instead of legacy JSON lines on stdout")
 	list := flag.Bool("list", false, "list registered scenario presets and exit")
 	describe := flag.String("describe", "", "describe one scenario preset and exit")
 	flag.Parse()
@@ -102,12 +111,28 @@ func main() {
 	cfg.Scenario = *scenarioName
 	cfg.Progress = os.Stderr
 
+	// genlab only needs the measured dataset — localization is churnlab's
+	// job — so it runs the substrate and measurement stages through the
+	// error-returning pipeline methods rather than a full Experiment.
 	p, err := churntomo.Prepare(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "genlab: %v\n", err)
 		os.Exit(1)
 	}
-	p.Measure()
+	if err := p.MeasureCtx(context.Background()); err != nil {
+		fmt.Fprintf(os.Stderr, "genlab: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *export != "" {
+		if err := p.Export(*export); err != nil {
+			fmt.Fprintf(os.Stderr, "genlab: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "genlab: exported %d records under scenario %q to %s\n",
+			len(p.Dataset.Records), p.Config.Scenario, *export)
+		return
+	}
 
 	w := bufio.NewWriter(os.Stdout)
 	defer w.Flush()

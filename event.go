@@ -29,6 +29,7 @@ const (
 	StageDay                   // one day ingested by the streaming localizer
 	StageWindow                // one streaming window localized
 	StageCell                  // one matrix cell finished
+	StageLoad                  // a recorded dataset being loaded from a Source
 )
 
 // String returns a stable lower-case stage name.
@@ -54,6 +55,8 @@ func (s Stage) String() string {
 		return "window"
 	case StageCell:
 		return "cell"
+	case StageLoad:
+		return "load"
 	default:
 		return fmt.Sprintf("stage(%d)", int(s))
 	}
@@ -90,6 +93,9 @@ type Event struct {
 	Day int
 	// Window is the window ordinal for StageWindow events, -1 otherwise.
 	Window int
+	// Source labels the dataset origin of a StageLoad event (a file
+	// path, a Source's Label), "" otherwise.
+	Source string
 	// Stats holds the stage-specific numbers.
 	Stats EventStats
 	// Err is the failure of a StageCell event whose cell errored, nil
@@ -133,6 +139,8 @@ func TextObserver(w io.Writer) Observer {
 			fmt.Fprintf(w, "selecting %d vantages and %d URLs\n", ev.Stats.Vantages, ev.Stats.URLs)
 		case StageMeasure:
 			fmt.Fprintln(w, "running measurement platform")
+		case StageLoad:
+			fmt.Fprintf(w, "loading dataset from %s\n", ev.Source)
 		case StageSolve:
 			fmt.Fprintln(w, "building and solving CNFs")
 		case StageWindow:

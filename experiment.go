@@ -62,6 +62,12 @@ type Experiment struct {
 	matrixWorkers  int
 	ablation       bool
 
+	// source is the experiment-wide measurement source (nil = the default
+	// ScenarioSource); cellSources is the WithSources matrix — one cell
+	// per source, overriding source per cell.
+	source      Source
+	cellSources []Source
+
 	// specOverride is the explicit composed spec from WithScenarioSpec;
 	// nil means cells resolve their Config.Scenario name against the
 	// preset registry. scenarioName is the WithScenario selection; both
@@ -89,16 +95,39 @@ func New(opts ...Option) (*Experiment, error) {
 		}
 	}
 	shapes := 0
-	for _, set := range []bool{e.seedSweep > 1, len(e.scaleFactors) > 0, len(e.cells) > 0} {
+	for _, set := range []bool{e.seedSweep > 1, len(e.scaleFactors) > 0, len(e.cells) > 0, len(e.cellSources) > 0} {
 		if set {
 			shapes++
 		}
 	}
 	if shapes > 1 {
-		return nil, fmt.Errorf("churntomo: New: choose at most one of WithSeedSweep, WithScaleSweep and WithConfigs")
+		return nil, fmt.Errorf("churntomo: New: choose at most one of WithSeedSweep, WithScaleSweep, WithConfigs and WithSources")
 	}
 	if shapes > 0 && e.streaming {
 		return nil, fmt.Errorf("churntomo: New: streaming and matrix modes are mutually exclusive")
+	}
+	if e.source != nil && len(e.cellSources) > 0 {
+		return nil, fmt.Errorf("churntomo: New: WithSource and WithSources are mutually exclusive")
+	}
+	// A sweep varies the world per cell; a replay source fixes the data,
+	// so every cell would be identical — the library-level twin of
+	// churnlab's -input/-matrix conflict.
+	if e.source != nil && shapes > 0 {
+		if _, ok := e.source.(*ScenarioSource); !ok {
+			return nil, fmt.Errorf("churntomo: New: a matrix sweep resamples the world per cell, but source %q replays the same recorded data into every cell; use WithSources for per-cell datasets", e.source.Label())
+		}
+	}
+	// A scenario selection steers world synthesis; combined with a source
+	// that replays recorded data it would be silently ignored.
+	if e.scenarioName != "" || e.specOverride != nil {
+		for _, src := range append([]Source{e.source}, e.cellSources...) {
+			if src == nil {
+				continue
+			}
+			if _, ok := src.(*ScenarioSource); !ok {
+				return nil, fmt.Errorf("churntomo: New: source %q replays recorded data, which a scenario selection cannot steer; drop one", src.Label())
+			}
+		}
 	}
 	// Scenario selection is order-insensitive with respect to WithConfig:
 	// a WithScenario/WithScenarioSpec anywhere in the option list wins
@@ -144,7 +173,7 @@ func New(opts ...Option) (*Experiment, error) {
 // Mode reports how the experiment will execute.
 func (e *Experiment) Mode() Mode {
 	switch {
-	case e.seedSweep > 1 || len(e.scaleFactors) > 0 || len(e.cells) > 0:
+	case e.seedSweep > 1 || len(e.scaleFactors) > 0 || len(e.cells) > 0 || len(e.cellSources) > 0:
 		return ModeMatrix
 	case e.streaming:
 		return ModeStreaming
@@ -227,12 +256,51 @@ func (e *Experiment) resolvedMinCNFs() int {
 	return identifyMinCNFs
 }
 
+// sourceFor resolves which Source feeds a cell: the per-cell WithSources
+// entry, the experiment-wide WithSource/WithInput selection, or the
+// default ScenarioSource.
+func (e *Experiment) sourceFor(cell int) Source {
+	if cell >= 0 && cell < len(e.cellSources) {
+		return e.cellSources[cell]
+	}
+	if e.source != nil {
+		return e.source
+	}
+	return defaultSource
+}
+
+// openCell obtains a cell's pipeline skeleton and day-ordered record
+// shards from its source. Built-in sources implement the internal
+// cellSource fast path (the ScenarioSource one is byte-identical to the
+// pre-Source fused pipeline); external Source implementations go through
+// the public Open contract and the dataset adapter.
+func (e *Experiment) openCell(ctx context.Context, src Source, cfg Config, emit func(Event)) (*Pipeline, [][]iclab.Record, error) {
+	if cs, ok := src.(cellSource); ok {
+		return cs.openCell(ctx, e, cfg, emit)
+	}
+	ev := newEvent(StageLoad)
+	ev.Stats.Seed = cfg.Seed
+	ev.Source = src.Label()
+	emit(ev)
+	d, err := src.Open(ctx, cfg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("churntomo: source %q: %w", src.Label(), err)
+	}
+	f, err := publicToFile(d)
+	if err != nil {
+		return nil, nil, fmt.Errorf("churntomo: source %q: %w", src.Label(), err)
+	}
+	return adoptFile(cfg, f)
+}
+
 // runCell executes one pipeline — THE code path shared by every mode and
 // every deprecated shim. cell is the matrix cell index, -1 outside matrix
-// mode; it tags every emitted event. Batch cells localize with one
-// BuildAndSolve; streaming cells replay the measured days through a
-// stream.Engine. Cancellation is checked at each stage boundary, between
-// streamed days, and inside the sharded loops via the ctx-aware engines.
+// mode; it tags every emitted event. The cell's Source supplies the
+// pipeline skeleton and the day shards (synthesized or replayed); batch
+// cells then localize with one BuildAndSolve while streaming cells replay
+// the day shards through a stream.Engine. Cancellation is checked at each
+// stage boundary, between streamed days, and inside the sharded loops via
+// the ctx-aware engines.
 func (e *Experiment) runCell(ctx context.Context, cfg Config, cell int) (*cellRun, error) {
 	cfg.Progress = nil // progress flows through the event stream only
 	emit := func(ev Event) {
@@ -240,24 +308,12 @@ func (e *Experiment) runCell(ctx context.Context, cfg Config, cell int) (*cellRu
 		e.emit(ev)
 	}
 
-	spec, err := e.cellSpec(cfg)
+	p, shards, err := e.openCell(ctx, e.sourceFor(cell), cfg, emit)
 	if err != nil {
 		return nil, err
 	}
-	p, err := prepareSpecCtx(ctx, cfg, spec, emit)
-	if err != nil {
-		return nil, err
-	}
-	cfg = p.Config // defaults filled
+	cfg = p.Config // defaults filled, source metadata adopted
 	cr := &cellRun{cfg: cfg, pipe: p}
-
-	ev := newEvent(StageMeasure)
-	ev.Stats.Seed = cfg.Seed
-	emit(ev)
-	shards, err := iclab.RunByDayCtx(ctx, p.Scenario, cfg.platformConfig())
-	if err != nil {
-		return nil, err
-	}
 
 	if e.streaming && cell < 0 {
 		if err := e.replay(ctx, cr, shards, emit); err != nil {
@@ -271,7 +327,7 @@ func (e *Experiment) runCell(ctx context.Context, cfg Config, cell int) (*cellRu
 	}
 
 	p.Dataset = iclab.NewDataset(p.Scenario, iclab.MergeShards(shards))
-	ev = newEvent(StageSolve)
+	ev := newEvent(StageSolve)
 	ev.Stats.Seed = cfg.Seed
 	emit(ev)
 	p.Instances, p.Outcomes, err = tomo.BuildAndSolveCtx(ctx, p.Dataset.Records, tomo.BuildConfig{Workers: cfg.Workers})
@@ -376,6 +432,13 @@ func (e *Experiment) matrixConfigs() []Config {
 	switch {
 	case len(e.cells) > 0:
 		out = append([]Config(nil), e.cells...)
+	case len(e.cellSources) > 0:
+		// One cell per source, all under the base configuration — the
+		// source decides the data, the config the analysis knobs.
+		out = make([]Config, len(e.cellSources))
+		for i := range out {
+			out[i] = base
+		}
 	case len(e.scaleFactors) > 0:
 		out = ScaleSweep(base, e.scaleFactors)
 	default:

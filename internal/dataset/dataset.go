@@ -1,0 +1,452 @@
+package dataset
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"churntomo/internal/anomaly"
+	"churntomo/internal/iclab"
+	"churntomo/internal/topology"
+	"churntomo/internal/traceroute"
+	"churntomo/internal/webcat"
+)
+
+// Magic identifies a churntomo dataset stream; Version is the format
+// revision this package reads and writes. Compatibility with v1 files is
+// pinned by the golden-file test — bump Version (and teach Decode the old
+// shape) rather than changing what v1 means.
+const (
+	Magic   = "churntomo/dataset"
+	Version = 1
+)
+
+// Vantage is one measurement vantage point's header entry.
+type Vantage struct {
+	ASN     uint32 `json:"asn"`
+	Country string `json:"country"`
+}
+
+// Target is one test-list URL's header entry: the URL, its category code
+// (an index into Header.Categories) and the hosting AS.
+type Target struct {
+	URL      string `json:"url"`
+	Category uint8  `json:"category"`
+	ASN      uint32 `json:"asn"`
+}
+
+// ASMeta is one AS's metadata-table entry — what the report layer needs to
+// name censors, resolve countries and split churn by destination class
+// without the generated topology.
+type ASMeta struct {
+	ASN     uint32 `json:"asn"`
+	Name    string `json:"name,omitempty"`
+	Country string `json:"country,omitempty"`
+	Class   string `json:"class,omitempty"`
+}
+
+// Header is the stream's first JSON line: the world metadata the solvers
+// and reports need, plus the code tables the record lines reference.
+type Header struct {
+	Format  string `json:"format"`
+	Version int    `json:"version"`
+
+	// Scenario names the world the measurements were taken in (a preset
+	// name for synthesized data, a free-form label for ingested data).
+	Scenario string `json:"scenario,omitempty"`
+	// Seed is the master seed that generated a synthetic world, 0 for
+	// ingested data.
+	Seed uint64 `json:"seed,omitempty"`
+	// Start anchors the measurement period; Days is its length and the
+	// number of day batches in the stream (empty days included).
+	Start time.Time `json:"start"`
+	Days  int       `json:"days"`
+	// Records counts the record lines that follow; Decode verifies it.
+	Records int `json:"records"`
+
+	// Code tables: records reference anomaly kinds by bit, elimination
+	// reasons and URL categories by index into these, making the stream
+	// decodable without this package's constants.
+	AnomalyKinds []string `json:"anomaly_kinds"`
+	FailReasons  []string `json:"fail_reasons"`
+	Categories   []string `json:"categories"`
+
+	Vantages []Vantage `json:"vantages"`
+	Targets  []Target  `json:"targets"`
+	// ASes is the optional AS metadata table; TruthCensors the optional
+	// ground-truth censoring ASes (synthetic worlds only).
+	ASes         []ASMeta `json:"ases,omitempty"`
+	TruthCensors []uint32 `json:"truth_censors,omitempty"`
+}
+
+// File is one decoded dataset: the header plus the measurement records in
+// day-ordered batches (Days[d] holds day d's records, empty days kept).
+// Record IDs are left unassigned — iclab.MergeShards assigns the merged
+// sequence's IDs exactly as a live measurement run would.
+type File struct {
+	Header Header
+	Days   [][]iclab.Record
+}
+
+// wireRecord is one record line. The compact path references the header's
+// vantage and target tables; the explicit URL/Category/TargetASN/
+// VantageCountry fields appear only when a record disagrees with its table
+// entry (foreign data with sloppy indices), so synthesized datasets stay
+// small.
+type wireRecord struct {
+	Day     int    `json:"d"`
+	Vantage uint32 `json:"v"`
+	Target  int32  `json:"t"`
+	At      int64  `json:"at"` // UnixNano, UTC
+
+	Anomalies uint8    `json:"an,omitempty"`
+	Path      []uint32 `json:"p,omitempty"`
+	Fail      uint8    `json:"f,omitempty"`
+
+	// Explicit overrides of the table lookups (rare).
+	URL            string `json:"url,omitempty"`
+	Category       *uint8 `json:"cat,omitempty"`
+	TargetASN      uint32 `json:"tasn,omitempty"`
+	VantageCountry string `json:"vc,omitempty"`
+
+	// Ground truth (synthetic worlds only).
+	TruePath    []uint32  `json:"tp,omitempty"`
+	TrueActs    []wireAct `json:"ta,omitempty"`
+	Unreachable bool      `json:"u,omitempty"`
+}
+
+// wireAct is one ground-truth censor action.
+type wireAct struct {
+	ASN   uint32 `json:"a"`
+	Kinds uint8  `json:"k"`
+}
+
+// fillTables stamps the format identity and the current code tables.
+func (h *Header) fillTables() {
+	h.Format = Magic
+	h.Version = Version
+	h.AnomalyKinds = h.AnomalyKinds[:0]
+	for _, k := range anomaly.Kinds {
+		h.AnomalyKinds = append(h.AnomalyKinds, k.String())
+	}
+	h.FailReasons = h.FailReasons[:0]
+	for r := traceroute.OK; r <= traceroute.ErrDisagree; r++ {
+		h.FailReasons = append(h.FailReasons, r.String())
+	}
+	h.Categories = h.Categories[:0]
+	for c := webcat.Category(0); c < webcat.NumCategories; c++ {
+		h.Categories = append(h.Categories, c.String())
+	}
+}
+
+// Encode writes f as a gzipped JSONL stream: the header line, then one
+// line per record in day order. The header's Format, Version, Days,
+// Records and code tables are stamped here — callers fill only the world
+// metadata.
+func Encode(w io.Writer, f *File) error {
+	zw := gzip.NewWriter(w)
+	if err := encodePlain(zw, f); err != nil {
+		zw.Close()
+		return err
+	}
+	return zw.Close()
+}
+
+// encodePlain is Encode before compression — the layer the golden-file
+// test pins, so format stability is asserted independently of the gzip
+// implementation's byte output.
+func encodePlain(w io.Writer, f *File) error {
+	h := f.Header
+	h.fillTables()
+	h.Days = len(f.Days)
+	h.Records = 0
+	for _, day := range f.Days {
+		h.Records += len(day)
+	}
+
+	countryOf := make(map[uint32]string, len(h.Vantages))
+	for _, v := range h.Vantages {
+		countryOf[v.ASN] = v.Country
+	}
+
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(&h); err != nil {
+		return fmt.Errorf("dataset: encode header: %w", err)
+	}
+	for day, recs := range f.Days {
+		for i := range recs {
+			wr, err := toWire(&recs[i], day, &h, countryOf)
+			if err != nil {
+				return err
+			}
+			if err := enc.Encode(wr); err != nil {
+				return fmt.Errorf("dataset: encode day %d record %d: %w", day, i, err)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// toWire converts one record, compacting fields the header tables imply.
+func toWire(r *iclab.Record, day int, h *Header, countryOf map[uint32]string) (*wireRecord, error) {
+	if r.Fail > traceroute.ErrDisagree {
+		return nil, fmt.Errorf("dataset: day %d: unencodable fail reason %d", day, r.Fail)
+	}
+	wr := &wireRecord{
+		Day:       day,
+		Vantage:   uint32(r.Vantage),
+		Target:    r.TargetIdx,
+		At:        r.At.UnixNano(),
+		Anomalies: uint8(r.Anomalies),
+		Fail:      uint8(r.Fail),
+	}
+	for _, a := range r.ASPath {
+		wr.Path = append(wr.Path, uint32(a))
+	}
+	// The compact path relies on the tables round-tripping the record; any
+	// disagreement falls back to explicit fields rather than silently
+	// rewriting the data.
+	tableOK := r.TargetIdx >= 0 && int(r.TargetIdx) < len(h.Targets)
+	if tableOK {
+		t := h.Targets[r.TargetIdx]
+		tableOK = t.URL == r.URL && webcat.Category(t.Category) == r.Category && topology.ASN(t.ASN) == r.TargetASN
+	}
+	if !tableOK {
+		cat := uint8(r.Category)
+		wr.URL, wr.Category, wr.TargetASN = r.URL, &cat, uint32(r.TargetASN)
+	}
+	if countryOf[uint32(r.Vantage)] != r.VantageCountry {
+		wr.VantageCountry = r.VantageCountry
+	}
+	for _, a := range r.TruePath {
+		wr.TruePath = append(wr.TruePath, uint32(a))
+	}
+	for _, act := range r.TrueActs {
+		wr.TrueActs = append(wr.TrueActs, wireAct{ASN: uint32(act.ASN), Kinds: uint8(act.Kinds)})
+	}
+	wr.Unreachable = r.Unreachable
+	return wr, nil
+}
+
+// codeTables resolves a header's code tables against the current
+// constants, so records decode by the names the file declares rather than
+// by positional luck.
+type codeTables struct {
+	kinds      []anomaly.Kind // wire bit -> kind
+	fails      []traceroute.FailReason
+	categories []webcat.Category
+	countryOf  map[uint32]string
+}
+
+func tablesOf(h *Header) (*codeTables, error) {
+	t := &codeTables{countryOf: make(map[uint32]string, len(h.Vantages))}
+	kindByName := map[string]anomaly.Kind{}
+	for _, k := range anomaly.Kinds {
+		kindByName[k.String()] = k
+	}
+	for _, name := range h.AnomalyKinds {
+		k, ok := kindByName[name]
+		if !ok {
+			return nil, fmt.Errorf("dataset: unknown anomaly kind %q", name)
+		}
+		t.kinds = append(t.kinds, k)
+	}
+	failByName := map[string]traceroute.FailReason{}
+	for r := traceroute.OK; r <= traceroute.ErrDisagree; r++ {
+		failByName[r.String()] = r
+	}
+	for _, name := range h.FailReasons {
+		r, ok := failByName[name]
+		if !ok {
+			return nil, fmt.Errorf("dataset: unknown fail reason %q", name)
+		}
+		t.fails = append(t.fails, r)
+	}
+	catByName := map[string]webcat.Category{}
+	for c := webcat.Category(0); c < webcat.NumCategories; c++ {
+		catByName[c.String()] = c
+	}
+	for _, name := range h.Categories {
+		c, ok := catByName[name]
+		if !ok {
+			return nil, fmt.Errorf("dataset: unknown category %q", name)
+		}
+		t.categories = append(t.categories, c)
+	}
+	for _, v := range h.Vantages {
+		t.countryOf[v.ASN] = v.Country
+	}
+	return t, nil
+}
+
+// fromWire converts one record line back, resolving table references.
+func fromWire(wr *wireRecord, h *Header, t *codeTables) (iclab.Record, error) {
+	var r iclab.Record
+	if wr.Day < 0 || wr.Day >= h.Days {
+		return r, fmt.Errorf("dataset: record day %d outside the period of %d days", wr.Day, h.Days)
+	}
+	r.Vantage = topology.ASN(wr.Vantage)
+	r.TargetIdx = wr.Target
+	r.At = time.Unix(0, wr.At).UTC()
+	for bit, k := range t.kinds {
+		if wr.Anomalies&(1<<bit) != 0 {
+			r.Anomalies = r.Anomalies.Add(k)
+		}
+	}
+	if int(wr.Fail) >= len(t.fails) {
+		return r, fmt.Errorf("dataset: fail code %d outside the header's %d reasons", wr.Fail, len(t.fails))
+	}
+	r.Fail = t.fails[wr.Fail]
+	for _, a := range wr.Path {
+		r.ASPath = append(r.ASPath, topology.ASN(a))
+	}
+	switch {
+	// The category pointer marks the explicit-override form — the URL
+	// alone cannot, since omitempty drops an empty override URL.
+	case wr.Category != nil || wr.URL != "":
+		if wr.Category == nil || int(*wr.Category) >= len(t.categories) {
+			return r, fmt.Errorf("dataset: record for %q carries no decodable category", wr.URL)
+		}
+		r.URL, r.Category, r.TargetASN = wr.URL, t.categories[*wr.Category], topology.ASN(wr.TargetASN)
+	case wr.Target >= 0 && int(wr.Target) < len(h.Targets):
+		tgt := h.Targets[wr.Target]
+		if int(tgt.Category) >= len(t.categories) {
+			return r, fmt.Errorf("dataset: target %d category code %d outside the header's table", wr.Target, tgt.Category)
+		}
+		r.URL, r.Category, r.TargetASN = tgt.URL, t.categories[tgt.Category], topology.ASN(tgt.ASN)
+	default:
+		return r, fmt.Errorf("dataset: record references target %d of %d and carries no explicit URL", wr.Target, len(h.Targets))
+	}
+	r.VantageCountry = wr.VantageCountry
+	if r.VantageCountry == "" {
+		r.VantageCountry = t.countryOf[wr.Vantage]
+	}
+	for _, a := range wr.TruePath {
+		r.TruePath = append(r.TruePath, topology.ASN(a))
+	}
+	for _, act := range wr.TrueActs {
+		r.TrueActs = append(r.TrueActs, iclab.GroundTruthAct{
+			ASN: topology.ASN(act.ASN), Kinds: anomaly.Set(act.Kinds),
+		})
+	}
+	r.Unreachable = wr.Unreachable
+	return r, nil
+}
+
+// Decode reads a gzipped dataset stream, validating the magic, version and
+// record count. It never panics on corrupt input.
+func Decode(r io.Reader) (*File, error) {
+	zr, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: not a gzipped dataset: %w", err)
+	}
+	defer zr.Close()
+	return decodePlain(zr)
+}
+
+// decodePlain decodes the uncompressed JSONL layer.
+func decodePlain(r io.Reader) (*File, error) {
+	br := bufio.NewReader(r)
+	line, err := readLine(br)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: read header: %w", err)
+	}
+	var h Header
+	if err := json.Unmarshal(line, &h); err != nil {
+		return nil, fmt.Errorf("dataset: decode header: %w", err)
+	}
+	if h.Format != Magic {
+		return nil, fmt.Errorf("dataset: format %q is not %q", h.Format, Magic)
+	}
+	if h.Version != Version {
+		return nil, fmt.Errorf("dataset: version %d not supported (this build reads v%d)", h.Version, Version)
+	}
+	if h.Days < 0 || h.Records < 0 {
+		return nil, fmt.Errorf("dataset: header declares %d days, %d records", h.Days, h.Records)
+	}
+	// The day-batch slice is allocated from the header, so an absurd count
+	// must be rejected here — "never panics on corrupt input" includes not
+	// dying in makeslice. maxDays is ~2870 years of measurements.
+	const maxDays = 1 << 20
+	if h.Days > maxDays {
+		return nil, fmt.Errorf("dataset: header declares %d days (limit %d); corrupt header?", h.Days, maxDays)
+	}
+	tables, err := tablesOf(&h)
+	if err != nil {
+		return nil, err
+	}
+
+	f := &File{Header: h, Days: make([][]iclab.Record, h.Days)}
+	n := 0
+	for {
+		line, err := readLine(br)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: read record %d: %w", n, err)
+		}
+		if len(line) == 0 {
+			continue
+		}
+		var wr wireRecord
+		if err := json.Unmarshal(line, &wr); err != nil {
+			return nil, fmt.Errorf("dataset: decode record %d: %w", n, err)
+		}
+		rec, err := fromWire(&wr, &h, tables)
+		if err != nil {
+			return nil, err
+		}
+		f.Days[wr.Day] = append(f.Days[wr.Day], rec)
+		n++
+	}
+	if n != h.Records {
+		return nil, fmt.Errorf("dataset: header declares %d records, stream holds %d (truncated?)", h.Records, n)
+	}
+	return f, nil
+}
+
+// readLine reads one \n-terminated line of any length (the header line of
+// a paper-scale dataset outgrows a Scanner's default buffer).
+func readLine(br *bufio.Reader) ([]byte, error) {
+	line, err := br.ReadBytes('\n')
+	if len(line) > 0 && err == io.EOF {
+		return line, nil // unterminated final line
+	}
+	if err != nil {
+		return nil, err
+	}
+	return line, nil
+}
+
+// WriteFile encodes f to path (the conventional extension is .jsonl.gz).
+func WriteFile(path string, f *File) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	if err := Encode(out, f); err != nil {
+		out.Close()
+		os.Remove(path)
+		return err
+	}
+	if err := out.Close(); err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	return nil
+}
+
+// ReadFile decodes the dataset at path.
+func ReadFile(path string) (*File, error) {
+	in, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	defer in.Close()
+	return Decode(in)
+}

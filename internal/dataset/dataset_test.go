@@ -1,0 +1,379 @@
+package dataset
+
+import (
+	"bytes"
+	"compress/gzip"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"churntomo/internal/anomaly"
+	"churntomo/internal/iclab"
+	"churntomo/internal/topology"
+	"churntomo/internal/traceroute"
+	"churntomo/internal/webcat"
+)
+
+// update regenerates testdata/golden_v1.jsonl.gz:
+//
+//	go test ./internal/dataset -run TestGoldenV1 -update
+var update = flag.Bool("update", false, "rewrite the golden dataset file")
+
+var goldenPath = filepath.Join("testdata", "golden_v1.jsonl.gz")
+
+// goldenFile is the fixed dataset the golden file pins: every format
+// feature in a handful of records — compact table references, an explicit
+// override record, an eliminated record, an empty day, ground truth.
+func goldenFile() *File {
+	start := time.Date(2016, 5, 1, 0, 0, 0, 0, time.UTC)
+	h := Header{
+		Scenario: "paper-baseline",
+		Seed:     7,
+		Start:    start,
+		Vantages: []Vantage{{ASN: 64512, Country: "US"}, {ASN: 64513, Country: "IR"}},
+		Targets: []Target{
+			{URL: "daily-news.com", Category: uint8(webcat.News), ASN: 64600},
+			{URL: "proxy-bridge.net", Category: uint8(webcat.Circumvention), ASN: 64601},
+		},
+		ASes: []ASMeta{
+			{ASN: 64512, Name: "Vantage-US", Country: "US", Class: "enterprise"},
+			{ASN: 64513, Name: "Vantage-IR", Country: "IR", Class: "enterprise"},
+			{ASN: 64600, Name: "Host-A", Country: "DE", Class: "content"},
+			{ASN: 64700, Name: "Transit-IR", Country: "IR", Class: "transit"},
+		},
+		TruthCensors: []uint32{64700},
+	}
+	rec := func(v topology.ASN, country string, t int32, at time.Time, an anomaly.Set, path []topology.ASN) iclab.Record {
+		tgt := h.Targets[t]
+		return iclab.Record{
+			Vantage: v, VantageCountry: country,
+			TargetASN: topology.ASN(tgt.ASN), TargetIdx: t,
+			URL: tgt.URL, Category: webcat.Category(tgt.Category),
+			At: at, Anomalies: an, ASPath: path,
+			TruePath: path,
+		}
+	}
+	r0 := rec(64512, "US", 0, start.Add(4*time.Hour), 0, []topology.ASN{64512, 64700, 64600})
+	r1 := rec(64513, "IR", 1, start.Add(5*time.Hour), anomaly.MakeSet(anomaly.DNS, anomaly.RST),
+		[]topology.ASN{64513, 64700, 64601})
+	r1.TrueActs = []iclab.GroundTruthAct{{ASN: 64700, Kinds: anomaly.MakeSet(anomaly.DNS, anomaly.RST)}}
+	// Day 1 is empty; day 2 holds an eliminated record and an explicit
+	// override record whose fields disagree with its target-table entry.
+	r2 := rec(64512, "US", 0, start.AddDate(0, 0, 2).Add(6*time.Hour), 0, nil)
+	r2.Fail = traceroute.ErrDisagree
+	r2.ASPath = nil
+	r2.TruePath = []topology.ASN{64512, 64600}
+	r3 := rec(64513, "IR", 0, start.AddDate(0, 0, 2).Add(7*time.Hour), anomaly.MakeSet(anomaly.Block),
+		[]topology.ASN{64513, 64602})
+	r3.URL, r3.Category, r3.TargetASN = "rehosted.org", webcat.Politics, 64602
+	r4 := rec(64513, "XX", 1, start.AddDate(0, 0, 2).Add(8*time.Hour), 0, []topology.ASN{64513, 64601})
+	r4.Unreachable = true
+	return &File{
+		Header: h,
+		Days:   [][]iclab.Record{{r0, r1}, nil, {r2, r3, r4}},
+	}
+}
+
+// recordsEqual compares two records field-wise; time.Time goes through
+// Equal so wall-clock representation differences don't false-negative.
+func recordsEqual(a, b *iclab.Record) bool {
+	if !a.At.Equal(b.At) {
+		return false
+	}
+	ac, bc := *a, *b
+	ac.At, bc.At = time.Time{}, time.Time{}
+	return reflect.DeepEqual(ac, bc)
+}
+
+func filesEqual(t *testing.T, want, got *File) {
+	t.Helper()
+	if len(got.Days) != len(want.Days) {
+		t.Fatalf("day batches: got %d, want %d", len(got.Days), len(want.Days))
+	}
+	for d := range want.Days {
+		if len(got.Days[d]) != len(want.Days[d]) {
+			t.Fatalf("day %d: got %d records, want %d", d, len(got.Days[d]), len(want.Days[d]))
+		}
+		for i := range want.Days[d] {
+			if !recordsEqual(&want.Days[d][i], &got.Days[d][i]) {
+				t.Errorf("day %d record %d:\n got %+v\nwant %+v", d, i, got.Days[d][i], want.Days[d][i])
+			}
+		}
+	}
+	if !reflect.DeepEqual(got.Header.Vantages, want.Header.Vantages) ||
+		!reflect.DeepEqual(got.Header.Targets, want.Header.Targets) ||
+		!reflect.DeepEqual(got.Header.ASes, want.Header.ASes) ||
+		!reflect.DeepEqual(got.Header.TruthCensors, want.Header.TruthCensors) {
+		t.Error("header tables diverge")
+	}
+	if got.Header.Scenario != want.Header.Scenario || got.Header.Seed != want.Header.Seed ||
+		!got.Header.Start.Equal(want.Header.Start) {
+		t.Error("header identity diverges")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := goldenFile()
+	var buf bytes.Buffer
+	if err := Encode(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	filesEqual(t, f, got)
+	if got.Header.Format != Magic || got.Header.Version != Version {
+		t.Errorf("decoded identity %q v%d", got.Header.Format, got.Header.Version)
+	}
+	if got.Header.Records != 5 || got.Header.Days != 3 {
+		t.Errorf("decoded counts: %d records, %d days", got.Header.Records, got.Header.Days)
+	}
+}
+
+func TestWriteReadFile(t *testing.T) {
+	f := goldenFile()
+	path := filepath.Join(t.TempDir(), "ds.jsonl.gz")
+	if err := WriteFile(path, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	filesEqual(t, f, got)
+}
+
+// TestGoldenV1 pins format v1: the checked-in golden file must keep
+// decoding to the same dataset, and today's encoder must keep producing
+// the same (pre-gzip) bytes. An encoder change that breaks either fails
+// here — bump Version and add migration support instead of editing the
+// golden.
+func TestGoldenV1(t *testing.T) {
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteFile(goldenPath, goldenFile()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("golden file does not decode: %v", err)
+	}
+	filesEqual(t, goldenFile(), got)
+
+	// Byte stability is asserted on the JSONL layer, below gzip, so a Go
+	// gzip implementation change cannot mask (or fake) a format change.
+	var plain bytes.Buffer
+	if err := encodePlain(&plain, goldenFile()); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.Open(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	zr, err := gzip.NewReader(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenPlain, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain.Bytes(), goldenPlain) {
+		t.Errorf("encoder output diverges from golden v1 bytes:\n got %d bytes\nwant %d bytes\nfirst lines:\n got: %.200s\nwant: %.200s",
+			plain.Len(), len(goldenPlain), plain.String(), goldenPlain)
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	encode := func(f *File) []byte {
+		var buf bytes.Buffer
+		if err := Encode(&buf, f); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	gz := func(lines ...string) []byte {
+		var buf bytes.Buffer
+		zw := gzip.NewWriter(&buf)
+		io.WriteString(zw, strings.Join(lines, "\n"))
+		zw.Close()
+		return buf.Bytes()
+	}
+	cases := []struct {
+		name  string
+		input []byte
+		want  string
+	}{
+		{"not gzip", []byte("plain text"), "not a gzipped"},
+		{"absurd day count", gz(fmt.Sprintf(`{"format":%q,"version":1,"days":9000000000000000000}`, Magic)), "corrupt header"},
+		{"not json", gz("nonsense"), "decode header"},
+		{"wrong magic", gz(`{"format":"something-else","version":1}`), "format"},
+		{"future version", gz(fmt.Sprintf(`{"format":%q,"version":99}`, Magic)), "version 99"},
+		{"bad anomaly table", gz(fmt.Sprintf(`{"format":%q,"version":1,"anomaly_kinds":["nope"]}`, Magic)), "anomaly kind"},
+		{"bad fail table", gz(fmt.Sprintf(`{"format":%q,"version":1,"fail_reasons":["nope"]}`, Magic)), "fail reason"},
+		{"bad category table", gz(fmt.Sprintf(`{"format":%q,"version":1,"categories":["nope"]}`, Magic)), "category"},
+		{"day out of range", gz(
+			fmt.Sprintf(`{"format":%q,"version":1,"days":1,"records":1,"targets":[{"url":"u","category":0,"asn":1}]}`, Magic),
+			`{"d":5,"v":1,"t":0,"at":0}`), "outside the period"},
+		{"dangling target", gz(
+			fmt.Sprintf(`{"format":%q,"version":1,"days":1,"records":1,"fail_reasons":["ok"]}`, Magic),
+			`{"d":0,"v":1,"t":3,"at":0}`), "references target"},
+	}
+	for _, tc := range cases {
+		_, err := Decode(bytes.NewReader(tc.input))
+		if err == nil {
+			t.Errorf("%s: decoded successfully", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+
+	// A truncated record stream must be caught by the count check.
+	full := encode(goldenFile())
+	zr, err := gzip.NewReader(bytes.NewReader(full))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := bytes.LastIndexByte(plain[:len(plain)-1], '\n')
+	var rezip bytes.Buffer
+	zw := gzip.NewWriter(&rezip)
+	zw.Write(plain[:cut+1])
+	zw.Close()
+	if _, err := Decode(&rezip); err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Errorf("truncated stream: err = %v", err)
+	}
+}
+
+// TestEmptyURLOverrideRoundTrips pins the explicit-override form for a
+// record whose URL is empty: the category pointer, not the URL, marks the
+// override, so the empty URL must survive instead of being silently
+// replaced by the target table's entry.
+func TestEmptyURLOverrideRoundTrips(t *testing.T) {
+	f := goldenFile()
+	r := f.Days[0][0]
+	r.URL, r.Category, r.TargetASN = "", webcat.Politics, 65001 // disagrees with target 0
+	f.Days = [][]iclab.Record{{r}}
+	var buf bytes.Buffer
+	if err := Encode(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := got.Days[0][0]
+	if d.URL != "" || d.Category != webcat.Politics || d.TargetASN != 65001 {
+		t.Errorf("override record rewritten: URL %q, Category %v, TargetASN %v", d.URL, d.Category, d.TargetASN)
+	}
+}
+
+// FuzzDatasetRoundTrip drives the codec with pseudo-random datasets: any
+// file the encoder accepts must decode back to the identical dataset, and
+// the decoder must never panic.
+func FuzzDatasetRoundTrip(f *testing.F) {
+	f.Add(uint64(1), uint8(3), uint8(10))
+	f.Add(uint64(42), uint8(1), uint8(0))
+	f.Add(uint64(7), uint8(8), uint8(50))
+	f.Fuzz(func(t *testing.T, seed uint64, days uint8, perDay uint8) {
+		if days == 0 {
+			days = 1
+		}
+		if days > 16 {
+			days %= 16
+		}
+		if perDay > 64 {
+			perDay %= 64
+		}
+		file := randomFile(seed, int(days), int(perDay))
+		var buf bytes.Buffer
+		if err := Encode(&buf, file); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		got, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		filesEqual(t, file, got)
+	})
+}
+
+// randomFile builds a deterministic pseudo-random dataset exercising the
+// codec's branches: eliminated records, anomaly sets, truth fields,
+// records disagreeing with their table entries, empty days.
+func randomFile(seed uint64, days, perDay int) *File {
+	rng := rand.New(rand.NewPCG(seed, 0xda7a5e7))
+	start := time.Date(2016, 5, 1, 0, 0, 0, 0, time.UTC)
+	h := Header{Scenario: "fuzz", Seed: seed, Start: start}
+	nv, nt := 1+rng.IntN(5), 1+rng.IntN(5)
+	for i := 0; i < nv; i++ {
+		h.Vantages = append(h.Vantages, Vantage{ASN: uint32(64500 + i), Country: fmt.Sprintf("C%d", rng.IntN(4))})
+	}
+	for i := 0; i < nt; i++ {
+		h.Targets = append(h.Targets, Target{
+			URL:      fmt.Sprintf("site-%d.example", i),
+			Category: uint8(rng.IntN(int(webcat.NumCategories))),
+			ASN:      uint32(64600 + i),
+		})
+	}
+	if rng.IntN(2) == 0 {
+		h.ASes = append(h.ASes, ASMeta{ASN: 64700, Name: "T", Country: "C0", Class: "transit"})
+		h.TruthCensors = []uint32{64700}
+	}
+	f := &File{Header: h, Days: make([][]iclab.Record, days)}
+	for d := 0; d < days; d++ {
+		if rng.IntN(8) == 0 {
+			continue // empty day
+		}
+		for i := 0; i < perDay; i++ {
+			vi, ti := rng.IntN(nv), rng.IntN(nt)
+			v, tgt := h.Vantages[vi], h.Targets[ti]
+			r := iclab.Record{
+				Vantage: topology.ASN(v.ASN), VantageCountry: v.Country,
+				TargetASN: topology.ASN(tgt.ASN), TargetIdx: int32(ti),
+				URL: tgt.URL, Category: webcat.Category(tgt.Category),
+				At:        start.AddDate(0, 0, d).Add(time.Duration(rng.IntN(86400)) * time.Second),
+				Anomalies: anomaly.Set(rng.IntN(1 << anomaly.NumKinds)),
+			}
+			switch rng.IntN(4) {
+			case 0:
+				r.Fail = traceroute.FailReason(1 + rng.IntN(4))
+				r.Unreachable = rng.IntN(2) == 0
+			default:
+				for h := 0; h < 2+rng.IntN(4); h++ {
+					r.ASPath = append(r.ASPath, topology.ASN(64500+rng.IntN(300)))
+				}
+			}
+			if rng.IntN(3) == 0 {
+				r.TruePath = append([]topology.ASN(nil), r.ASPath...)
+				r.TrueActs = []iclab.GroundTruthAct{{ASN: 64700, Kinds: anomaly.Set(rng.IntN(1 << anomaly.NumKinds))}}
+			}
+			if rng.IntN(8) == 0 {
+				// Disagree with the table: forces the explicit-field path.
+				r.URL = "override.example"
+				r.Category = webcat.Category(rng.IntN(int(webcat.NumCategories)))
+				r.TargetASN = 65000
+				r.VantageCountry = "ZZ"
+			}
+			f.Days[d] = append(f.Days[d], r)
+		}
+	}
+	return f
+}

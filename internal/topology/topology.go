@@ -162,6 +162,22 @@ func (g *Graph) CountryOf(a ASN) string {
 	return ""
 }
 
+// MetadataGraph builds a lookup-only Graph from an AS metadata table — the
+// shape a dataset import reconstructs. It carries no links, neighbors or
+// prefixes: ByASN, Index, CountryOf and iteration over ASes work (enough
+// for censor enrichment, leakage attribution and churn-by-class), while
+// routing over it is undefined.
+func MetadataGraph(ases []AS) *Graph {
+	g := &Graph{
+		ASes:  append([]AS(nil), ases...),
+		byASN: make(map[ASN]int32, len(ases)),
+	}
+	for i := range g.ASes {
+		g.byASN[g.ASes[i].ASN] = int32(i)
+	}
+	return g
+}
+
 // ASNsOfRole lists all ASNs with the given role, in index order.
 func (g *Graph) ASNsOfRole(r Role) []ASN {
 	var out []ASN

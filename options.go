@@ -128,10 +128,69 @@ func WithScenarioSpec(spec ScenarioSpec) Option {
 	}
 }
 
-// WithSeed sets the master random seed (0 means the default seed, 1).
+// WithSeed sets the master random seed. Seed 0 is rejected: by the Config
+// zero-value rule a zero Seed field means "use the default" (seed 1), so
+// an explicit WithSeed(0) would silently run under a different seed than
+// the one named — name the seed you want, or omit the option for the
+// default.
 func WithSeed(seed uint64) Option {
 	return func(e *Experiment) error {
+		if seed == 0 {
+			return fmt.Errorf("churntomo: WithSeed(0): seed 0 is the Config zero value and would silently become the default seed 1; pass the seed to run under, or omit the option")
+		}
 		e.base.Seed = seed
+		return nil
+	}
+}
+
+// WithSource sets where the experiment's measurements come from: a
+// ScenarioSource (the default — synthesize from the configured scenario),
+// a FileSource (replay an exported dataset), an in-memory *Dataset, or
+// any external Source implementation. Every execution mode consumes the
+// source's day batches: batch localizes them at once, streaming replays
+// them day by day through the incremental engine, and each matrix cell
+// opens the source under its own cell config.
+func WithSource(src Source) Option {
+	return func(e *Experiment) error {
+		if src == nil {
+			return fmt.Errorf("churntomo: WithSource(nil): source must be non-nil")
+		}
+		e.source = src
+		return nil
+	}
+}
+
+// WithSources switches the experiment to matrix mode with one cell per
+// source, all analyzed under the base configuration — comparing datasets
+// (several exported files, a synthesis next to a recording) under
+// identical analysis knobs. Mutually exclusive with the other matrix
+// shapes (WithSeedSweep, WithScaleSweep, WithConfigs) and with WithSource.
+func WithSources(srcs ...Source) Option {
+	return func(e *Experiment) error {
+		if len(srcs) == 0 {
+			return fmt.Errorf("churntomo: WithSources: at least one source required")
+		}
+		for i, src := range srcs {
+			if src == nil {
+				return fmt.Errorf("churntomo: WithSources: source %d is nil", i)
+			}
+		}
+		e.cellSources = append([]Source(nil), srcs...)
+		return nil
+	}
+}
+
+// WithInput analyzes the dataset file at path instead of synthesizing
+// measurements — shorthand for WithSource(&FileSource{Path: path}). The
+// file is one written by Result.Export or genlab -export; its world
+// metadata (scenario label, seed, period, vantage/target/AS tables)
+// overrides the corresponding Config dimensions at run time.
+func WithInput(path string) Option {
+	return func(e *Experiment) error {
+		if path == "" {
+			return fmt.Errorf("churntomo: WithInput: empty dataset path")
+		}
+		e.source = &FileSource{Path: path}
 		return nil
 	}
 }

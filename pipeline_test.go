@@ -1,0 +1,131 @@
+package churntomo
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// mustPanic runs fn and returns the recovered panic message, failing the
+// test if fn returns normally.
+func mustPanic(t *testing.T, what string, fn func()) string {
+	t.Helper()
+	var msg string
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				msg = toString(r)
+			}
+		}()
+		fn()
+		t.Fatalf("%s did not panic", what)
+	}()
+	return msg
+}
+
+func toString(v any) string {
+	if s, ok := v.(string); ok {
+		return s
+	}
+	if err, ok := v.(error); ok {
+		return err.Error()
+	}
+	return ""
+}
+
+// TestDeprecatedPipelinePanicsPinned pins the deprecated shims' panic
+// behavior: callers that relied on "Localize before Measure" aborting the
+// process keep exactly that, message included.
+func TestDeprecatedPipelinePanicsPinned(t *testing.T) {
+	p := &Pipeline{}
+	if msg := mustPanic(t, "Localize on a measureless pipeline", p.Localize); msg != "churntomo: Localize before Measure" {
+		t.Errorf("Localize panic message = %q", msg)
+	}
+	if msg := mustPanic(t, "Measure on a prepareless pipeline", p.Measure); msg != "churntomo: Measure before Prepare" {
+		t.Errorf("Measure panic message = %q", msg)
+	}
+}
+
+// TestPipelineCtxMethodsReturnErrors covers the new code path: the same
+// misuse yields descriptive errors instead of panics.
+func TestPipelineCtxMethodsReturnErrors(t *testing.T) {
+	p := &Pipeline{}
+	if err := p.LocalizeCtx(context.Background()); err == nil {
+		t.Error("LocalizeCtx succeeded without a dataset")
+	} else if !strings.Contains(err.Error(), "Localize before Measure") {
+		t.Errorf("LocalizeCtx error %q does not explain itself", err)
+	}
+	if err := p.MeasureCtx(context.Background()); err == nil {
+		t.Error("MeasureCtx succeeded without a scenario")
+	} else if !strings.Contains(err.Error(), "Measure before Prepare") {
+		t.Errorf("MeasureCtx error %q does not explain itself", err)
+	}
+	// A nil context means context.Background, matching Experiment.Run.
+	if err := p.LocalizeCtx(nil); err == nil || !strings.Contains(err.Error(), "Localize before Measure") {
+		t.Errorf("LocalizeCtx(nil ctx) error = %v", err)
+	}
+}
+
+// TestPipelineCtxMatchesDeprecated pins that the error-returning methods
+// run the same pipeline as the deprecated panicking ones.
+func TestPipelineCtxMatchesDeprecated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two end-to-end runs")
+	}
+	cfg := exportTestConfig()
+	cfg.Days = 10
+
+	old, err := Prepare(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old.Measure()
+	old.Localize()
+
+	ctx := context.Background()
+	fresh, err := Prepare(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.MeasureCtx(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.LocalizeCtx(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(old.Identified, fresh.Identified) {
+		t.Errorf("identifications diverge: deprecated %d, ctx %d", len(old.Identified), len(fresh.Identified))
+	}
+	if len(old.Outcomes) != len(fresh.Outcomes) {
+		t.Errorf("outcome counts diverge: %d vs %d", len(old.Outcomes), len(fresh.Outcomes))
+	}
+}
+
+// TestPipelineCtxCancellation checks the ctx paths abort cleanly.
+func TestPipelineCtxCancellation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs a prepared substrate")
+	}
+	cfg := exportTestConfig()
+	cfg.Days = 10
+	p, err := Prepare(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := p.MeasureCtx(ctx); err != context.Canceled {
+		t.Errorf("MeasureCtx under canceled ctx: %v", err)
+	}
+	if p.Dataset != nil {
+		t.Error("canceled MeasureCtx populated Dataset")
+	}
+	if err := p.MeasureCtx(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.LocalizeCtx(ctx); err != context.Canceled {
+		t.Errorf("LocalizeCtx under canceled ctx: %v", err)
+	}
+}

@@ -1,0 +1,31 @@
+#!/bin/sh
+# check-dataset-cli.sh: asserts the export→import→replay workflow end to
+# end at the CLI layer: genlab -export writes a dataset that churnlab
+# -input analyzes to a byte-identical evaluation — batch and streaming —
+# without regenerating the world. Run from the repo root; `make
+# dataset-check` (part of `make ci`) wires it in.
+set -eu
+go=${GO:-go}
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+"$go" run ./cmd/genlab -scale small -seed 7 -export "$tmp/ds.jsonl.gz" 2>/dev/null
+
+"$go" run ./cmd/churnlab -scale small -seed 7 -quiet >"$tmp/direct.txt"
+"$go" run ./cmd/churnlab -input "$tmp/ds.jsonl.gz" -quiet >"$tmp/replayed.txt"
+if ! cmp -s "$tmp/direct.txt" "$tmp/replayed.txt"; then
+    echo "dataset-check: batch evaluation over the imported dataset diverges from the direct run:" >&2
+    diff "$tmp/direct.txt" "$tmp/replayed.txt" >&2 || true
+    exit 1
+fi
+
+"$go" run ./cmd/churnlab -scale small -seed 7 -stream -window 14 -quiet >"$tmp/direct-stream.txt"
+"$go" run ./cmd/churnlab -input "$tmp/ds.jsonl.gz" -stream -window 14 -quiet >"$tmp/replayed-stream.txt"
+if ! cmp -s "$tmp/direct-stream.txt" "$tmp/replayed-stream.txt"; then
+    echo "dataset-check: streaming timeline over the imported dataset diverges from the direct replay:" >&2
+    diff "$tmp/direct-stream.txt" "$tmp/replayed-stream.txt" >&2 || true
+    exit 1
+fi
+
+echo "dataset-check: export/import round trip byte-identical (batch + streaming)" >&2

@@ -1,0 +1,670 @@
+package churntomo
+
+// The measurement-source API: the public boundary between *where
+// measurements come from* and *how they are localized*. A Source supplies
+// day-ordered batches of exported Measurement records plus the world
+// metadata (vantages, targets, period, AS table) the solvers and reports
+// need. ScenarioSource — the default — synthesizes them from a scenario
+// world exactly as the fused pipeline always has; FileSource replays a
+// dataset exported by Result.Export (the versioned on-disk format of
+// internal/dataset); external ingesters implement Source to point the
+// tomography at real data without touching the synthesis stack.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"churntomo/internal/censor"
+	"churntomo/internal/dataset"
+	"churntomo/internal/iclab"
+	"churntomo/internal/topology"
+	"churntomo/internal/traceroute"
+	"churntomo/internal/webcat"
+)
+
+// Category classifies a test-list URL's content; its String form is the
+// display name ("News", "Politics", ...).
+type Category = webcat.Category
+
+// PathFail classifies why a measurement yielded no usable AS path — the
+// paper's four record-elimination rules. A Measurement with Fail !=
+// PathOK never contributes a clause.
+type PathFail = traceroute.FailReason
+
+// The path-inference outcomes, re-exported for external consumers.
+const (
+	PathOK             PathFail = traceroute.OK
+	PathTraceFailed    PathFail = traceroute.ErrTraceFailed    // rule 2: traceroute error
+	PathNoMapping      PathFail = traceroute.ErrNoMapping      // rule 1: no IP mappable
+	PathSilentBoundary PathFail = traceroute.ErrSilentBoundary // rule 3: silent hop between differing ASes
+	PathsDisagree      PathFail = traceroute.ErrDisagree       // rule 4: the three traceroutes disagree
+)
+
+// TruthAct records, for validation only, one censor that acted on a
+// measurement and with which techniques. Ingested real-world data leaves
+// it empty — the paper had no ground truth either.
+type TruthAct struct {
+	ASN   ASN
+	Kinds AnomalySet
+}
+
+// Measurement is one exported measurement record — the §3.1 tuple
+// (vantage AS, URL, anomaly outcomes, inferred AS path, timestamp) in
+// public form, mirroring the internal platform record minus the raw
+// packet captures and traceroutes, which are consumed during generation.
+// Record IDs are not part of the type: they are assigned by the merge
+// order when an Experiment ingests the batches.
+type Measurement struct {
+	Vantage        ASN
+	VantageCountry string
+	TargetASN      ASN
+	// TargetIdx indexes the source's Targets table, or -1 when unknown.
+	TargetIdx int32
+	URL       string
+	Category  Category
+	At        time.Time
+
+	// Anomalies holds the detector outcomes (never ground truth).
+	Anomalies AnomalySet
+	// ASPath is the inferred AS-level path; nil when Fail != PathOK.
+	ASPath []ASN
+	Fail   PathFail
+
+	// Ground truth, for validation only — the tomography must not read
+	// these fields. Empty for ingested real-world data.
+	TruePath    []ASN
+	TrueActs    []TruthAct
+	Unreachable bool
+}
+
+// VantageInfo is one vantage point's metadata.
+type VantageInfo struct {
+	ASN     ASN
+	Country string
+}
+
+// TargetInfo is one test-list URL's metadata.
+type TargetInfo struct {
+	URL      string
+	Category Category
+	ASN      ASN
+}
+
+// ASInfo is one AS's metadata: what the report layer needs to name
+// censors, resolve countries and split churn by destination class. Class
+// is the CAIDA-style class name ("transit", "content", "enterprise"); ""
+// is treated as "transit".
+type ASInfo struct {
+	ASN           ASN
+	Name, Country string
+	Class         string
+}
+
+// SourceInfo is the world metadata attached to a dataset: the measurement
+// period and the tables the solvers and reports resolve records against.
+type SourceInfo struct {
+	// Label names the dataset's origin (a file path, "scenario <name>").
+	Label string
+	// Scenario names the world the measurements were taken in — a preset
+	// name for synthesized data, a free-form label for ingested data.
+	Scenario string
+	// Seed is the master seed of a synthetic world, 0 for ingested data.
+	Seed uint64
+	// Start anchors the measurement period; Days is its length.
+	Start time.Time
+	Days  int
+
+	Vantages []VantageInfo
+	Targets  []TargetInfo
+	// ASes is the optional AS metadata table; without it censors are
+	// reported by bare ASN and churn-by-class is empty.
+	ASes []ASInfo
+	// TruthCensors lists the ground-truth censoring ASes of a synthetic
+	// world; empty for ingested data (validation is then unavailable).
+	TruthCensors []ASN
+}
+
+// Dataset is an in-memory measurement dataset: the world metadata plus
+// the records in day-ordered batches (Days[d] holds day d's measurements;
+// empty days are kept so replay timing is preserved). A *Dataset is
+// itself a Source, so a programmatically built dataset can be analyzed
+// directly: New(WithSource(ds)).
+type Dataset struct {
+	Info SourceInfo
+	Days [][]Measurement
+}
+
+// Source supplies measurements to an Experiment. Open produces the
+// dataset one cell analyzes; cfg is the cell's configuration, which
+// synthesizing sources use to size and seed the world and replaying
+// sources may ignore. Open must be safe for concurrent calls (matrix
+// cells run in parallel) and should honor ctx cancellation.
+type Source interface {
+	// Label names the source in events and errors.
+	Label() string
+	// Open loads or generates the dataset for one cell configuration.
+	Open(ctx context.Context, cfg Config) (*Dataset, error)
+}
+
+// cellSource is the internal fast path: built-in sources hand the cell
+// runner an internal Pipeline (keeping the full substrate for reports)
+// and raw day shards, skipping the exported-record conversion. External
+// Source implementations go through Open and adoptFile instead.
+type cellSource interface {
+	openCell(ctx context.Context, e *Experiment, cfg Config, emit func(Event)) (*Pipeline, [][]iclab.Record, error)
+}
+
+// ScenarioSource synthesizes measurements from a scenario world — the
+// default source, byte-identical to the pre-Source fused pipeline. The
+// world is decided by cfg.Scenario (or the experiment's
+// WithScenario/WithScenarioSpec selection) and sized by the usual Config
+// dimensions.
+type ScenarioSource struct {
+	// Spec, when non-nil, overrides the preset-name resolution with an
+	// explicitly composed spec (see WithScenarioSpec).
+	Spec *ScenarioSpec
+}
+
+// defaultSource is the source used when no WithSource option is given.
+var defaultSource = &ScenarioSource{}
+
+// Label implements Source.
+func (s *ScenarioSource) Label() string {
+	if s.Spec != nil {
+		return "scenario " + s.Spec.Name
+	}
+	return "scenario"
+}
+
+// openCell implements the internal fast path: exactly the fused
+// build-then-measure pipeline, substrate events included.
+func (s *ScenarioSource) openCell(ctx context.Context, e *Experiment, cfg Config, emit func(Event)) (*Pipeline, [][]iclab.Record, error) {
+	spec, err := s.spec(e, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg.Scenario = spec.Name // the world actually built is the one recorded
+	p, err := prepareSpecCtx(ctx, cfg, spec, emit)
+	if err != nil {
+		return nil, nil, err
+	}
+	ev := newEvent(StageMeasure)
+	ev.Stats.Seed = p.Config.Seed
+	emit(ev)
+	shards, err := iclab.RunByDayCtx(ctx, p.Scenario, p.Config.platformConfig())
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, shards, nil
+}
+
+// spec resolves which world to build: the source's own override, the
+// experiment's, or the cell config's named preset. The returned spec's
+// name is the one results must record — a Spec override would otherwise
+// leave cfg.Scenario naming a world that was never built.
+func (s *ScenarioSource) spec(e *Experiment, cfg Config) (ScenarioSpec, error) {
+	if s.Spec != nil {
+		spec := *s.Spec
+		if spec.Name == "" {
+			spec.Name = "custom" // matches WithScenarioSpec's default
+		}
+		return spec, nil
+	}
+	if e != nil {
+		return e.cellSpec(cfg)
+	}
+	return resolveScenario(cfg.Scenario)
+}
+
+// Open implements the public Source contract: build the world, run the
+// measurement schedule, and return the dataset in exported form. The
+// batches are the same records an Experiment using this source analyzes.
+func (s *ScenarioSource) Open(ctx context.Context, cfg Config) (*Dataset, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cfg.Progress = nil
+	spec, err := s.spec(nil, cfg)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Scenario = spec.Name
+	p, err := prepareSpecCtx(ctx, cfg, spec, func(Event) {})
+	if err != nil {
+		return nil, err
+	}
+	shards, err := iclab.RunByDayCtx(ctx, p.Scenario, p.Config.platformConfig())
+	if err != nil {
+		return nil, err
+	}
+	d := fileToPublic(&dataset.File{Header: headerOf(p), Days: shards})
+	d.Info.Label = "scenario " + p.Config.Scenario
+	return d, nil
+}
+
+// FileSource replays a dataset file written by Result.Export (or genlab
+// -export): the versioned, gzipped JSONL format of internal/dataset. The
+// file's day batches feed every execution mode — batch localization,
+// streaming replay through the incremental engine, matrix cells — without
+// regenerating the world. The file is decoded once per FileSource and
+// cached, so a matrix pays the gzip+JSON cost a single time; a FileSource
+// therefore snapshots the file as of its first use.
+type FileSource struct {
+	Path string
+
+	once   sync.Once
+	cached *dataset.File
+	err    error
+}
+
+// Label implements Source.
+func (s *FileSource) Label() string { return s.Path }
+
+// read decodes the file on first use and serves the cache afterwards.
+func (s *FileSource) read() (*dataset.File, error) {
+	s.once.Do(func() {
+		s.cached, s.err = dataset.ReadFile(s.Path)
+	})
+	return s.cached, s.err
+}
+
+// Open implements Source by decoding the file into exported form.
+func (s *FileSource) Open(ctx context.Context, cfg Config) (*Dataset, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	f, err := s.read()
+	if err != nil {
+		return nil, err
+	}
+	d := fileToPublic(f)
+	d.Info.Label = s.Path
+	return d, nil
+}
+
+// openCell implements the internal fast path: decode once and adopt the
+// shards directly, skipping the exported-record round trip. Each cell
+// gets its own copy of the record batches — the streaming engine stamps
+// record IDs in place, so sharing the cached slices across concurrent
+// runs would race.
+func (s *FileSource) openCell(ctx context.Context, e *Experiment, cfg Config, emit func(Event)) (*Pipeline, [][]iclab.Record, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	ev := newEvent(StageLoad)
+	ev.Stats.Seed = cfg.Seed
+	ev.Source = s.Path
+	emit(ev)
+	f, err := s.read()
+	if err != nil {
+		return nil, nil, fmt.Errorf("churntomo: %w", err)
+	}
+	p, days, err := adoptFile(cfg, f)
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, copyDays(days), nil
+}
+
+// copyDays clones the record batches (the records themselves; deep fields
+// stay shared read-only).
+func copyDays(days [][]iclab.Record) [][]iclab.Record {
+	out := make([][]iclab.Record, len(days))
+	for d, recs := range days {
+		if recs != nil {
+			out[d] = append([]iclab.Record(nil), recs...)
+		}
+	}
+	return out
+}
+
+// Label implements Source for in-memory datasets.
+func (d *Dataset) Label() string {
+	if d.Info.Label != "" {
+		return d.Info.Label
+	}
+	return "in-memory dataset"
+}
+
+// Open implements Source: the dataset is its own data.
+func (d *Dataset) Open(context.Context, Config) (*Dataset, error) { return d, nil }
+
+// WriteFile encodes the dataset to path in the versioned on-disk format
+// (conventionally named *.jsonl.gz) — the writer side of FileSource, for
+// ingesters that build datasets programmatically.
+func (d *Dataset) WriteFile(path string) error {
+	f, err := publicToFile(d)
+	if err != nil {
+		return err
+	}
+	return dataset.WriteFile(path, f)
+}
+
+// LoadDataset decodes a dataset file into memory — the inspection
+// counterpart of FileSource, for tooling that wants the records
+// themselves rather than an analysis.
+func LoadDataset(path string) (*Dataset, error) {
+	f, err := dataset.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	d := fileToPublic(f)
+	d.Info.Label = path
+	return d, nil
+}
+
+// Export writes the run's measured dataset to path in the versioned
+// on-disk format, ready for FileSource / churnlab -input to analyze
+// without regenerating the world. It applies to single-cell runs (batch
+// or streaming); a matrix run has no single dataset to export.
+func (r *Result) Export(path string) error {
+	f, err := r.exportFile()
+	if err != nil {
+		return err
+	}
+	return dataset.WriteFile(path, f)
+}
+
+// Dataset returns the run's measured dataset in exported form — what
+// Export writes, without the file. The same single-cell restriction
+// applies.
+func (r *Result) Dataset() (*Dataset, error) {
+	f, err := r.exportFile()
+	if err != nil {
+		return nil, err
+	}
+	d := fileToPublic(f)
+	d.Info.Label = "result " + r.Config.Scenario
+	return d, nil
+}
+
+// exportFile snapshots the single-cell pipeline as a dataset file.
+func (r *Result) exportFile() (*dataset.File, error) {
+	if r.Mode == ModeMatrix {
+		return nil, fmt.Errorf("churntomo: Export: a matrix run has no single dataset; export per-cell runs instead")
+	}
+	if len(r.Pipelines) != 1 || r.Pipelines[0] == nil || r.Pipelines[0].Dataset == nil {
+		return nil, fmt.Errorf("churntomo: Export: result carries no measured dataset")
+	}
+	return pipelineToFile(r.Pipelines[0])
+}
+
+// Export writes the pipeline's measured dataset to path in the versioned
+// on-disk format — the Pipeline-level counterpart of Result.Export, for
+// callers (genlab) that measure without localizing. Requires a measured
+// Dataset.
+func (p *Pipeline) Export(path string) error {
+	if p.Dataset == nil {
+		return fmt.Errorf("churntomo: Export before Measure: pipeline carries no dataset")
+	}
+	f, err := pipelineToFile(p)
+	if err != nil {
+		return err
+	}
+	return dataset.WriteFile(path, f)
+}
+
+// headerOf derives the dataset header from a prepared pipeline's world.
+func headerOf(p *Pipeline) dataset.Header {
+	h := dataset.Header{
+		Scenario: p.Config.Scenario,
+		Seed:     p.Config.Seed,
+		Start:    p.Scenario.Start.UTC(),
+		Days:     p.Scenario.Days(),
+	}
+	for _, v := range p.Scenario.Vantages {
+		h.Vantages = append(h.Vantages, dataset.Vantage{ASN: uint32(v.ASN), Country: v.Country})
+	}
+	for _, t := range p.Scenario.Targets {
+		h.Targets = append(h.Targets, dataset.Target{URL: t.URL.Host, Category: uint8(t.URL.Category), ASN: uint32(t.ASN)})
+	}
+	if p.Graph != nil {
+		for i := range p.Graph.ASes {
+			as := &p.Graph.ASes[i]
+			h.ASes = append(h.ASes, dataset.ASMeta{
+				ASN: uint32(as.ASN), Name: as.Name, Country: as.Country, Class: as.Class.String(),
+			})
+		}
+	}
+	if p.Censors != nil {
+		for _, asn := range p.Censors.ASNs() {
+			h.TruthCensors = append(h.TruthCensors, uint32(asn))
+		}
+	}
+	return h
+}
+
+// pipelineToFile snapshots a measured pipeline, splitting the merged
+// record sequence back into the day batches a replay consumes.
+func pipelineToFile(p *Pipeline) (*dataset.File, error) {
+	h := headerOf(p)
+	f := &dataset.File{Header: h, Days: make([][]iclab.Record, h.Days)}
+	start := p.Scenario.Start.UTC()
+	for i := range p.Dataset.Records {
+		rec := p.Dataset.Records[i]
+		day := int(rec.At.UTC().Sub(start) / (24 * time.Hour))
+		if day < 0 || day >= h.Days {
+			return nil, fmt.Errorf("churntomo: Export: record %d at %v falls outside the %d-day period starting %v",
+				rec.ID, rec.At, h.Days, start)
+		}
+		f.Days[day] = append(f.Days[day], rec)
+	}
+	return f, nil
+}
+
+// classByName parses the CAIDA-style class names the AS table carries.
+var classByName = map[string]topology.Class{
+	"":           topology.ClassTransit,
+	"transit":    topology.ClassTransit,
+	"content":    topology.ClassContent,
+	"enterprise": topology.ClassEnterprise,
+}
+
+// adoptFile reconstructs the skeleton pipeline a decoded dataset runs
+// under: a lookup-only metadata graph, a ground-truth registry, and a
+// scenario shell carrying the period and the vantage/target tables —
+// everything the solve, churn, leakage and report stages read, with no
+// routing substrate (none is needed after measurement).
+func adoptFile(cfg Config, f *dataset.File) (*Pipeline, [][]iclab.Record, error) {
+	h := &f.Header
+	if h.Scenario != "" {
+		cfg.Scenario = h.Scenario
+	}
+	if h.Seed != 0 {
+		cfg.Seed = h.Seed
+	}
+	if h.Days > 0 {
+		cfg.Days = h.Days
+	} else {
+		cfg.Days = len(f.Days)
+	}
+	if !h.Start.IsZero() {
+		cfg.Start = h.Start.UTC()
+	}
+	if n := len(h.Vantages); n > 0 {
+		cfg.Vantages = n
+	}
+	if n := len(h.Targets); n > 0 {
+		cfg.URLs = n
+	}
+	countries := map[string]bool{}
+	ases := make([]topology.AS, 0, len(h.ASes))
+	for _, m := range h.ASes {
+		class, ok := classByName[m.Class]
+		if !ok {
+			return nil, nil, fmt.Errorf("churntomo: dataset AS%d carries unknown class %q", m.ASN, m.Class)
+		}
+		as := topology.AS{ASN: ASN(m.ASN), Name: m.Name, Country: m.Country, Class: class}
+		if c, ok := topology.CountryByCode(m.Country); ok {
+			as.Region = c.Region
+		}
+		ases = append(ases, as)
+		countries[m.Country] = true
+	}
+	if len(h.ASes) > 0 {
+		cfg.ASes = len(h.ASes)
+		cfg.Countries = len(countries)
+	}
+	cfg.fillDefaults()
+
+	g := topology.MetadataGraph(ases)
+	reg := censor.NewRegistry()
+	for _, asn := range h.TruthCensors {
+		reg.Add(censor.NewPolicy(ASN(asn), g.CountryOf(ASN(asn)), censor.Behavior{}, 0, 0))
+	}
+	s := &iclab.Scenario{
+		Graph:   g,
+		Censors: reg,
+		Start:   cfg.Start,
+		End:     cfg.Start.AddDate(0, 0, cfg.Days),
+		Seed:    h.Seed,
+	}
+	for _, v := range h.Vantages {
+		s.Vantages = append(s.Vantages, iclab.Vantage{ASN: ASN(v.ASN), Country: v.Country})
+	}
+	for _, t := range h.Targets {
+		if int(t.Category) >= int(webcat.NumCategories) {
+			return nil, nil, fmt.Errorf("churntomo: dataset target %q carries unknown category code %d", t.URL, t.Category)
+		}
+		s.Targets = append(s.Targets, iclab.Target{
+			URL: webcat.URL{Host: t.URL, Category: Category(t.Category)}, ASN: ASN(t.ASN),
+		})
+	}
+	p := &Pipeline{Config: cfg, Graph: g, Censors: reg, Scenario: s}
+	return p, f.Days, nil
+}
+
+// fileToPublic converts a decoded file into the exported Dataset shape.
+func fileToPublic(f *dataset.File) *Dataset {
+	h := &f.Header
+	d := &Dataset{Info: SourceInfo{
+		Scenario: h.Scenario,
+		Seed:     h.Seed,
+		Start:    h.Start.UTC(),
+		Days:     h.Days,
+	}}
+	for _, v := range h.Vantages {
+		d.Info.Vantages = append(d.Info.Vantages, VantageInfo{ASN: ASN(v.ASN), Country: v.Country})
+	}
+	for _, t := range h.Targets {
+		d.Info.Targets = append(d.Info.Targets, TargetInfo{URL: t.URL, Category: Category(t.Category), ASN: ASN(t.ASN)})
+	}
+	for _, m := range h.ASes {
+		d.Info.ASes = append(d.Info.ASes, ASInfo{ASN: ASN(m.ASN), Name: m.Name, Country: m.Country, Class: m.Class})
+	}
+	for _, asn := range h.TruthCensors {
+		d.Info.TruthCensors = append(d.Info.TruthCensors, ASN(asn))
+	}
+	d.Days = make([][]Measurement, len(f.Days))
+	for day, recs := range f.Days {
+		if len(recs) == 0 {
+			continue
+		}
+		batch := make([]Measurement, len(recs))
+		for i := range recs {
+			batch[i] = measurementOf(&recs[i])
+		}
+		d.Days[day] = batch
+	}
+	return d
+}
+
+// measurementOf converts one internal record to exported form.
+func measurementOf(r *iclab.Record) Measurement {
+	m := Measurement{
+		Vantage:        r.Vantage,
+		VantageCountry: r.VantageCountry,
+		TargetASN:      r.TargetASN,
+		TargetIdx:      r.TargetIdx,
+		URL:            r.URL,
+		Category:       r.Category,
+		At:             r.At,
+		Anomalies:      r.Anomalies,
+		ASPath:         append([]ASN(nil), r.ASPath...),
+		Fail:           r.Fail,
+		TruePath:       append([]ASN(nil), r.TruePath...),
+		Unreachable:    r.Unreachable,
+	}
+	for _, act := range r.TrueActs {
+		m.TrueActs = append(m.TrueActs, TruthAct{ASN: act.ASN, Kinds: act.Kinds})
+	}
+	return m
+}
+
+// publicToFile converts an exported Dataset back to the internal file
+// shape — the adapter every external Source implementation feeds.
+func publicToFile(d *Dataset) (*dataset.File, error) {
+	if d == nil {
+		return nil, fmt.Errorf("churntomo: nil Dataset")
+	}
+	info := &d.Info
+	days := info.Days
+	if days == 0 {
+		days = len(d.Days)
+	}
+	if days < len(d.Days) {
+		return nil, fmt.Errorf("churntomo: dataset declares %d days but carries %d day batches", days, len(d.Days))
+	}
+	h := dataset.Header{
+		Scenario: info.Scenario,
+		Seed:     info.Seed,
+		Start:    info.Start.UTC(),
+		Days:     days,
+	}
+	for _, v := range info.Vantages {
+		h.Vantages = append(h.Vantages, dataset.Vantage{ASN: uint32(v.ASN), Country: v.Country})
+	}
+	for _, t := range info.Targets {
+		if int(t.Category) >= int(webcat.NumCategories) {
+			return nil, fmt.Errorf("churntomo: dataset target %q carries unknown category %d", t.URL, t.Category)
+		}
+		h.Targets = append(h.Targets, dataset.Target{URL: t.URL, Category: uint8(t.Category), ASN: uint32(t.ASN)})
+	}
+	for _, m := range info.ASes {
+		if _, ok := classByName[m.Class]; !ok {
+			return nil, fmt.Errorf("churntomo: dataset AS%d carries unknown class %q", m.ASN, m.Class)
+		}
+		h.ASes = append(h.ASes, dataset.ASMeta{ASN: uint32(m.ASN), Name: m.Name, Country: m.Country, Class: m.Class})
+	}
+	for _, asn := range info.TruthCensors {
+		h.TruthCensors = append(h.TruthCensors, uint32(asn))
+	}
+	f := &dataset.File{Header: h, Days: make([][]iclab.Record, days)}
+	for day, batch := range d.Days {
+		if len(batch) == 0 {
+			continue
+		}
+		recs := make([]iclab.Record, len(batch))
+		for i := range batch {
+			recs[i] = recordOf(&batch[i])
+		}
+		f.Days[day] = recs
+	}
+	return f, nil
+}
+
+// recordOf converts one exported measurement to the internal record.
+func recordOf(m *Measurement) iclab.Record {
+	r := iclab.Record{
+		Vantage:        m.Vantage,
+		VantageCountry: m.VantageCountry,
+		TargetASN:      m.TargetASN,
+		TargetIdx:      m.TargetIdx,
+		URL:            m.URL,
+		Category:       m.Category,
+		At:             m.At,
+		Anomalies:      m.Anomalies,
+		ASPath:         append([]ASN(nil), m.ASPath...),
+		Fail:           m.Fail,
+		TruePath:       append([]ASN(nil), m.TruePath...),
+		Unreachable:    m.Unreachable,
+	}
+	for _, act := range m.TrueActs {
+		r.TrueActs = append(r.TrueActs, iclab.GroundTruthAct{ASN: act.ASN, Kinds: act.Kinds})
+	}
+	return r
+}

@@ -1,0 +1,340 @@
+package churntomo
+
+import (
+	"context"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// exportTestConfig is a fast configuration for export/import round trips.
+func exportTestConfig() Config {
+	cfg := testConfig()
+	cfg.Days = 20
+	return cfg
+}
+
+// runDirect executes one experiment over the live ScenarioSource.
+func runDirect(t *testing.T, opts ...Option) *Result {
+	t.Helper()
+	exp, err := New(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := exp.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestDatasetRoundTripIdentifications is the acceptance gate: exporting a
+// run's dataset, re-importing it through FileSource and localizing again
+// must produce identifications byte-identical to the direct run — in
+// batch mode here, in streaming mode below. `make dataset-check` runs it.
+func TestDatasetRoundTripIdentifications(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end round trip")
+	}
+	direct := runDirect(t, WithConfig(exportTestConfig()))
+
+	path := filepath.Join(t.TempDir(), "ds.jsonl.gz")
+	if err := direct.Export(path); err != nil {
+		t.Fatal(err)
+	}
+	replayed := runDirect(t, WithInput(path))
+
+	if len(direct.Identified) == 0 {
+		t.Fatal("direct run identified no censors; round trip is vacuous")
+	}
+	if !reflect.DeepEqual(direct.Identified, replayed.Identified) {
+		t.Errorf("identifications diverge: direct %v, replayed %v", direct.Identified, replayed.Identified)
+	}
+	// The reconstructed metadata graph and truth registry must enrich
+	// identically: names, countries, ground-truth bits, leakage victims.
+	if !reflect.DeepEqual(direct.Censors, replayed.Censors) {
+		t.Errorf("censor enrichment diverges:\ndirect   %+v\nreplayed %+v", direct.Censors, replayed.Censors)
+	}
+	if !reflect.DeepEqual(direct.Summary, replayed.Summary) {
+		t.Errorf("summaries diverge:\ndirect   %+v\nreplayed %+v", direct.Summary, replayed.Summary)
+	}
+	if !reflect.DeepEqual(direct.Leakage, replayed.Leakage) {
+		t.Error("leakage analyses diverge")
+	}
+	if !reflect.DeepEqual(direct.Churn, replayed.Churn) {
+		t.Error("churn distributions diverge")
+	}
+	if !reflect.DeepEqual(direct.ChurnByClass, replayed.ChurnByClass) {
+		t.Error("churn-by-class distributions diverge")
+	}
+}
+
+// TestDatasetRoundTripStreaming pins the streaming half of the acceptance
+// criterion: a FileSource replay through the incremental engine emits the
+// same window timeline and final identifications as streaming over the
+// live ScenarioSource.
+func TestDatasetRoundTripStreaming(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end round trip")
+	}
+	cfg := exportTestConfig()
+	direct := runDirect(t, WithConfig(cfg), WithWindow(8), WithStride(4))
+
+	path := filepath.Join(t.TempDir(), "ds.jsonl.gz")
+	if err := direct.Export(path); err != nil {
+		t.Fatal(err)
+	}
+	replayed := runDirect(t, WithInput(path), WithWindow(8), WithStride(4))
+
+	if len(direct.Windows) == 0 {
+		t.Fatal("direct streaming run emitted no windows")
+	}
+	if !reflect.DeepEqual(direct.Windows, replayed.Windows) {
+		t.Errorf("window timelines diverge: direct %d windows, replayed %d", len(direct.Windows), len(replayed.Windows))
+	}
+	if !reflect.DeepEqual(direct.Convergence, replayed.Convergence) {
+		t.Error("convergence stats diverge")
+	}
+	if !reflect.DeepEqual(direct.Identified, replayed.Identified) {
+		t.Error("final identifications diverge")
+	}
+}
+
+// TestInMemoryDatasetSource drives the public Source contract end to end:
+// Result.Dataset's exported form, fed back through the generic (non
+// fast-path) adapter as an in-memory *Dataset source, localizes
+// identically. This is the path an external real-data ingester exercises.
+func TestInMemoryDatasetSource(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end round trip")
+	}
+	direct := runDirect(t, WithConfig(exportTestConfig()))
+	ds, err := direct.Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Info.Days != direct.Config.Days || len(ds.Days) != ds.Info.Days {
+		t.Fatalf("dataset period: Info.Days %d, batches %d, config %d", ds.Info.Days, len(ds.Days), direct.Config.Days)
+	}
+	replayed := runDirect(t, WithSource(ds))
+	if len(direct.Identified) == 0 || !reflect.DeepEqual(direct.Identified, replayed.Identified) {
+		t.Errorf("identifications diverge through the public Dataset source (direct %d, replayed %d)",
+			len(direct.Identified), len(replayed.Identified))
+	}
+	if !reflect.DeepEqual(direct.Censors, replayed.Censors) {
+		t.Error("censor enrichment diverges through the public Dataset source")
+	}
+}
+
+// TestScenarioSourceOpenMatchesExport pins that the two public ways of
+// obtaining a dataset — ScenarioSource.Open and Result.Dataset after a
+// run — agree on the data for the same Config.
+func TestScenarioSourceOpenMatchesExport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end generation")
+	}
+	cfg := exportTestConfig()
+	opened, err := (&ScenarioSource{}).Open(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromRun, err := runDirect(t, WithConfig(cfg)).Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opened.Days) != len(fromRun.Days) {
+		t.Fatalf("day batches: Open %d, run export %d", len(opened.Days), len(fromRun.Days))
+	}
+	total := 0
+	for day := range opened.Days {
+		if len(opened.Days[day]) != len(fromRun.Days[day]) {
+			t.Fatalf("day %d: Open %d records, run export %d", day, len(opened.Days[day]), len(fromRun.Days[day]))
+		}
+		total += len(opened.Days[day])
+		for i := range opened.Days[day] {
+			a, b := opened.Days[day][i], fromRun.Days[day][i]
+			if a.Vantage != b.Vantage || a.URL != b.URL || !a.At.Equal(b.At) ||
+				a.Anomalies != b.Anomalies || a.Fail != b.Fail || !reflect.DeepEqual(a.ASPath, b.ASPath) {
+				t.Fatalf("day %d record %d diverges: %+v vs %+v", day, i, a, b)
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no records generated")
+	}
+	if !reflect.DeepEqual(opened.Info.Targets, fromRun.Info.Targets) ||
+		!reflect.DeepEqual(opened.Info.Vantages, fromRun.Info.Vantages) {
+		t.Error("world metadata diverges between Open and run export")
+	}
+}
+
+// TestWithSourcesMatrix runs a matrix with one cell per source — two
+// replays of the same exported file — and expects every identification to
+// be stable across cells.
+func TestWithSourcesMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end matrix")
+	}
+	direct := runDirect(t, WithConfig(exportTestConfig()))
+	path := filepath.Join(t.TempDir(), "ds.jsonl.gz")
+	if err := direct.Export(path); err != nil {
+		t.Fatal(err)
+	}
+	res := runDirect(t, WithConfig(exportTestConfig()),
+		WithSources(&FileSource{Path: path}, &FileSource{Path: path}))
+	if res.Mode != ModeMatrix {
+		t.Fatalf("mode = %v, want matrix", res.Mode)
+	}
+	if res.Matrix.Runs != 2 || res.Matrix.Failed != 0 {
+		t.Fatalf("matrix runs %d failed %d", res.Matrix.Runs, res.Matrix.Failed)
+	}
+	if len(res.Matrix.Stable) != len(direct.Identified) {
+		t.Errorf("stable censors %d, want %d (every cell replays the same data)",
+			len(res.Matrix.Stable), len(direct.Identified))
+	}
+	for _, asn := range res.Matrix.Stable {
+		if _, ok := direct.Identified[asn]; !ok {
+			t.Errorf("stable censor %v not identified by the direct run", asn)
+		}
+	}
+}
+
+// TestSourceOptionValidation covers the construction-time contracts of
+// the source options and the WithSeed zero-value rule.
+func TestSourceOptionValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		opts []Option
+		want string
+	}{
+		{"nil source", []Option{WithSource(nil)}, "WithSource"},
+		{"empty input", []Option{WithInput("")}, "WithInput"},
+		{"no sources", []Option{WithSources()}, "WithSources"},
+		{"nil cell source", []Option{WithSources(&FileSource{Path: "x"}, nil)}, "source 1 is nil"},
+		{"source plus sources", []Option{WithSource(&FileSource{Path: "x"}), WithSources(&FileSource{Path: "y"})}, "mutually exclusive"},
+		{"sources plus seed sweep", []Option{WithSources(&FileSource{Path: "x"}), WithSeedSweep(3)}, "at most one"},
+		{"sources plus streaming", []Option{WithSources(&FileSource{Path: "x"}), WithStreaming()}, "mutually exclusive"},
+		{"scenario plus file source", []Option{WithScenario(ScenarioBaseline), WithInput("x")}, "replays recorded data"},
+		{"seed sweep over a replay", []Option{WithInput("x"), WithSeedSweep(4)}, "same recorded data into every cell"},
+		{"config grid over a replay", []Option{WithInput("x"), WithConfigs(SmallConfig(), DefaultConfig())}, "same recorded data into every cell"},
+		{"seed zero", []Option{WithSeed(0)}, "WithSeed(0)"},
+	}
+	for _, tc := range cases {
+		if _, err := New(tc.opts...); err == nil {
+			t.Errorf("%s: New accepted invalid options", tc.name)
+		} else if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+	// A scenario selection combined with the default-synthesis source is
+	// fine — the source is what the selection steers.
+	if _, err := New(WithScenario(ScenarioBaseline), WithSource(&ScenarioSource{})); err != nil {
+		t.Errorf("WithScenario + WithSource(ScenarioSource): %v", err)
+	}
+	// So is a seed sweep over a synthesizing source — each cell builds its
+	// own world.
+	if _, err := New(WithSource(&ScenarioSource{}), WithSeedSweep(2)); err != nil {
+		t.Errorf("WithSource(ScenarioSource) + WithSeedSweep: %v", err)
+	}
+}
+
+// TestScenarioSourceSpecNamesResult pins that a ScenarioSource carrying
+// an explicit Spec records the spec's name — not the config's default —
+// in the result and in exports.
+func TestScenarioSourceSpecNamesResult(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end run")
+	}
+	spec, err := ScenarioByName("transit-leakage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := exportTestConfig()
+	cfg.Days = 6
+	res := runDirect(t, WithConfig(cfg), WithSource(&ScenarioSource{Spec: &spec}))
+	if res.Summary.Scenario != "transit-leakage" {
+		t.Errorf("Summary.Scenario = %q, want transit-leakage", res.Summary.Scenario)
+	}
+	ds, err := res.Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Info.Scenario != "transit-leakage" {
+		t.Errorf("exported Info.Scenario = %q, want transit-leakage", ds.Info.Scenario)
+	}
+	// An unnamed ad-hoc spec defaults to "custom", like WithScenarioSpec.
+	anon := spec
+	anon.Name = ""
+	res = runDirect(t, WithConfig(cfg), WithSource(&ScenarioSource{Spec: &anon}))
+	if res.Summary.Scenario != "custom" {
+		t.Errorf("unnamed spec Summary.Scenario = %q, want custom", res.Summary.Scenario)
+	}
+}
+
+// TestFileSourceLoadEvent pins the StageLoad event and its TextObserver
+// rendering for dataset-backed runs.
+func TestFileSourceLoadEvent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end run")
+	}
+	direct := runDirect(t, WithConfig(exportTestConfig()))
+	path := filepath.Join(t.TempDir(), "ds.jsonl.gz")
+	if err := direct.Export(path); err != nil {
+		t.Fatal(err)
+	}
+	var loads []Event
+	runDirect(t, WithInput(path), WithObserver(func(ev Event) {
+		if ev.Stage == StageLoad {
+			loads = append(loads, ev)
+		}
+	}))
+	if len(loads) != 1 {
+		t.Fatalf("got %d StageLoad events, want 1", len(loads))
+	}
+	if loads[0].Source != path {
+		t.Errorf("StageLoad.Source = %q, want %q", loads[0].Source, path)
+	}
+	if got := StageLoad.String(); got != "load" {
+		t.Errorf("StageLoad.String() = %q", got)
+	}
+
+	var buf strings.Builder
+	TextObserver(&buf)(loads[0])
+	if want := "loading dataset from " + path + "\n"; buf.String() != want {
+		t.Errorf("TextObserver rendering = %q, want %q", buf.String(), want)
+	}
+}
+
+// TestExportRejectsMatrixAndEmptyResults pins the Export error contract.
+func TestExportRejectsMatrixAndEmptyResults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end matrix")
+	}
+	cfg := exportTestConfig()
+	cfg.Days = 6
+	res := runDirect(t, WithConfig(cfg), WithSeedSweep(2), WithMatrixWorkers(2))
+	if err := res.Export(filepath.Join(t.TempDir(), "m.jsonl.gz")); err == nil {
+		t.Error("Export accepted a matrix result")
+	} else if !strings.Contains(err.Error(), "matrix") {
+		t.Errorf("matrix export error %q does not explain itself", err)
+	}
+	if err := (&Result{}).Export(filepath.Join(t.TempDir(), "e.jsonl.gz")); err == nil {
+		t.Error("Export accepted an empty result")
+	}
+}
+
+// TestLoadDatasetErrors pins the decode error surface external callers
+// see: missing files and non-dataset files fail descriptively.
+func TestLoadDatasetErrors(t *testing.T) {
+	if _, err := LoadDataset(filepath.Join(t.TempDir(), "absent.jsonl.gz")); err == nil {
+		t.Error("LoadDataset read a nonexistent file")
+	}
+	exp, err := New(WithInput(filepath.Join(t.TempDir(), "absent.jsonl.gz")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := exp.Run(context.Background()); err == nil {
+		t.Error("Run succeeded over a nonexistent dataset")
+	}
+}
