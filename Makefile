@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all ci vet build test race bench bench-json docs api-check scenario-check dataset-check fuzz clean
+.PHONY: all ci vet build test race bench bench-json profile docs api-check scenario-check dataset-check fuzz clean
 
 all: ci
 
@@ -62,10 +62,23 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 # Root benchmarks with -benchmem, rendered as JSON so the performance
-# trajectory has machine-readable datapoints (BENCH_PR5.json is this
-# PR's; it adds the BenchmarkDatasetEncodeDecode codec throughput row).
+# trajectory has machine-readable datapoints (BENCH_PR6.json is this PR's:
+# the min-of-N methodology replaces PR5's single-run numbers, alongside
+# the oracle-cache and allocation work it measures).
 bench-json:
-	sh scripts/bench-json.sh BENCH_PR5.json
+	sh scripts/bench-json.sh BENCH_PR6.json
+
+# CPU and allocation profiles for the three hot kernels the PR6 pass
+# optimized, written under profiles/ as pprof protos plus human-readable
+# -top digests. Compare against profiles/before.* to see the shift.
+profile:
+	mkdir -p profiles
+	$(GO) test -run '^$$' -bench 'BenchmarkEngine_MeasureSerial|BenchmarkKernel_CNFBuild|BenchmarkDatasetEncodeDecode' \
+		-benchtime 3x -cpuprofile profiles/after.cpu.pb.gz -memprofile profiles/after.mem.pb.gz .
+	$(GO) tool pprof -top -nodecount 25 churntomo.test profiles/after.cpu.pb.gz >profiles/after.cpu.top.txt
+	$(GO) tool pprof -top -nodecount 25 -sample_index=alloc_objects churntomo.test profiles/after.mem.pb.gz >profiles/after.mem.top.txt
+	rm -f churntomo.test
+	@echo "profile: wrote profiles/after.{cpu,mem}.pb.gz and -top digests" >&2
 
 # Short fuzz pass over the DIMACS parser; extend -fuzztime for real hunts.
 fuzz:

@@ -294,7 +294,11 @@ func BenchmarkEngine_MeasureSerial(b *testing.B) {
 
 func BenchmarkEngine_MeasureParallel(b *testing.B) {
 	s := benchMeasureScenario(b)
-	cfg := iclab.PlatformConfig{Seed: 5, URLsPerDay: 4, RepeatsPerDay: 2} // Workers = GOMAXPROCS
+	// Workers is pinned (not GOMAXPROCS): on a single-core host the default
+	// degrades to the serial inline path and the benchmark silently measures
+	// the same thing as MeasureSerial. An explicit pool always exercises the
+	// worker dispatch, the sharded oracle cache and the merge.
+	cfg := iclab.PlatformConfig{Seed: 5, URLsPerDay: 4, RepeatsPerDay: 2, Workers: 8}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		iclab.Run(s, cfg)

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"time"
 
 	"churntomo/internal/anomaly"
@@ -178,13 +179,26 @@ func encodePlain(w io.Writer, f *File) error {
 	if err := enc.Encode(&h); err != nil {
 		return fmt.Errorf("dataset: encode header: %w", err)
 	}
+	var wr wireRecord
+	var line []byte
 	for day, recs := range f.Days {
 		for i := range recs {
-			wr, err := toWire(&recs[i], day, &h, countryOf)
-			if err != nil {
+			if err := toWire(&recs[i], day, &h, countryOf, &wr); err != nil {
 				return err
 			}
-			if err := enc.Encode(wr); err != nil {
+			// Records without explicit string overrides — every record a
+			// synthesized dataset emits — take the hand-rolled encoder;
+			// appendWire produces byte-for-byte what json.Encoder would
+			// (the differential test pins that), without per-record
+			// reflection or marshal buffers.
+			if wr.URL == "" && wr.Category == nil && wr.TargetASN == 0 && wr.VantageCountry == "" {
+				line = appendWire(line[:0], &wr)
+				if _, err := bw.Write(line); err != nil {
+					return fmt.Errorf("dataset: encode day %d record %d: %w", day, i, err)
+				}
+				continue
+			}
+			if err := enc.Encode(&wr); err != nil {
 				return fmt.Errorf("dataset: encode day %d record %d: %w", day, i, err)
 			}
 		}
@@ -192,18 +206,22 @@ func encodePlain(w io.Writer, f *File) error {
 	return bw.Flush()
 }
 
-// toWire converts one record, compacting fields the header tables imply.
-func toWire(r *iclab.Record, day int, h *Header, countryOf map[uint32]string) (*wireRecord, error) {
+// toWire converts one record into wr, compacting fields the header tables
+// imply. wr is overwritten; its slices keep their capacity across calls.
+func toWire(r *iclab.Record, day int, h *Header, countryOf map[uint32]string, wr *wireRecord) error {
 	if r.Fail > traceroute.ErrDisagree {
-		return nil, fmt.Errorf("dataset: day %d: unencodable fail reason %d", day, r.Fail)
+		return fmt.Errorf("dataset: day %d: unencodable fail reason %d", day, r.Fail)
 	}
-	wr := &wireRecord{
+	*wr = wireRecord{
 		Day:       day,
 		Vantage:   uint32(r.Vantage),
 		Target:    r.TargetIdx,
 		At:        r.At.UnixNano(),
 		Anomalies: uint8(r.Anomalies),
 		Fail:      uint8(r.Fail),
+		Path:      wr.Path[:0],
+		TruePath:  wr.TruePath[:0],
+		TrueActs:  wr.TrueActs[:0],
 	}
 	for _, a := range r.ASPath {
 		wr.Path = append(wr.Path, uint32(a))
@@ -230,7 +248,71 @@ func toWire(r *iclab.Record, day int, h *Header, countryOf map[uint32]string) (*
 		wr.TrueActs = append(wr.TrueActs, wireAct{ASN: uint32(act.ASN), Kinds: uint8(act.Kinds)})
 	}
 	wr.Unreachable = r.Unreachable
-	return wr, nil
+	return nil
+}
+
+// appendWire appends wr's JSON line — identical to what json.Encoder
+// emits, newline included — to b. Only valid for records with no string
+// or pointer overrides (URL, Category, TargetASN, VantageCountry unset):
+// every remaining field is numeric or boolean, so no escaping logic is
+// needed. Field order and omitempty behaviour mirror the wireRecord
+// struct tags exactly; the golden v1 file and the differential test both
+// pin the equivalence.
+func appendWire(b []byte, wr *wireRecord) []byte {
+	b = append(b, `{"d":`...)
+	b = strconv.AppendInt(b, int64(wr.Day), 10)
+	b = append(b, `,"v":`...)
+	b = strconv.AppendUint(b, uint64(wr.Vantage), 10)
+	b = append(b, `,"t":`...)
+	b = strconv.AppendInt(b, int64(wr.Target), 10)
+	b = append(b, `,"at":`...)
+	b = strconv.AppendInt(b, wr.At, 10)
+	if wr.Anomalies != 0 {
+		b = append(b, `,"an":`...)
+		b = strconv.AppendUint(b, uint64(wr.Anomalies), 10)
+	}
+	if len(wr.Path) > 0 {
+		b = append(b, `,"p":[`...)
+		for i, a := range wr.Path {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = strconv.AppendUint(b, uint64(a), 10)
+		}
+		b = append(b, ']')
+	}
+	if wr.Fail != 0 {
+		b = append(b, `,"f":`...)
+		b = strconv.AppendUint(b, uint64(wr.Fail), 10)
+	}
+	if len(wr.TruePath) > 0 {
+		b = append(b, `,"tp":[`...)
+		for i, a := range wr.TruePath {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = strconv.AppendUint(b, uint64(a), 10)
+		}
+		b = append(b, ']')
+	}
+	if len(wr.TrueActs) > 0 {
+		b = append(b, `,"ta":[`...)
+		for i, act := range wr.TrueActs {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = append(b, `{"a":`...)
+			b = strconv.AppendUint(b, uint64(act.ASN), 10)
+			b = append(b, `,"k":`...)
+			b = strconv.AppendUint(b, uint64(act.Kinds), 10)
+			b = append(b, '}')
+		}
+		b = append(b, ']')
+	}
+	if wr.Unreachable {
+		b = append(b, `,"u":true`...)
+	}
+	return append(b, '}', '\n')
 }
 
 // codeTables resolves a header's code tables against the current
@@ -383,8 +465,11 @@ func decodePlain(r io.Reader) (*File, error) {
 
 	f := &File{Header: h, Days: make([][]iclab.Record, h.Days)}
 	n := 0
+	var wr wireRecord
+	var lineBuf []byte
 	for {
-		line, err := readLine(br)
+		line, err := readLineInto(br, lineBuf)
+		lineBuf = line[:0]
 		if err == io.EOF {
 			break
 		}
@@ -394,7 +479,10 @@ func decodePlain(r io.Reader) (*File, error) {
 		if len(line) == 0 {
 			continue
 		}
-		var wr wireRecord
+		// Reset the reused record by value but keep the slices' capacity;
+		// Unmarshal decodes arrays into existing backing storage, and
+		// absent fields must not inherit the previous record's values.
+		wr = wireRecord{Path: wr.Path[:0], TruePath: wr.TruePath[:0], TrueActs: wr.TrueActs[:0]}
 		if err := json.Unmarshal(line, &wr); err != nil {
 			return nil, fmt.Errorf("dataset: decode record %d: %w", n, err)
 		}
@@ -422,6 +510,25 @@ func readLine(br *bufio.Reader) ([]byte, error) {
 		return nil, err
 	}
 	return line, nil
+}
+
+// readLineInto is readLine accumulating into a reusable buffer: record
+// lines are consumed immediately, so the decode loop reads every line into
+// the same backing array instead of allocating one per record.
+func readLineInto(br *bufio.Reader, buf []byte) ([]byte, error) {
+	buf = buf[:0]
+	for {
+		frag, err := br.ReadSlice('\n')
+		buf = append(buf, frag...)
+		switch {
+		case err == bufio.ErrBufferFull:
+			continue // long line: keep accumulating
+		case err == io.EOF && len(buf) > 0:
+			return buf, nil // unterminated final line
+		default:
+			return buf, err
+		}
+	}
 }
 
 // WriteFile encodes f to path (the conventional extension is .jsonl.gz).

@@ -3,6 +3,7 @@ package dataset
 import (
 	"bytes"
 	"compress/gzip"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -376,4 +377,59 @@ func randomFile(seed uint64, days, perDay int) *File {
 		}
 	}
 	return f
+}
+
+// TestAppendWireMatchesJSON differentially pins the hand-rolled record
+// encoder against encoding/json over a sweep of wire shapes: every
+// omitempty combination the fast path can see must produce byte-identical
+// output (newline included). If the wireRecord struct tags ever drift,
+// this fails before the golden file does.
+func TestAppendWireMatchesJSON(t *testing.T) {
+	cases := []wireRecord{
+		{},
+		{Day: 3, Vantage: 65001, Target: -1, At: -62135596800000000},
+		{Day: 0, Vantage: 1, Target: 0, At: 1462867200000000000, Anomalies: 3},
+		{Day: 7, Vantage: 4200000000, Target: 12, At: 1, Path: []uint32{1, 2, 3}},
+		{Day: 1, Vantage: 2, Target: 3, At: 4, Fail: 2},
+		{Day: 1, Vantage: 2, Target: 3, At: 4, TruePath: []uint32{9}},
+		{Day: 1, Vantage: 2, Target: 3, At: 4,
+			TrueActs: []wireAct{{ASN: 64512, Kinds: 0}, {ASN: 7, Kinds: 31}}},
+		{Day: 1, Vantage: 2, Target: 3, At: 4, Unreachable: true},
+		{Day: 2, Vantage: 3, Target: 4, At: 1462867200000000000, Anomalies: 255,
+			Path: []uint32{10, 20, 30, 40}, Fail: 1, TruePath: []uint32{10, 20, 30},
+			TrueActs: []wireAct{{ASN: 1, Kinds: 2}}, Unreachable: true},
+	}
+	rng := rand.New(rand.NewPCG(42, 7))
+	for i := 0; i < 200; i++ {
+		wr := wireRecord{
+			Day:       int(rng.IntN(4000)),
+			Vantage:   rng.Uint32(),
+			Target:    int32(rng.IntN(100) - 1),
+			At:        rng.Int64(),
+			Anomalies: uint8(rng.IntN(256)),
+			Fail:      uint8(rng.IntN(8)),
+		}
+		for n := rng.IntN(6); n > 0; n-- {
+			wr.Path = append(wr.Path, rng.Uint32())
+		}
+		for n := rng.IntN(4); n > 0; n-- {
+			wr.TruePath = append(wr.TruePath, rng.Uint32())
+		}
+		for n := rng.IntN(3); n > 0; n-- {
+			wr.TrueActs = append(wr.TrueActs, wireAct{ASN: rng.Uint32(), Kinds: uint8(rng.IntN(256))})
+		}
+		wr.Unreachable = rng.IntN(2) == 1
+		cases = append(cases, wr)
+	}
+	for i, wr := range cases {
+		var want bytes.Buffer
+		enc := json.NewEncoder(&want)
+		if err := enc.Encode(&wr); err != nil {
+			t.Fatalf("case %d: json encode: %v", i, err)
+		}
+		got := appendWire(nil, &wr)
+		if !bytes.Equal(got, want.Bytes()) {
+			t.Errorf("case %d: appendWire diverges from encoding/json\n got: %s\nwant: %s", i, got, want.Bytes())
+		}
+	}
 }

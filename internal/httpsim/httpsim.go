@@ -298,9 +298,11 @@ func reassemble(c *netsim.Capture, client, server netaddr.IP, isn uint32) []byte
 			continue // wild sequence number; stack discards
 		}
 		need := int(rel) + len(p.Payload)
-		for len(buf) < need {
-			buf = append(buf, 0)
-			have = append(have, false)
+		if len(buf) < need {
+			// Grow once to the needed length; append's zero fill is the
+			// "not yet delivered" state for both slices.
+			buf = append(buf, make([]byte, need-len(buf))...)
+			have = append(have, make([]bool, need-len(have))...)
 		}
 		for i, b := range p.Payload {
 			if off := int(rel) + i; !have[off] {

@@ -48,12 +48,25 @@ func Run(s *Scenario, cfg PlatformConfig) *Dataset {
 // day shard starts and the call returns (nil, ctx.Err()). Days already in
 // flight finish first, so cancellation latency is bounded by one day's
 // measurement, not the whole schedule.
+//
+// Every day shard is the same size (Scenario.ShardSize), so the merged
+// record sequence is laid out once up front and each worker measures its
+// day directly into its slot — no per-day slices, no concatenation copy.
+// The output is identical to MergeShards over RunByDayCtx's shards.
 func RunCtx(ctx context.Context, s *Scenario, cfg PlatformConfig) (*Dataset, error) {
-	shards, err := RunByDayCtx(ctx, s, cfg)
-	if err != nil {
+	cfg.fillDefaults()
+	days := s.Days()
+	per := s.ShardSize(cfg)
+	records := make([]Record, days*per)
+	if err := parallel.ForEachCtx(ctx, cfg.Workers, days, func(day int) {
+		s.runDayInto(cfg, day, records[day*per:(day+1)*per])
+	}); err != nil {
 		return nil, err
 	}
-	ds := &Dataset{Scenario: s, Records: MergeShards(shards)}
+	for i := range records {
+		records[i].ID = int32(i)
+	}
+	ds := &Dataset{Scenario: s, Records: records}
 	ds.Stats = ComputeTable1(ds)
 	return ds, nil
 }

@@ -111,14 +111,56 @@ type Dataset struct {
 	Stats    Table1
 }
 
+// ShardSize returns the exact number of records one day shard produces.
+// The schedule has no conditional skips — unreachable destinations still
+// emit (eliminated) records — so every shard is the same size, which lets
+// the engine carve all shards out of one flat allocation.
+func (s *Scenario) ShardSize(cfg PlatformConfig) int {
+	return cfg.URLsPerDay * len(s.Vantages) * cfg.RepeatsPerDay
+}
+
+// pathRNG is a day shard's reusable path-keyed RNG. The schedule derives a
+// fresh deterministic stream per (seed, path) pair; re-seeding one PCG is
+// state-identical to rand.NewPCG with the same words, so reusing the pair
+// replaces two heap allocations per expansion with none while producing
+// bit-identical streams. One per shard, never shared across goroutines.
+type pathRNG struct {
+	pcg rand.PCG
+	rng *rand.Rand
+}
+
+func newPathRNG() *pathRNG {
+	p := &pathRNG{}
+	p.rng = rand.New(&p.pcg)
+	return p
+}
+
+// seeded resets the stream to (a, b) and returns the shared Rand. The
+// previous return value is invalidated; callers must finish consuming one
+// stream before seeding the next.
+func (p *pathRNG) seeded(a, b uint64) *rand.Rand {
+	p.pcg.Seed(a, b)
+	return p.rng
+}
+
 // runDay measures one day's shard of the schedule. Each day owns an RNG
 // stream derived from (seed, day) alone, so shards are independent of
 // execution order: the engine can run them serially or on a worker pool and
 // merge identical records either way.
 func (s *Scenario) runDay(cfg PlatformConfig, day int) []Record {
+	recs := make([]Record, s.ShardSize(cfg))
+	s.runDayInto(cfg, day, recs)
+	return recs
+}
+
+// runDayInto measures day's shard directly into out, which must have
+// length ShardSize(cfg). Writing in place lets the engine lay all shards
+// out in one flat record slice instead of merging per-day allocations.
+func (s *Scenario) runDayInto(cfg PlatformConfig, day int, out []Record) {
 	at := s.Start.AddDate(0, 0, day)
 	rng := rand.New(rand.NewPCG(DaySeed(cfg.Seed^s.Seed, day), 0x706c6174666f726d)) // "platform"
-	recs := make([]Record, 0, cfg.URLsPerDay*len(s.Vantages)*cfg.RepeatsPerDay)
+	pr := newPathRNG()
+	idx := 0
 	// The fleet works through the URL list in lockstep, URLsPerDay at a
 	// time, wrapping around the list.
 	for k := 0; k < cfg.URLsPerDay; k++ {
@@ -131,17 +173,17 @@ func (s *Scenario) runDay(cfg PlatformConfig, day int) []Record {
 				// evening) so intra-day churn is observable.
 				hour := (4 + r*15 + rng.IntN(4)) % 24
 				when := at.Add(time.Duration(hour)*time.Hour + time.Duration(rng.IntN(3600))*time.Second)
-				recs = append(recs, s.measure(v, target, int32(ti), when, cfg, rng))
+				out[idx] = s.measure(v, target, int32(ti), when, cfg, rng, pr)
+				idx++
 			}
 		}
 	}
-	return recs
 }
 
 // measure runs one full test: DNS via two resolvers, HTTP with capture
 // analysis, blockpage comparison, and three traceroutes.
 func (s *Scenario) measure(v *Vantage, target *Target, targetIdx int32,
-	at time.Time, cfg PlatformConfig, rng *rand.Rand) Record {
+	at time.Time, cfg PlatformConfig, rng *rand.Rand, pr *pathRNG) Record {
 	rec := Record{
 		Vantage:        v.ASN,
 		VantageCountry: v.Country,
@@ -170,14 +212,13 @@ func (s *Scenario) measure(v *Vantage, target *Target, targetIdx int32,
 	// AS path always yields the same hop distances, so middlebox
 	// detectability is a stable property of a path rather than a
 	// per-measurement coin flip (see censor.Behavior's doc).
-	expRng := rand.New(rand.NewPCG(s.Seed^0x657870, pathHash(idxPath)))
-	exp := traceroute.Expand(s.Graph, idxPath, target.IP, expRng)
+	exp := traceroute.Expand(s.Graph, idxPath, target.IP, pr.seeded(s.Seed^0x657870, pathHash(idxPath)))
 
 	active := s.Censors.ActiveOn(asnPath, target.URL.Category, at)
 
 	// --- DNS test: default resolver (inside the vantage AS) and the open
 	// anycast resolver, mirroring ICLab's dual-resolver methodology.
-	dnsAnom, dnsActs := s.dnsTest(v, target, at, active, cfg, rng)
+	dnsAnom, dnsActs := s.dnsTest(v, target, at, active, cfg, rng, pr)
 	if dnsAnom {
 		rec.Anomalies = rec.Anomalies.Add(anomaly.DNS)
 	}
@@ -244,8 +285,7 @@ func (s *Scenario) measure(v *Vantage, target *Target, targetIdx int32,
 		}
 		tExp := exp
 		if !samePath(tIdxPath, idxPath) {
-			tRng := rand.New(rand.NewPCG(s.Seed^0x657870, pathHash(tIdxPath)))
-			tExp = traceroute.Expand(s.Graph, tIdxPath, target.IP, tRng)
+			tExp = traceroute.Expand(s.Graph, tIdxPath, target.IP, pr.seeded(s.Seed^0x657870, pathHash(tIdxPath)))
 		}
 		rec.Traces[i] = traceroute.Probe(tExp, cfg.Traceroute, rng)
 	}
@@ -259,7 +299,7 @@ func (s *Scenario) measure(v *Vantage, target *Target, targetIdx int32,
 // the resolver path, but the clause built from this record uses the URL
 // path — a censor on one and not the other is methodological noise.
 func (s *Scenario) dnsTest(v *Vantage, target *Target, at time.Time,
-	activeOnDest []censor.Active, cfg PlatformConfig, rng *rand.Rand) (bool, []GroundTruthAct) {
+	activeOnDest []censor.Active, cfg PlatformConfig, rng *rand.Rand, pr *pathRNG) (bool, []GroundTruthAct) {
 	var acts []GroundTruthAct
 	// Default resolver: lives inside the vantage AS, so only vantage-AS
 	// censors see the query.
@@ -293,8 +333,7 @@ func (s *Scenario) dnsTest(v *Vantage, target *Target, at time.Time,
 		return false, acts // resolver unreachable; no data
 	}
 	rASNs := s.Oracle.ToASNs(rIdxPath)
-	rExpRng := rand.New(rand.NewPCG(s.Seed^0x657870, pathHash(rIdxPath)))
-	rExp := traceroute.Expand(s.Graph, rIdxPath, s.Graph.ResolverIP, rExpRng)
+	rExp := traceroute.Expand(s.Graph, rIdxPath, s.Graph.ResolverIP, pr.seeded(s.Seed^0x657870, pathHash(rIdxPath)))
 	var openInjectors []dnssim.Injector
 	for _, act := range s.Censors.ActiveOn(rASNs, target.URL.Category, at) {
 		if act.Techniques.Has(anomaly.DNS) {

@@ -2,7 +2,7 @@ package netsim
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 
 	"churntomo/internal/netaddr"
@@ -90,8 +90,8 @@ func (c *Capture) Add(p Packet) { c.Packets = append(c.Packets, p) }
 // Sort orders packets by arrival time (stable, so simultaneous packets keep
 // insertion order, like a real pcap).
 func (c *Capture) Sort() {
-	sort.SliceStable(c.Packets, func(i, j int) bool {
-		return c.Packets[i].At.Before(c.Packets[j].At)
+	slices.SortStableFunc(c.Packets, func(a, b Packet) int {
+		return a.At.Compare(b.At)
 	})
 }
 

@@ -88,3 +88,69 @@ func TestForEachCtxDeadline(t *testing.T) {
 		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
 	}
 }
+
+// TestForEachCtxPanicPropagates pins the pool's panic contract: a panic in
+// fn must surface on the caller's goroutine as a *PanicError carrying the
+// original value and the worker's stack, the pool must fully drain (no
+// goroutine leak, no deadlock on the unbuffered dispatch channel), and
+// dispatch must stop early instead of running all remaining items.
+func TestForEachCtxPanicPropagates(t *testing.T) {
+	var hits atomic.Int32
+	var rec any
+	func() {
+		defer func() { rec = recover() }()
+		ForEach(4, 10000, func(i int) {
+			hits.Add(1)
+			if i == 3 {
+				panic("boom at 3")
+			}
+		})
+	}()
+	pe, ok := rec.(*PanicError)
+	if !ok {
+		t.Fatalf("recovered %T (%v), want *PanicError", rec, rec)
+	}
+	if pe.Value != "boom at 3" {
+		t.Errorf("PanicError.Value = %v, want original panic value", pe.Value)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("PanicError.Stack is empty, want worker stack")
+	}
+	if got := hits.Load(); got >= 10000 {
+		t.Error("dispatch did not stop after the panic")
+	}
+}
+
+// TestForEachCtxSerialPanicUntouched checks the inline path panics
+// transparently, like the plain loop it replaces.
+func TestForEachCtxSerialPanicUntouched(t *testing.T) {
+	var rec any
+	func() {
+		defer func() { rec = recover() }()
+		ForEach(1, 5, func(i int) {
+			if i == 2 {
+				panic("serial boom")
+			}
+		})
+	}()
+	if rec != "serial boom" {
+		t.Fatalf("serial path recovered %v, want raw panic value", rec)
+	}
+}
+
+// TestForEachCtxFirstPanicWins: with many concurrent panics exactly one is
+// reported and the call still returns (drain completes).
+func TestForEachCtxFirstPanicWins(t *testing.T) {
+	var rec any
+	func() {
+		defer func() { rec = recover() }()
+		ForEach(8, 64, func(i int) { panic(i) })
+	}()
+	pe, ok := rec.(*PanicError)
+	if !ok {
+		t.Fatalf("recovered %T, want *PanicError", rec)
+	}
+	if _, ok := pe.Value.(int); !ok {
+		t.Fatalf("PanicError.Value = %v (%T), want one of the item indices", pe.Value, pe.Value)
+	}
+}

@@ -1,6 +1,8 @@
 package routing
 
 import (
+	"sync"
+
 	"churntomo/internal/topology"
 )
 
@@ -35,6 +37,40 @@ func tiebreak(u, v int32, salt uint64) uint64 {
 	return x
 }
 
+// treeScratch holds the per-computation working state of ComputeTree. The
+// tree itself is freshly allocated (it outlives the call, cached by the
+// oracle); everything else is recycled through treeScratchPool so repeated
+// computations allocate only the tree. dist needs no clearing between uses
+// (it is only read for nodes routed in the same computation); phase does.
+type treeScratch struct {
+	dist              []int32
+	phase             []uint8
+	frontier, claimed []int32
+	buckets           [][]int32
+}
+
+var treeScratchPool = sync.Pool{New: func() any { return &treeScratch{} }}
+
+// grab sizes the scratch for n nodes and clears what must be cleared.
+func (s *treeScratch) grab(n int) {
+	if cap(s.dist) < n {
+		s.dist = make([]int32, n)
+		s.phase = make([]uint8, n)
+		s.buckets = make([][]int32, n+1)
+	}
+	s.dist = s.dist[:n]
+	s.phase = s.phase[:n]
+	s.buckets = s.buckets[:n+1]
+	for i := range s.phase {
+		s.phase[i] = phaseNone
+	}
+	for i := range s.buckets {
+		s.buckets[i] = s.buckets[i][:0]
+	}
+	s.frontier = s.frontier[:0]
+	s.claimed = s.claimed[:0]
+}
+
 // ComputeTree computes the Gao–Rexford routing tree toward dst (an AS
 // index). linkDown reports failed links; saltOf supplies each AS's policy
 // salt. The decision process per AS: prefer customer-learned, then
@@ -49,8 +85,10 @@ func tiebreak(u, v int32, salt uint64) uint64 {
 func ComputeTree(g *topology.Graph, dst int32, linkDown func(int32) bool, saltOf func(int32) uint64) Tree {
 	n := len(g.ASes)
 	next := make(Tree, n)
-	dist := make([]int32, n)
-	phase := make([]uint8, n)
+	sc := treeScratchPool.Get().(*treeScratch)
+	sc.grab(n)
+	dist := sc.dist
+	phase := sc.phase
 	for i := range next {
 		next[i] = Unreachable
 	}
@@ -60,8 +98,8 @@ func ComputeTree(g *topology.Graph, dst int32, linkDown func(int32) bool, saltOf
 	// Phase 1: customer routes, level-synchronous BFS from dst along
 	// customer->provider edges.
 	next[dst], dist[dst], phase[dst] = dst, 0, phaseCustomer
-	frontier := []int32{dst}
-	var claimed []int32 // providers claimed in the current level
+	frontier := append(sc.frontier, dst)
+	claimed := sc.claimed // providers claimed in the current level
 	for len(frontier) > 0 {
 		claimed = claimed[:0]
 		for _, u := range frontier {
@@ -116,7 +154,7 @@ func ComputeTree(g *topology.Graph, dst int32, linkDown func(int32) bool, saltOf
 	// Phase 3: provider routes, flooding every routed AS's announcement
 	// down provider->customer edges in increasing path-length order.
 	maxDist := int32(0)
-	buckets := make([][]int32, n+1)
+	buckets := sc.buckets
 	for u := int32(0); u < int32(n); u++ {
 		if phase[u] != phaseNone {
 			buckets[dist[u]] = append(buckets[dist[u]], u)
@@ -158,6 +196,8 @@ func ComputeTree(g *topology.Graph, dst int32, linkDown func(int32) bool, saltOf
 			}
 		}
 	}
+	sc.frontier, sc.claimed, sc.buckets = frontier[:0], claimed, buckets
+	treeScratchPool.Put(sc)
 	return next
 }
 

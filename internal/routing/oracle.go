@@ -1,7 +1,7 @@
 package routing
 
 import (
-	"container/list"
+	"maps"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -14,20 +14,54 @@ import (
 // caching them. It is the simulator's data plane: traceroutes, DNS queries
 // and HTTP connections all route through it.
 //
-// Oracle is safe for concurrent use: the measurement engine shards days
-// across workers that all query one oracle. Only the LRU bookkeeping is
-// serialized, never tree computation itself; concurrent misses on the same
+// Oracle is safe for concurrent use and built so that the measurement
+// engine's workers never serialize on cache hits: the tree cache is split
+// into shards, and each shard publishes an immutable snapshot map through
+// an atomic pointer. A hit is one atomic load plus one map lookup plus one
+// atomic store (the recency ticket) — no locks anywhere on the path. Only
+// misses take the shard mutex, and concurrent misses on the same
 // (destination, epoch) coalesce onto a single computation, so adjacent-day
 // shards querying the same epoch don't duplicate the dominant cost.
+//
+// Tree computation itself reads a per-epoch snapshot of the timeline (link
+// down set and policy salts flattened into arrays) instead of binary
+// searching the event history per link — see epochState.
+//
+// Nothing here affects output: trees are pure functions of (destination,
+// epoch), so cache policy, shard layout and eviction order are invisible.
+// The parallel == serial bit-identical invariant holds by construction.
 type Oracle struct {
 	G  *topology.Graph
 	TL *Timeline
 
-	mu       sync.Mutex
-	cache    *lruCache
-	inflight map[treeKey]*treeCall
+	capPerShard int
+	shards      [oracleShards]treeShard
+	epochs      []atomic.Pointer[epochState]
+
+	ticket   atomic.Int64 // recency clock for approximate LRU
 	computes atomic.Int64 // trees actually computed (cache misses)
 	queries  atomic.Int64
+}
+
+// oracleShards is the tree-cache shard count. Power of two; 64 keeps
+// worst-case eviction scans and snapshot copies at cap/64 entries while
+// spreading unrelated keys across independent locks.
+const oracleShards = 64
+
+// treeShard is one cache shard. Readers go through snap only; items is the
+// authoritative map guarded by mu, republished into snap after every
+// insert or eviction.
+type treeShard struct {
+	snap     atomic.Pointer[map[treeKey]*treeEntry]
+	mu       sync.Mutex
+	items    map[treeKey]*treeEntry
+	inflight map[treeKey]*treeCall
+}
+
+// treeEntry is one cached tree with its recency ticket.
+type treeEntry struct {
+	tree  Tree
+	touch atomic.Int64
 }
 
 // treeCall is one in-flight tree computation other workers can wait on.
@@ -36,15 +70,33 @@ type treeCall struct {
 	tree Tree
 }
 
+// epochState is the timeline's routing state during one epoch, flattened
+// for O(1) reads: down is indexed by link ID, salt by AS index. States are
+// immutable once published and built at most once per epoch (a benign
+// build race loses to CompareAndSwap; both results are identical).
+type epochState struct {
+	down []bool
+	salt []uint64
+}
+
 // NewOracle creates an oracle with room for cacheTrees cached routing
 // trees; zero or negative values select a default sized for year-long
-// scenario replays (a negative capacity would make the LRU evict on every
-// put, so it is clamped rather than honored).
+// scenario replays (a negative capacity would make the cache evict on
+// every put, so it is clamped rather than honored).
 func NewOracle(g *topology.Graph, tl *Timeline, cacheTrees int) *Oracle {
 	if cacheTrees <= 0 {
 		cacheTrees = 4096
 	}
-	return &Oracle{G: g, TL: tl, cache: newLRU(cacheTrees), inflight: map[treeKey]*treeCall{}}
+	per := cacheTrees / oracleShards
+	if per < 1 {
+		per = 1
+	}
+	o := &Oracle{G: g, TL: tl, capPerShard: per, epochs: make([]atomic.Pointer[epochState], tl.NumEpochs())}
+	for i := range o.shards {
+		o.shards[i].items = map[treeKey]*treeEntry{}
+		o.shards[i].inflight = map[treeKey]*treeCall{}
+	}
+	return o
 }
 
 type treeKey struct {
@@ -52,35 +104,104 @@ type treeKey struct {
 	epoch int32
 }
 
+// shardOf spreads keys across shards with a splitmix-style mix so adjacent
+// epochs and destinations land on different locks.
+func shardOf(k treeKey) int {
+	x := uint64(uint32(k.dst))<<32 | uint64(uint32(k.epoch))
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return int(x & (oracleShards - 1))
+}
+
 // TreeAt returns the routing tree toward dst (AS index) during epoch ep.
 // The returned tree is shared; callers must not modify it.
 func (o *Oracle) TreeAt(dst, ep int32) Tree {
 	key := treeKey{dst, ep}
-	o.mu.Lock()
-	if t, ok := o.cache.get(key); ok {
-		o.mu.Unlock()
-		return t
+	sh := &o.shards[shardOf(key)]
+	if m := sh.snap.Load(); m != nil {
+		if e := (*m)[key]; e != nil {
+			e.touch.Store(o.ticket.Add(1))
+			return e.tree
+		}
 	}
-	if c, ok := o.inflight[key]; ok {
-		o.mu.Unlock()
+	return o.treeMiss(sh, key)
+}
+
+// treeMiss is the slow path: re-check the authoritative map (it may be
+// ahead of the published snapshot), join an in-flight computation, or
+// compute the tree and publish it.
+func (o *Oracle) treeMiss(sh *treeShard, key treeKey) Tree {
+	sh.mu.Lock()
+	if e := sh.items[key]; e != nil {
+		e.touch.Store(o.ticket.Add(1))
+		sh.mu.Unlock()
+		return e.tree
+	}
+	if c, ok := sh.inflight[key]; ok {
+		sh.mu.Unlock()
 		<-c.done
 		return c.tree
 	}
 	c := &treeCall{done: make(chan struct{})}
-	o.inflight[key] = c
-	o.mu.Unlock()
+	sh.inflight[key] = c
+	sh.mu.Unlock()
 
-	c.tree = ComputeTree(o.G, dst,
-		func(link int32) bool { return o.TL.LinkDownAt(link, ep) },
-		func(as int32) uint64 { return o.TL.SaltAt(as, ep) })
+	st := o.epochState(key.epoch)
+	c.tree = ComputeTree(o.G, key.dst,
+		func(link int32) bool { return st.down[link] },
+		func(as int32) uint64 { return st.salt[as] })
 
-	o.mu.Lock()
-	o.cache.put(key, c.tree)
-	delete(o.inflight, key)
-	o.mu.Unlock()
+	e := &treeEntry{tree: c.tree}
+	e.touch.Store(o.ticket.Add(1))
+	sh.mu.Lock()
+	sh.items[key] = e
+	if len(sh.items) > o.capPerShard {
+		sh.evictOldest()
+	}
+	snap := maps.Clone(sh.items)
+	sh.snap.Store(&snap)
+	delete(sh.inflight, key)
+	sh.mu.Unlock()
 	close(c.done)
 	o.computes.Add(1)
 	return c.tree
+}
+
+// evictOldest drops the entry with the smallest recency ticket. Scanning
+// is O(shard size) — at most cap/oracleShards entries — and only runs on
+// misses, which are dominated by the tree computation itself. Approximate
+// LRU: a hit that lands between the scan start and the delete can lose,
+// which only costs a recompute, never correctness.
+func (sh *treeShard) evictOldest() {
+	var victim treeKey
+	oldest := int64(1<<63 - 1)
+	for k, e := range sh.items {
+		if t := e.touch.Load(); t < oldest {
+			oldest, victim = t, k
+		}
+	}
+	delete(sh.items, victim)
+}
+
+// epochState returns the flattened timeline state for ep, building and
+// caching it on first use. Duplicate concurrent builds are possible and
+// harmless: the states are identical and CompareAndSwap keeps one.
+func (o *Oracle) epochState(ep int32) *epochState {
+	if p := o.epochs[ep].Load(); p != nil {
+		return p
+	}
+	st := &epochState{down: make([]bool, len(o.G.Links)), salt: make([]uint64, len(o.G.ASes))}
+	for _, l := range o.TL.DownLinks(ep) {
+		if int(l) < len(st.down) {
+			st.down[l] = true
+		}
+	}
+	o.TL.EpochSalts(ep, st.salt)
+	if o.epochs[ep].CompareAndSwap(nil, st) {
+		return st
+	}
+	return o.epochs[ep].Load()
 }
 
 // PathIdxAt returns the AS-index path from src to dst at time t.
@@ -121,44 +242,17 @@ func (o *Oracle) Stats() (queries, treeComputes int) {
 	return int(o.queries.Load()), int(o.computes.Load())
 }
 
-// lruCache is a minimal LRU for routing trees.
-type lruCache struct {
-	cap   int
-	order *list.List // front = most recent; values are *lruEntry
-	items map[treeKey]*list.Element
-}
+// Cap returns the tree cache's total capacity across shards.
+func (o *Oracle) Cap() int { return o.capPerShard * oracleShards }
 
-type lruEntry struct {
-	key  treeKey
-	tree Tree
-}
-
-func newLRU(capacity int) *lruCache {
-	return &lruCache{cap: capacity, order: list.New(), items: make(map[treeKey]*list.Element)}
-}
-
-func (c *lruCache) get(k treeKey) (Tree, bool) {
-	el, ok := c.items[k]
-	if !ok {
-		return nil, false
+// CachedTrees returns the number of trees currently cached.
+func (o *Oracle) CachedTrees() int {
+	n := 0
+	for i := range o.shards {
+		sh := &o.shards[i]
+		sh.mu.Lock()
+		n += len(sh.items)
+		sh.mu.Unlock()
 	}
-	c.order.MoveToFront(el)
-	return el.Value.(*lruEntry).tree, true
+	return n
 }
-
-func (c *lruCache) put(k treeKey, t Tree) {
-	if el, ok := c.items[k]; ok {
-		el.Value.(*lruEntry).tree = t
-		c.order.MoveToFront(el)
-		return
-	}
-	el := c.order.PushFront(&lruEntry{k, t})
-	c.items[k] = el
-	if c.order.Len() > c.cap {
-		back := c.order.Back()
-		c.order.Remove(back)
-		delete(c.items, back.Value.(*lruEntry).key)
-	}
-}
-
-func (c *lruCache) len() int { return c.order.Len() }

@@ -359,24 +359,122 @@ func TestOracleUnknownASN(t *testing.T) {
 	}
 }
 
-func TestLRUEviction(t *testing.T) {
-	c := newLRU(2)
-	t1, t2, t3 := Tree{1}, Tree{2}, Tree{3}
-	c.put(treeKey{1, 1}, t1)
-	c.put(treeKey{2, 2}, t2)
-	if _, ok := c.get(treeKey{1, 1}); !ok {
-		t.Fatal("entry 1 evicted prematurely")
+// TestOracleEviction fills an oracle whose cache holds one tree per shard
+// past its capacity and checks that the cache stays bounded, that eviction
+// prefers stale entries, and that evicted trees recompute correctly.
+func TestOracleEviction(t *testing.T) {
+	g := graph(t, 13, 150)
+	start := time.Date(2016, 5, 1, 0, 0, 0, 0, time.UTC)
+	tl, err := GenTimeline(g, TimelineConfig{Seed: 8, Start: start, End: start.AddDate(0, 1, 0)})
+	if err != nil {
+		t.Fatal(err)
 	}
-	c.put(treeKey{3, 3}, t3) // evicts 2 (least recently used)
-	if _, ok := c.get(treeKey{2, 2}); ok {
-		t.Error("entry 2 survived eviction")
+	o := NewOracle(g, tl, 1) // clamps to one tree per shard
+	if o.Cap() != oracleShards {
+		t.Fatalf("Cap() = %d, want %d", o.Cap(), oracleShards)
 	}
-	if _, ok := c.get(treeKey{1, 1}); !ok {
-		t.Error("entry 1 lost")
+	at := start.Add(time.Hour)
+	// Far more destinations than capacity: every shard must evict.
+	for dst := int32(0); dst < int32(len(g.ASes)); dst++ {
+		if _, ok := o.PathIdxAt(0, dst, at); !ok && dst != 0 {
+			// Some dst may be unreachable from 0; the tree is still cached.
+			continue
+		}
 	}
-	if c.len() != 2 {
-		t.Errorf("cache len = %d, want 2", c.len())
+	if got := o.CachedTrees(); got > o.Cap() {
+		t.Errorf("cache holds %d trees, capacity %d", got, o.Cap())
 	}
+	// Recompute an early destination: must still answer identically.
+	want := ComputeTree(g, 5,
+		func(l int32) bool { return tl.LinkDownAt(l, tl.EpochAt(at)) },
+		func(a int32) uint64 { return tl.SaltAt(a, tl.EpochAt(at)) })
+	got := o.TreeAt(5, tl.EpochAt(at))
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("re-fetched tree differs at node %d", i)
+		}
+	}
+}
+
+// TestOracleTreeAtStress hammers TreeAt from many goroutines across a key
+// space chosen to exercise all three paths of the new lock scheme — snapshot
+// hits, misses with eviction pressure, and inflight coalescing (every
+// goroutine starts on the same cold keys) — under -race. Every answer must
+// be the shared cached tree: bit-identical across goroutines.
+func TestOracleTreeAtStress(t *testing.T) {
+	g := graph(t, 14, 200)
+	start := time.Date(2016, 5, 1, 0, 0, 0, 0, time.UTC)
+	tl, err := GenTimeline(g, TimelineConfig{Seed: 11, Start: start, End: start.AddDate(0, 2, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Capacity far below the working set so eviction churns concurrently
+	// with hits and coalesced misses.
+	o := NewOracle(g, tl, 128)
+	epochs := int32(tl.NumEpochs())
+	if epochs > 64 {
+		epochs = 64
+	}
+
+	const workers = 16
+	var wg sync.WaitGroup
+	results := make([][]int32, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sums := make([]int32, 0, 64*int(epochs))
+			for dst := int32(0); dst < 64; dst++ {
+				for ep := int32(0); ep < epochs; ep++ {
+					tree := o.TreeAt(dst%int32(len(g.ASes)), ep)
+					var sum int32
+					for _, nh := range tree {
+						sum += nh
+					}
+					sums = append(sums, sum)
+				}
+			}
+			results[w] = sums
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		if len(results[w]) != len(results[0]) {
+			t.Fatalf("worker %d saw %d results, worker 0 saw %d", w, len(results[w]), len(results[0]))
+		}
+		for i := range results[w] {
+			if results[w][i] != results[0][i] {
+				t.Fatalf("worker %d diverged from worker 0 at query %d", w, i)
+			}
+		}
+	}
+	q, c := o.Stats()
+	if q != 0 {
+		t.Errorf("TreeAt must not count path queries, got %d", q)
+	}
+	if c == 0 {
+		t.Error("no trees computed?")
+	}
+}
+
+// BenchmarkOracleTreeAtHit measures the lock-free hit path: one hot key
+// served over and over — the case the measurement workers hammer.
+func BenchmarkOracleTreeAtHit(b *testing.B) {
+	g := graph(b, 22, 500)
+	start := time.Date(2016, 5, 1, 0, 0, 0, 0, time.UTC)
+	tl, err := GenTimeline(g, TimelineConfig{Seed: 7, Start: start, End: start.AddDate(0, 1, 0)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	o := NewOracle(g, tl, 4096)
+	o.TreeAt(100, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			o.TreeAt(100, 0)
+		}
+	})
 }
 
 func BenchmarkComputeTree(b *testing.B) {
@@ -473,14 +571,14 @@ func TestOracleNegativeCacheClamped(t *testing.T) {
 	}
 	for _, trees := range []int{-1, -4096, 0} {
 		o := NewOracle(g, tl, trees)
-		if o.cache.cap != 4096 {
-			t.Errorf("NewOracle(%d): cache capacity %d, want default 4096", trees, o.cache.cap)
+		if o.Cap() != 4096 {
+			t.Errorf("NewOracle(%d): cache capacity %d, want default 4096", trees, o.Cap())
 		}
 		if _, ok := o.PathIdxAt(1, 2, startT.Add(time.Hour)); !ok {
 			t.Errorf("NewOracle(%d): no path between connected ASes", trees)
 		}
 		// A negative capacity must never shrink the cache below its content.
-		if o.cache.len() == 0 {
+		if o.CachedTrees() == 0 {
 			t.Errorf("NewOracle(%d): computed tree not cached", trees)
 		}
 	}

@@ -289,6 +289,25 @@ func (tl *Timeline) LinkDownAt(link, ep int32) bool {
 	return i < len(down) && down[i] == link
 }
 
+// EpochSalts fills salt[i] with SaltAt(i, ep) for every AS index i in one
+// pass: the base salts are a pure function of the index, and only ASes
+// with policy-shift history need the binary search. This is the bulk form
+// the oracle's per-epoch snapshots are built from.
+func (tl *Timeline) EpochSalts(ep int32, salt []uint64) {
+	for i := range salt {
+		salt[i] = tl.base ^ splitmix(uint64(uint32(i)))
+	}
+	for as, changes := range tl.salts {
+		if int(as) >= len(salt) {
+			continue
+		}
+		i := sort.Search(len(changes), func(i int) bool { return changes[i].epoch > ep })
+		if i > 0 {
+			salt[as] ^= changes[i-1].salt
+		}
+	}
+}
+
 // SaltAt returns the policy salt of AS index as during epoch ep.
 func (tl *Timeline) SaltAt(as, ep int32) uint64 {
 	salt := tl.base ^ splitmix(uint64(uint32(as)))

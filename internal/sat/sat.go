@@ -27,12 +27,22 @@ type Clause []Lit
 type CNF struct {
 	NumVars int
 	Clauses []Clause
+
+	// arena backs the clauses: AddClause carves full-slice views out of
+	// shared blocks instead of allocating one slice per clause, which is
+	// the dominant allocation of bulk CNF construction. Capacity-clamped
+	// views keep a clause's appends (there are none today) from bleeding
+	// into its neighbor; in-place literal swaps — the solver's watch
+	// normalization — stay within clause bounds and are safe.
+	arena []Lit
 }
+
+// arenaBlock is the arena growth quantum, sized so typical path-length
+// clauses pack a few dozen per allocation.
+const arenaBlock = 256
 
 // AddClause appends a clause, growing NumVars as needed.
 func (c *CNF) AddClause(lits ...Lit) {
-	cl := make(Clause, len(lits))
-	copy(cl, lits)
 	for _, l := range lits {
 		if l == 0 {
 			panic("sat: zero literal")
@@ -41,7 +51,16 @@ func (c *CNF) AddClause(lits ...Lit) {
 			c.NumVars = v
 		}
 	}
-	c.Clauses = append(c.Clauses, cl)
+	if cap(c.arena)-len(c.arena) < len(lits) {
+		block := arenaBlock
+		if len(lits) > block {
+			block = len(lits)
+		}
+		c.arena = make([]Lit, 0, block)
+	}
+	lo := len(c.arena)
+	c.arena = append(c.arena, lits...)
+	c.Clauses = append(c.Clauses, Clause(c.arena[lo:len(c.arena):len(c.arena)]))
 }
 
 // Model is a satisfying assignment; index i (1-based) holds variable i's

@@ -4,6 +4,7 @@ import (
 	"context"
 	"runtime"
 	"sort"
+	"sync"
 
 	"churntomo/internal/anomaly"
 	"churntomo/internal/iclab"
@@ -75,13 +76,30 @@ func (c *BuildConfig) fillDefaults() {
 	}
 }
 
-// pathKey folds an AS path into a comparable string key.
-func pathKey(p []topology.ASN) string {
-	b := make([]byte, 0, len(p)*4)
+// pathKeyer folds AS paths into comparable string keys, interning them for
+// the lifetime of one grouping chunk. The scratch buffer is reused across
+// calls and the map probe on a []byte-backed string is allocation-free, so
+// a path seen before costs zero allocations — and measurement records
+// repeat the same handful of paths thousands of times. Keys are the same
+// big-endian byte strings the grouping always used, so sort order (and
+// therefore clause order and every downstream result) is unchanged.
+type pathKeyer struct {
+	scratch []byte
+	seen    map[string]string
+}
+
+func (pk *pathKeyer) key(p []topology.ASN) string {
+	b := pk.scratch[:0]
 	for _, a := range p {
 		b = append(b, byte(a>>24), byte(a>>16), byte(a>>8), byte(a))
 	}
-	return string(b)
+	pk.scratch = b
+	if s, ok := pk.seen[string(b)]; ok {
+		return s
+	}
+	s := string(b)
+	pk.seen[s] = s
+	return s
 }
 
 // builderGroup accumulates one CNF's observations before materialization.
@@ -93,14 +111,18 @@ type builderGroup struct {
 
 // groupChunk folds one contiguous slice of records into per-key builder
 // groups, applying the paper's record-elimination rules (already reflected
-// in Record.Fail) and its time/URL/anomaly splitting.
+// in Record.Fail) and its time/URL/anomaly splitting. The path key is
+// computed once per record — not once per (granularity, kind) cell — and
+// interned across the chunk.
 func groupChunk(records []iclab.Record, cfg *BuildConfig) map[Key]*builderGroup {
 	groups := map[Key]*builderGroup{}
+	keyer := pathKeyer{seen: map[string]string{}}
 	for i := range records {
 		r := &records[i]
 		if r.Fail != traceroute.OK {
 			continue // inconclusive path: eliminated (§3.1)
 		}
+		pk := keyer.key(r.ASPath)
 		for _, g := range cfg.Granularities {
 			slice := timeslice.KeyFor(g, r.At)
 			for _, k := range cfg.Kinds {
@@ -112,9 +134,9 @@ func groupChunk(records []iclab.Record, cfg *BuildConfig) map[Key]*builderGroup 
 				}
 				grp.n++
 				if r.Anomalies.Has(k) {
-					grp.pos[pathKey(r.ASPath)] = r.ASPath
+					grp.pos[pk] = r.ASPath
 				} else {
-					grp.neg[pathKey(r.ASPath)] = r.ASPath
+					grp.neg[pk] = r.ASPath
 				}
 			}
 		}
@@ -234,6 +256,14 @@ func BuildAndSolve(records []iclab.Record, cfg BuildConfig) ([]*Instance, []Outc
 	return insts, outs
 }
 
+// buildSolveObserver, when non-nil, is called by BuildAndSolveCtx after
+// each key's materialize and after its solve. It is a test seam pinning
+// that solving streams into construction (each worker solves the CNF it
+// just built before materializing the next) rather than waiting behind a
+// global build barrier. Always nil outside tests; callbacks may run
+// concurrently when Workers > 1.
+var buildSolveObserver func(event string, key int)
+
 // BuildAndSolveCtx is BuildAndSolve with cooperative cancellation: once ctx
 // is done no further CNF is grouped, materialized or solved, and the call
 // returns (nil, nil, ctx.Err()). The in-flight CNFs finish first, so
@@ -249,12 +279,45 @@ func BuildAndSolveCtx(ctx context.Context, records []iclab.Record, cfg BuildConf
 	outs := make([]Outcome, len(keys))
 	if err := parallel.ForEachCtx(ctx, cfg.Workers, len(keys), func(i int) {
 		in := materialize(keys[i], groups[keys[i]])
+		if buildSolveObserver != nil {
+			buildSolveObserver("materialize", i)
+		}
 		insts[i] = in
 		outs[i] = Solve(in)
+		if buildSolveObserver != nil {
+			buildSolveObserver("solve", i)
+		}
 	}); err != nil {
 		return nil, nil, err
 	}
 	return insts, outs, nil
+}
+
+// matScratch is the reusable working state of materialize: the interning
+// and negation maps are cleared (not reallocated) between instances, and
+// the literal and key slices keep their capacity. Everything that outlives
+// the call (the Instance, its Vars, the CNF) is still freshly allocated.
+type matScratch struct {
+	varOf   map[topology.ASN]int
+	negated map[topology.ASN]bool
+	lits    []sat.Lit
+	keys    []string
+}
+
+var matScratchPool = sync.Pool{New: func() any {
+	return &matScratch{varOf: map[topology.ASN]int{}, negated: map[topology.ASN]bool{}}
+}}
+
+// sortedKeys collects and sorts m's keys into the scratch key slice. Same
+// ordering as sortedPaths; the returned slice is valid until the next call.
+func (sc *matScratch) sortedKeys(m map[string][]topology.ASN) []string {
+	keys := sc.keys[:0]
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	sc.keys = keys
+	return keys
 }
 
 // materialize turns accumulated paths into a CNF. Duplicate clauses are
@@ -263,13 +326,15 @@ func BuildAndSolveCtx(ctx context.Context, records []iclab.Record, cfg BuildConf
 // CNF unsatisfiable, which is the intended §3.2 semantics.
 func materialize(key Key, grp *builderGroup) *Instance {
 	in := &Instance{Key: key, CNF: &sat.CNF{}, Measurements: grp.n}
-	varOf := map[topology.ASN]int{}
+	sc := matScratchPool.Get().(*matScratch)
+	clear(sc.varOf)
+	clear(sc.negated)
 	intern := func(as topology.ASN) sat.Lit {
-		v, ok := varOf[as]
+		v, ok := sc.varOf[as]
 		if !ok {
 			v = len(in.Vars) + 1
 			in.Vars = append(in.Vars, as)
-			varOf[as] = v
+			sc.varOf[as] = v
 		}
 		return sat.Lit(int32(v))
 	}
@@ -277,24 +342,29 @@ func materialize(key Key, grp *builderGroup) *Instance {
 	// Deterministic clause order: sort path keys. Negative paths expand to
 	// unit clauses; an AS negated by several clean paths still needs only
 	// one unit clause.
-	negated := map[topology.ASN]bool{}
-	for _, path := range sortedPaths(grp.neg) {
+	in.NegativePaths = make([][]topology.ASN, 0, len(grp.neg))
+	for _, k := range sc.sortedKeys(grp.neg) {
+		path := grp.neg[k]
 		in.NegativePaths = append(in.NegativePaths, path)
 		for _, as := range path {
-			if !negated[as] {
-				negated[as] = true
+			if !sc.negated[as] {
+				sc.negated[as] = true
 				in.CNF.AddClause(intern(as).Neg())
 			}
 		}
 	}
-	for _, path := range sortedPaths(grp.pos) {
+	in.PositivePaths = make([][]topology.ASN, 0, len(grp.pos))
+	for _, k := range sc.sortedKeys(grp.pos) {
+		path := grp.pos[k]
 		in.PositivePaths = append(in.PositivePaths, path)
-		lits := make([]sat.Lit, 0, len(path))
+		lits := sc.lits[:0]
 		for _, as := range path {
 			lits = append(lits, intern(as))
 		}
+		sc.lits = lits
 		in.CNF.AddClause(lits...)
 	}
+	matScratchPool.Put(sc)
 	return in
 }
 

@@ -373,3 +373,35 @@ func TestConcurrentBuildAndSolve(t *testing.T) {
 		t.Error(e)
 	}
 }
+
+// TestBuildAndSolveStreamsOverlap pins the streaming claim behind
+// BuildAndSolve: each worker solves the CNF it just materialized before
+// materializing the next key, so solving overlaps construction instead of
+// waiting behind a build-everything barrier. At Workers=1 the event log
+// must strictly interleave — any batching regression (materialize all,
+// then solve all) shows up as two runs. This also documents why the
+// streaming benchmark reports byte-identical allocations to the serial
+// one: both do exactly the same work, only the schedule differs.
+func TestBuildAndSolveStreamsOverlap(t *testing.T) {
+	records := syntheticRecords(2000)
+	var events []string
+	buildSolveObserver = func(event string, key int) {
+		events = append(events, fmt.Sprintf("%s:%d", event, key))
+	}
+	defer func() { buildSolveObserver = nil }()
+	insts, _ := BuildAndSolve(records, BuildConfig{Workers: 1})
+	if len(insts) < 2 {
+		t.Fatalf("need >= 2 instances to observe interleaving, got %d", len(insts))
+	}
+	if len(events) != 2*len(insts) {
+		t.Fatalf("got %d events for %d instances", len(events), len(insts))
+	}
+	for i := 0; i < len(insts); i++ {
+		wantMat := fmt.Sprintf("materialize:%d", i)
+		wantSolve := fmt.Sprintf("solve:%d", i)
+		if events[2*i] != wantMat || events[2*i+1] != wantSolve {
+			t.Fatalf("events not interleaved at key %d: %v %v (want %v %v)",
+				i, events[2*i], events[2*i+1], wantMat, wantSolve)
+		}
+	}
+}
