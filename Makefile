@@ -6,11 +6,11 @@
 
 GO ?= go
 
-.PHONY: all ci vet build test race bench bench-json profile docs api-check scenario-check dataset-check fuzz clean
+.PHONY: all ci vet build test race bench bench-json profile docs api-check scenario-check dataset-check cover fuzz clean
 
 all: ci
 
-ci: build race docs scenario-check dataset-check bench
+ci: build race docs scenario-check dataset-check cover bench
 
 vet:
 	$(GO) vet ./...
@@ -56,17 +56,25 @@ dataset-check:
 	$(GO) test -count 1 -run 'TestDatasetRoundTripIdentifications|TestDatasetRoundTripStreaming|TestInMemoryDatasetSource' .
 	sh scripts/check-dataset-cli.sh
 
+# Coverage gate: per-package floors enforced by scripts/cover-check.sh —
+# internal packages >= 75%, the root package >= 80%, cmd/ binaries exempt
+# (their CLI surfaces are smoke-tested by the check scripts), and a new
+# internal package with no tests fails outright. Baseline when the gate
+# landed (PR 7): root 84.2%, lowest internal httpsim 79.1%, median ~95%.
+cover:
+	sh scripts/cover-check.sh
+
 # One iteration of every benchmark: catches compile/runtime rot without
 # paying for a real measurement run.
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 # Root benchmarks with -benchmem, rendered as JSON so the performance
-# trajectory has machine-readable datapoints (BENCH_PR6.json is this PR's:
-# the min-of-N methodology replaces PR5's single-run numbers, alongside
-# the oracle-cache and allocation work it measures).
+# trajectory has machine-readable datapoints (BENCH_PR7.json is this PR's:
+# it adds the ground-truth grading kernel, Kernel_Evaluate, and the
+# chokepoint-preset end-to-end run to PR6's min-of-N series).
 bench-json:
-	sh scripts/bench-json.sh BENCH_PR6.json
+	sh scripts/bench-json.sh BENCH_PR7.json
 
 # CPU and allocation profiles for the three hot kernels the PR6 pass
 # optimized, written under profiles/ as pprof protos plus human-readable

@@ -13,6 +13,7 @@ package churntomo
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"os"
 	"sync"
@@ -380,6 +381,74 @@ func BenchmarkStream_WindowedRebuild(b *testing.B) {
 		}
 		if i == 0 {
 			b.Logf("%d CNF solves across rebuilds", solved)
+		}
+	}
+}
+
+// --- Evaluation: ground-truth grading ---
+
+var (
+	benchEvalOnce sync.Once
+	benchEvalRes  *Result
+)
+
+// benchEvalResult builds one small-scale graded Result shared by the
+// evaluation benchmarks.
+func benchEvalResult(b *testing.B) *Result {
+	b.Helper()
+	benchEvalOnce.Do(func() {
+		exp, err := New(WithConfig(SmallConfig()))
+		if err != nil {
+			panic(err)
+		}
+		res, err := exp.Run(context.Background())
+		if err != nil {
+			panic(err)
+		}
+		benchEvalRes = res
+	})
+	return benchEvalRes
+}
+
+// BenchmarkKernel_Evaluate measures the ground-truth grading kernel: one
+// truth extraction (a walk over every record's TrueActs/TruePath) plus
+// one full Evaluate per iteration — the cost singleResult adds to every
+// run by self-grading.
+func BenchmarkKernel_Evaluate(b *testing.B) {
+	res := benchEvalResult(b)
+	b.ReportMetric(float64(len(res.Pipelines[0].Dataset.Records)), "records")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		truth := res.Truth()
+		if ev := Evaluate(res, truth); ev == nil {
+			b.Fatal("nil evaluation")
+		}
+	}
+}
+
+// BenchmarkEngine_ChokepointE2E runs the chokepoint preset end to end
+// per iteration — betweenness ranking, pinned censor placement, full
+// measure/solve/grade — the new-preset datapoint alongside the matrix
+// sweep below.
+func BenchmarkEngine_ChokepointE2E(b *testing.B) {
+	cfg := SmallConfig()
+	cfg.Days = 6
+	cfg.Vantages = 8
+	cfg.URLs = 10
+	cfg.URLsPerDay = 4
+	cfg.Workers = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exp, err := New(WithConfig(cfg), WithScenario("chokepoint"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := exp.Run(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Evaluation == nil {
+			b.Fatal("run not graded")
 		}
 	}
 }

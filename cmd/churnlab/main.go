@@ -24,9 +24,19 @@
 //
 // -scenario selects a world-construction preset from the scenario registry
 // (paper-baseline, national-firewall, transit-leakage, bgp-storm,
-// regional-outage, policy-flap, path-diverse; `genlab -list` prints the
-// catalog). The preset decides how the world is generated; -scale/-seed
-// keep deciding its dimensions and randomness.
+// regional-outage, policy-flap, path-diverse, routing-shift,
+// ecmp-multipath, chokepoint; `genlab -list` prints the catalog). The
+// preset decides how the world is generated; -scale/-seed keep deciding
+// its dimensions and randomness.
+//
+// -eval appends the ground-truth accuracy report: precision/recall/F1 of
+// the identified censor set against the registry the generators planted,
+// recall over the censors that actually fired, false-positive leakage
+// (accused bystanders that sat on censored paths), mean candidate-set
+// reduction over ambiguous CNFs, and the top structural chokepoints
+// cross-referenced with the verdict. With -stream it adds per-censor
+// convergence days. It needs a world that knows its censors, so it
+// conflicts with -matrix and fails on a metadata-only -input replay.
 //
 // -parallel bounds the per-stage worker pools (0 = all cores, 1 = serial);
 // results are identical at any setting. -matrix N runs a seed sweep of N
@@ -77,13 +87,16 @@ import (
 // flag set, one message each. explicit holds the flag names the user set
 // on the command line (flag.Visit); it distinguishes an explicit -validate
 // or -stride from their defaults.
-func flagConflicts(explicit map[string]bool, matrix int, stream bool, only string, input string) []string {
+func flagConflicts(explicit map[string]bool, matrix int, stream bool, only string, input string, eval bool) []string {
 	var conflicts []string
 	if matrix < 1 {
 		conflicts = append(conflicts, fmt.Sprintf("-matrix %d: sweep size must be >= 1", matrix))
 	}
 	if stream && matrix > 1 {
 		conflicts = append(conflicts, "-stream and -matrix are mutually exclusive")
+	}
+	if eval && matrix > 1 {
+		conflicts = append(conflicts, "-eval scores one run against its world's ground truth and contradicts -matrix, whose cells each have their own world; drop one")
 	}
 	if input != "" {
 		for _, name := range []string{"scale", "scenario", "seed"} {
@@ -127,6 +140,7 @@ func main() {
 	window := flag.Int("window", 0, "streaming window width in days (0 = cumulative)")
 	stride := flag.Int("stride", 1, "days the streaming window advances between localizations")
 	input := flag.String("input", "", "analyze this recorded dataset (genlab -export) instead of synthesizing one")
+	eval := flag.Bool("eval", false, "append the ground-truth accuracy report (precision/recall/F1, leakage, candidate reduction)")
 	flag.Parse()
 
 	sc, err := churntomo.ParseScale(*scale)
@@ -139,7 +153,7 @@ func main() {
 	// run something other than what the command line asked for.
 	explicit := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
-	if conflicts := flagConflicts(explicit, *matrix, *streamMode, *only, *input); len(conflicts) > 0 {
+	if conflicts := flagConflicts(explicit, *matrix, *streamMode, *only, *input, *eval); len(conflicts) > 0 {
 		for _, c := range conflicts {
 			fmt.Fprintf(os.Stderr, "churnlab: %s\n", c)
 		}
@@ -206,6 +220,77 @@ func main() {
 	default:
 		reportBatch(res, *only, *validate)
 	}
+	if *eval {
+		if res.Evaluation == nil {
+			fmt.Fprintln(os.Stderr, "churnlab: -eval: this run carries no ground truth (metadata-only replay?)")
+			os.Exit(1)
+		}
+		reportEval(res)
+	}
+}
+
+// reportEval prints the ground-truth accuracy report: how the verdict
+// scores against the censor registry the generators planted — the
+// evaluation the paper's authors could not perform on real traffic.
+func reportEval(res *churntomo.Result) {
+	ev := res.Evaluation
+	fmt.Println("== Accuracy vs ground truth ==")
+	fmt.Printf("censor registry: %d ASes (%d exercised during the period); identified: %d\n",
+		ev.TrueCensors, ev.ExercisedCensors, ev.IdentifiedASes)
+	fmt.Printf("precision %.1f%%  recall %.1f%%  F1 %.3f  exercised recall %.1f%%\n",
+		100*ev.Precision, 100*ev.Recall, ev.F1, 100*ev.ExercisedRecall)
+	fmt.Printf("verdict: %d true positives, %d false positives, %d missed censors\n",
+		ev.TP, ev.FP, ev.Missed)
+	if ev.FP > 0 {
+		names := make([]string, len(ev.FalsePositives))
+		for i, a := range ev.FalsePositives {
+			names[i] = a.String()
+		}
+		fmt.Printf("false positives: %s (%d/%d on censored paths — leakage rate %.0f%%)\n",
+			strings.Join(names, ", "), ev.LeakageFPs, ev.FP, 100*ev.LeakageRate)
+	}
+	if ev.MultipleCNFs > 0 {
+		fmt.Printf("candidate-set reduction: %.1f%% mean over %d ambiguous CNFs\n",
+			100*ev.CandidateReduction, ev.MultipleCNFs)
+	}
+
+	if len(ev.Convergence) > 0 {
+		fmt.Println("\n== Convergence (measurement days until stable) ==")
+		rows := [][]string{}
+		for _, c := range ev.Convergence {
+			truth := "bystander"
+			if c.TrueCensor {
+				truth = "censor"
+			}
+			stable := "unstable"
+			if c.StableDay >= 0 {
+				stable = fmt.Sprintf("day %d", c.StableDay)
+			}
+			rows = append(rows, []string{
+				c.ASN.String(), truth, fmt.Sprint(c.FirstDay), stable, fmt.Sprint(c.Windows),
+			})
+		}
+		fmt.Print(report.Table([]string{"AS", "Truth", "First day", "Stable from", "Windows"}, rows))
+	}
+
+	if cps := res.ChokePoints(8); len(cps) > 0 {
+		fmt.Println("\n== Top structural chokepoints (betweenness) ==")
+		rows := [][]string{}
+		for _, cp := range cps {
+			mark := func(b bool) string {
+				if b {
+					return "yes"
+				}
+				return "-"
+			}
+			rows = append(rows, []string{
+				cp.ASN.String() + " " + cp.Name, cp.Country,
+				fmt.Sprintf("%.3f", cp.Score), mark(cp.TrueCensor), mark(cp.Identified),
+			})
+		}
+		fmt.Print(report.Table([]string{"AS", "Region", "Score", "Censor", "Identified"}, rows))
+	}
+	fmt.Println()
 }
 
 // reportBatch prints the single-run evaluation: the paper's tables and

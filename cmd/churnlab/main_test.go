@@ -20,6 +20,7 @@ func TestFlagConflicts(t *testing.T) {
 		stream   bool
 		only     string
 		input    string
+		eval     bool
 		want     []string // substrings of expected conflict messages; empty = none
 	}{
 		{name: "defaults", explicit: set(), matrix: 1},
@@ -77,10 +78,24 @@ func TestFlagConflicts(t *testing.T) {
 			name: "input with matrix", explicit: set("input", "matrix"), matrix: 4, input: "ds.jsonl.gz",
 			want: []string{"-matrix", "same file every cell"},
 		},
+		{name: "eval alone", explicit: set("eval"), matrix: 1, eval: true},
+		{
+			// Streaming evaluation adds the convergence-day report.
+			name: "eval with stream", explicit: set("eval", "stream"), matrix: 1, stream: true, eval: true,
+		},
+		{
+			// Replayed datasets that kept their registry are gradable; the
+			// metadata-only case fails at runtime, not at flag parse.
+			name: "eval with input", explicit: set("eval", "input"), matrix: 1, input: "ds.jsonl.gz", eval: true,
+		},
+		{
+			name: "eval with matrix", explicit: set("eval", "matrix"), matrix: 4, eval: true,
+			want: []string{"-eval", "-matrix"},
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			got := flagConflicts(tc.explicit, tc.matrix, tc.stream, tc.only, tc.input)
+			got := flagConflicts(tc.explicit, tc.matrix, tc.stream, tc.only, tc.input, tc.eval)
 			if len(tc.want) == 0 {
 				if len(got) > 0 {
 					t.Fatalf("unexpected conflicts: %v", got)

@@ -1,0 +1,136 @@
+package churntomo
+
+// Unit and fuzz coverage for the public evaluation surface. The
+// end-to-end behavior is pinned by the golden suite; these tests cover
+// the set arithmetic on hand-built Results, including the adversarial
+// shapes a real run never produces.
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// fakeResult builds a minimal Result naming the given ASes.
+func fakeResult(identified ...ASN) *Result {
+	r := &Result{}
+	for _, as := range identified {
+		r.Censors = append(r.Censors, Censor{ASN: as})
+	}
+	return r
+}
+
+func TestEvaluateNilSafety(t *testing.T) {
+	if Evaluate(nil, &GroundTruth{}) != nil {
+		t.Error("Evaluate(nil result) != nil")
+	}
+	if Evaluate(&Result{}, nil) != nil {
+		t.Error("Evaluate(nil truth) != nil")
+	}
+	var r *Result
+	if r.Truth() != nil {
+		t.Error("nil Result.Truth() != nil")
+	}
+	if r.ChokePoints(5) != nil {
+		t.Error("nil Result.ChokePoints() != nil")
+	}
+}
+
+func TestEvaluateHandBuilt(t *testing.T) {
+	r := fakeResult(10, 40)
+	truth := &GroundTruth{
+		Censors:        []ASN{10, 20},
+		Exercised:      []ASN{10},
+		OnCensoredPath: []ASN{10, 40},
+	}
+	ev := Evaluate(r, truth)
+	if ev == nil {
+		t.Fatal("Evaluate returned nil")
+	}
+	if ev.TP != 1 || ev.FP != 1 || ev.Missed != 1 {
+		t.Fatalf("TP/FP/Missed = %d/%d/%d, want 1/1/1", ev.TP, ev.FP, ev.Missed)
+	}
+	if ev.Precision != 0.5 || ev.Recall != 0.5 {
+		t.Errorf("P/R = %v/%v, want 0.5/0.5", ev.Precision, ev.Recall)
+	}
+	if ev.ExercisedRecall != 1 {
+		t.Errorf("exercised recall = %v, want 1", ev.ExercisedRecall)
+	}
+	if ev.LeakageFPs != 1 || ev.LeakageRate != 1 {
+		t.Errorf("leakage = %d (%v), want 1 (1.0): the only FP sits on a censored path",
+			ev.LeakageFPs, ev.LeakageRate)
+	}
+	if ev.TrueCensors != 2 || ev.ExercisedCensors != 1 || ev.IdentifiedASes != 2 {
+		t.Errorf("set sizes = %d/%d/%d, want 2/1/2",
+			ev.TrueCensors, ev.ExercisedCensors, ev.IdentifiedASes)
+	}
+	if len(ev.MissedCensors) != 1 || ev.MissedCensors[0] != 20 {
+		t.Errorf("missed = %v, want [20]", ev.MissedCensors)
+	}
+}
+
+// asnsOf decodes a fuzz byte string into ASNs, 4 bytes each.
+func asnsOf(raw []byte) []ASN {
+	out := make([]ASN, 0, len(raw)/4)
+	for i := 0; i+4 <= len(raw); i += 4 {
+		out = append(out, ASN(binary.LittleEndian.Uint32(raw[i:])))
+	}
+	return out
+}
+
+// FuzzEvaluate hammers the scoring path with adversarial verdict/truth
+// pairs: empty truth, censors absent from any topology, duplicate ASNs,
+// overlapping and disjoint sets. The invariants: never panic, every rate
+// in [0, 1], and the count decomposition stays consistent.
+func FuzzEvaluate(f *testing.F) {
+	f.Add([]byte{}, []byte{}, []byte{}, []byte{})                     // all empty
+	f.Add([]byte{1, 0, 0, 0}, []byte{}, []byte{}, []byte{})           // verdict, empty truth
+	f.Add([]byte{}, []byte{2, 0, 0, 0}, []byte{2, 0, 0, 0}, []byte{}) // truth, empty verdict
+	f.Add(                                                            // duplicates everywhere, exercised AS not in truth
+		[]byte{5, 0, 0, 0, 5, 0, 0, 0, 9, 0, 0, 0},
+		[]byte{5, 0, 0, 0, 5, 0, 0, 0},
+		[]byte{7, 0, 0, 0, 5, 0, 0, 0},
+		[]byte{9, 0, 0, 0, 9, 0, 0, 0})
+	f.Add( // identified censor absent from the truth or any path
+		[]byte{0xff, 0xff, 0xff, 0xff},
+		[]byte{1, 0, 0, 0},
+		[]byte{1, 0, 0, 0},
+		[]byte{3, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, identified, truth, exercised, onPath []byte) {
+		r := fakeResult(asnsOf(identified)...)
+		gt := &GroundTruth{
+			Censors:        asnsOf(truth),
+			Exercised:      asnsOf(exercised),
+			OnCensoredPath: asnsOf(onPath),
+		}
+		ev := Evaluate(r, gt)
+		if ev == nil {
+			t.Fatal("Evaluate returned nil for non-nil inputs")
+		}
+		for name, v := range map[string]float64{
+			"precision": ev.Precision, "recall": ev.Recall, "f1": ev.F1,
+			"exercisedRecall": ev.ExercisedRecall, "leakageRate": ev.LeakageRate,
+			"candidateReduction": ev.CandidateReduction,
+		} {
+			if v < 0 || v > 1 || v != v {
+				t.Errorf("%s = %v outside [0, 1]", name, v)
+			}
+		}
+		if ev.TP < 0 || ev.FP < 0 || ev.Missed < 0 || ev.LeakageFPs < 0 {
+			t.Errorf("negative counts: %+v", ev)
+		}
+		if ev.TP+ev.FP != ev.IdentifiedASes {
+			t.Errorf("TP+FP = %d, IdentifiedASes = %d", ev.TP+ev.FP, ev.IdentifiedASes)
+		}
+		if ev.TP+ev.Missed != ev.TrueCensors {
+			t.Errorf("TP+Missed = %d, TrueCensors = %d", ev.TP+ev.Missed, ev.TrueCensors)
+		}
+		if ev.LeakageFPs > ev.FP {
+			t.Errorf("LeakageFPs %d > FP %d", ev.LeakageFPs, ev.FP)
+		}
+		if len(ev.FalsePositives) != ev.FP || len(ev.MissedCensors) != ev.Missed {
+			t.Errorf("named errors disagree with counts: %d/%d vs %d/%d",
+				len(ev.FalsePositives), len(ev.MissedCensors), ev.FP, ev.Missed)
+		}
+	})
+}

@@ -15,6 +15,7 @@ import (
 	"churntomo/internal/iclab"
 	"churntomo/internal/leakage"
 	"churntomo/internal/parallel"
+	"churntomo/internal/sat"
 	"churntomo/internal/scenario"
 	"churntomo/internal/stream"
 	"churntomo/internal/tomo"
@@ -421,6 +422,15 @@ func (e *Experiment) singleResult(cr *cellRun) *Result {
 	if e.ablation {
 		res.NoChurn = ablationOf(p, cr.cfg.Workers)
 	}
+	for _, o := range outcomes {
+		if o.Class == sat.Multiple {
+			res.reductionFracs = append(res.reductionFracs, o.ReductionFrac())
+		}
+	}
+	// Ground-truth self-grading: every synthesized (or fully exported)
+	// dataset knows who really censors, so score the verdict against it.
+	// Metadata-only replays have no registry and stay ungraded.
+	res.Evaluation = Evaluate(res, res.Truth())
 	return res
 }
 

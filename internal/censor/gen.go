@@ -85,6 +85,20 @@ type GenConfig struct {
 	PolicyChanges int
 	// Start and End bound the scenario (for scheduling policy changes).
 	Start, End time.Time
+
+	// PinnedASes places one censor at each listed AS, in list order, after
+	// the profiled and extra-country placement. It is how a regime that
+	// chooses its sites structurally (betweenness chokepoints, specific
+	// border ASes) rather than by country expresses that choice; combined
+	// with non-nil-empty Profiles and ExtraCountries < 0 the registry is
+	// exactly the pinned set. ASNs absent from the topology, already
+	// censoring, or naming the resolver are skipped. Pinned censors draw
+	// from the full technique envelope with a broad 2-5 category mandate —
+	// the chokepoint premise is a capable filter at a structural
+	// bottleneck — except that tier-1 placements still never run DNS
+	// injection (resolver-path injection from the transit core would
+	// poison lookups far beyond any jurisdiction).
+	PinnedASes []topology.ASN
 }
 
 func (c *GenConfig) fillDefaults() {
@@ -216,6 +230,38 @@ func Generate(g *topology.Graph, cfg GenConfig) (*Registry, error) {
 			Techniques: anomaly.MakeSet(t1, t2),
 			CatMin:     1, CatMax: 2,
 		})
+	}
+
+	// Pinned placements: a censor per listed AS, in list order.
+	for _, asn := range cfg.PinnedASes {
+		idx, ok := g.Index(asn)
+		if !ok || asn == topology.ResolverASN {
+			continue
+		}
+		if _, taken := reg.Policy(asn); taken {
+			continue
+		}
+		as := &g.ASes[idx]
+		techs := drawTechniques(rng, anomaly.AllKinds)
+		cats := drawCategories(rng, CountryProfile{CatMin: 2, CatMax: 5})
+		if as.Role == topology.RoleTier1 {
+			techs &^= anomaly.MakeSet(anomaly.DNS)
+			if techs == 0 {
+				techs = anomaly.MakeSet(anomaly.TTL)
+			}
+		}
+		b := Behavior{
+			InitTTL:   netTTL(rng),
+			SeqSkew:   rng.Float64() < 0.7,
+			InPath:    rng.Float64() < 0.75,
+			MimicTTL:  rng.Float64() < 0.7,
+			KillsConn: rng.Float64() < 0.6,
+			Blockpage: blockpageID,
+		}
+		blockpageID++
+		pol := NewPolicy(as.ASN, as.Country, b, techs, cats)
+		schedulePolicyChanges(rng, pol, cfg)
+		reg.Add(pol)
 	}
 	return reg, nil
 }

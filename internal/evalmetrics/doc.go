@@ -1,0 +1,16 @@
+// Package evalmetrics scores a censorship-localization verdict against
+// scenario ground truth. It is the measurement-free core of the public
+// churntomo.Evaluate API: pure set arithmetic over ASN slices, no
+// dependency on the pipeline, the dataset, or the generators, so the
+// scoring rules are testable (and fuzzable) in isolation.
+//
+// The vocabulary follows the paper's evaluation (§4): the tomography
+// emits an identified set; the scenario knows the true censor registry,
+// the subset of censors that actually fired during the run (exercised),
+// and the set of ASes that sat on any censored path (the pool a naive
+// path-intersection method would accuse). Precision/recall/F1 are over
+// identified vs. true; exercised recall excludes censors the
+// measurements never touched — a localization method cannot be blamed
+// for a censor with no evidence; leakage rate asks how many false
+// positives are mere on-path bystanders of real censorship.
+package evalmetrics

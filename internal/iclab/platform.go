@@ -173,7 +173,16 @@ func (s *Scenario) runDayInto(cfg PlatformConfig, day int, out []Record) {
 				// evening) so intra-day churn is observable.
 				hour := (4 + r*15 + rng.IntN(4)) % 24
 				when := at.Add(time.Duration(hour)*time.Hour + time.Duration(rng.IntN(3600))*time.Second)
-				out[idx] = s.measure(v, target, int32(ti), when, cfg, rng, pr)
+				// Under ECMP each measurement is one flow: it hashes onto
+				// a forwarding plane and every packet of the test (HTTP,
+				// DNS, the paris-style traceroutes) follows it. The guard
+				// keeps single-plane runs off the extra RNG draw, so they
+				// stay byte-identical to a plane-unaware platform.
+				var plane int32
+				if s.ECMPPaths > 1 {
+					plane = int32(rng.IntN(s.ECMPPaths))
+				}
+				out[idx] = s.measure(v, target, int32(ti), when, plane, cfg, rng, pr)
 				idx++
 			}
 		}
@@ -183,7 +192,7 @@ func (s *Scenario) runDayInto(cfg PlatformConfig, day int, out []Record) {
 // measure runs one full test: DNS via two resolvers, HTTP with capture
 // analysis, blockpage comparison, and three traceroutes.
 func (s *Scenario) measure(v *Vantage, target *Target, targetIdx int32,
-	at time.Time, cfg PlatformConfig, rng *rand.Rand, pr *pathRNG) Record {
+	at time.Time, plane int32, cfg PlatformConfig, rng *rand.Rand, pr *pathRNG) Record {
 	rec := Record{
 		Vantage:        v.ASN,
 		VantageCountry: v.Country,
@@ -194,7 +203,7 @@ func (s *Scenario) measure(v *Vantage, target *Target, targetIdx int32,
 		At:             at,
 	}
 
-	idxPath, ok := s.Oracle.PathIdxAt(v.Idx, target.Idx, at)
+	idxPath, ok := s.Oracle.PathIdxAtPlane(v.Idx, target.Idx, at, plane)
 	if !ok {
 		// No route: every sub-test errors out; the record is eliminated by
 		// rule 2 during clause construction.
@@ -218,7 +227,7 @@ func (s *Scenario) measure(v *Vantage, target *Target, targetIdx int32,
 
 	// --- DNS test: default resolver (inside the vantage AS) and the open
 	// anycast resolver, mirroring ICLab's dual-resolver methodology.
-	dnsAnom, dnsActs := s.dnsTest(v, target, at, active, cfg, rng, pr)
+	dnsAnom, dnsActs := s.dnsTest(v, target, at, plane, active, cfg, rng, pr)
 	if dnsAnom {
 		rec.Anomalies = rec.Anomalies.Add(anomaly.DNS)
 	}
@@ -278,7 +287,7 @@ func (s *Scenario) measure(v *Vantage, target *Target, targetIdx int32,
 	// routing changes occasionally split them (rule-4 eliminations).
 	for i := 0; i < TracesPerTest; i++ {
 		traceAt := at.Add(time.Duration(i) * cfg.MidTestChurnWindow / TracesPerTest)
-		tIdxPath, tok := s.Oracle.PathIdxAt(v.Idx, target.Idx, traceAt)
+		tIdxPath, tok := s.Oracle.PathIdxAtPlane(v.Idx, target.Idx, traceAt, plane)
 		if !tok {
 			rec.Traces[i] = traceroute.Trace{Err: true}
 			continue
@@ -298,7 +307,7 @@ func (s *Scenario) measure(v *Vantage, target *Target, targetIdx int32,
 // attribution mismatch this preserves from the paper: injection happens on
 // the resolver path, but the clause built from this record uses the URL
 // path — a censor on one and not the other is methodological noise.
-func (s *Scenario) dnsTest(v *Vantage, target *Target, at time.Time,
+func (s *Scenario) dnsTest(v *Vantage, target *Target, at time.Time, plane int32,
 	activeOnDest []censor.Active, cfg PlatformConfig, rng *rand.Rand, pr *pathRNG) (bool, []GroundTruthAct) {
 	var acts []GroundTruthAct
 	// Default resolver: lives inside the vantage AS, so only vantage-AS
@@ -328,7 +337,7 @@ func (s *Scenario) dnsTest(v *Vantage, target *Target, at time.Time,
 
 	// Open resolver: the query transits the path toward the anycast AS;
 	// DNS censors along it inject.
-	rIdxPath, ok := s.Oracle.PathIdxAt(v.Idx, s.ResolverIdx, at)
+	rIdxPath, ok := s.Oracle.PathIdxAtPlane(v.Idx, s.ResolverIdx, at, plane)
 	if !ok {
 		return false, acts // resolver unreachable; no data
 	}

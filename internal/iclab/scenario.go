@@ -47,6 +47,10 @@ type Scenario struct {
 	Start, End  time.Time
 	ResolverIdx int32
 	Seed        uint64
+
+	// ECMPPaths is the number of coexisting forwarding planes measurements
+	// sample (see ScenarioConfig.ECMPPaths); <= 1 means single-plane.
+	ECMPPaths int
 }
 
 // ScenarioConfig parameterizes vantage/target selection.
@@ -62,6 +66,15 @@ type ScenarioConfig struct {
 	// non-censoring country — ICLab's fleet is mostly commercial VPNs in
 	// western datacenters. Default 0.6.
 	VantageNeutralBias float64
+
+	// ECMPPaths models load-balanced multipath forwarding: each
+	// measurement's flow hashes onto one of this many coexisting routing
+	// planes (plane 0 canonical, higher planes re-rolling only the route
+	// tie-breaks), so the same vantage-target pair samples different paths
+	// — and potentially different censors — across repeats. 0 or 1 means
+	// single-plane forwarding, byte-identical to a config without the
+	// field.
+	ECMPPaths int
 }
 
 func (c *ScenarioConfig) fillDefaults() {
@@ -123,6 +136,7 @@ func BuildScenario(g *topology.Graph, o *routing.Oracle, reg *censor.Registry,
 		End:          end,
 		ResolverIdx:  g.MustIndex(topology.ResolverASN),
 		Seed:         cfg.Seed,
+		ECMPPaths:    cfg.ECMPPaths,
 	}
 
 	taken := map[int32]bool{}

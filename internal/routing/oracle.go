@@ -102,22 +102,48 @@ func NewOracle(g *topology.Graph, tl *Timeline, cacheTrees int) *Oracle {
 type treeKey struct {
 	dst   int32
 	epoch int32
+	plane int32
 }
 
 // shardOf spreads keys across shards with a splitmix-style mix so adjacent
 // epochs and destinations land on different locks.
 func shardOf(k treeKey) int {
 	x := uint64(uint32(k.dst))<<32 | uint64(uint32(k.epoch))
+	x ^= uint64(uint32(k.plane)) << 16
 	x ^= x >> 33
 	x *= 0xff51afd7ed558ccd
 	x ^= x >> 33
 	return int(x & (oracleShards - 1))
 }
 
-// TreeAt returns the routing tree toward dst (AS index) during epoch ep.
-// The returned tree is shared; callers must not modify it.
+// planeSalt is the per-plane tie-break perturbation mixed into every AS's
+// policy salt: plane 0 is zero (the canonical trees, byte-identical to a
+// plane-unaware oracle), and each higher plane deterministically re-rolls
+// the tie-breaks, yielding another equally-valid Gao–Rexford tree — the
+// model of an ECMP/load-balanced forwarding plane where equally-preferred
+// routes are hashed per flow.
+func planeSalt(plane int32) uint64 {
+	if plane == 0 {
+		return 0
+	}
+	return splitmix(0x65636d70 ^ uint64(uint32(plane))) // "ecmp"
+}
+
+// TreeAt returns the routing tree toward dst (AS index) during epoch ep on
+// the canonical forwarding plane. The returned tree is shared; callers
+// must not modify it.
 func (o *Oracle) TreeAt(dst, ep int32) Tree {
-	key := treeKey{dst, ep}
+	return o.TreeAtPlane(dst, ep, 0)
+}
+
+// TreeAtPlane returns the routing tree toward dst during epoch ep on one
+// forwarding plane. Plane 0 is canonical; higher planes perturb only the
+// route tie-breaks (preference and policy stay Gao–Rexford-valid), so a
+// multipath deployment is modeled as a small set of coexisting planes a
+// flow hashes onto. The returned tree is shared; callers must not modify
+// it.
+func (o *Oracle) TreeAtPlane(dst, ep, plane int32) Tree {
+	key := treeKey{dst, ep, plane}
 	sh := &o.shards[shardOf(key)]
 	if m := sh.snap.Load(); m != nil {
 		if e := (*m)[key]; e != nil {
@@ -148,9 +174,10 @@ func (o *Oracle) treeMiss(sh *treeShard, key treeKey) Tree {
 	sh.mu.Unlock()
 
 	st := o.epochState(key.epoch)
+	psalt := planeSalt(key.plane)
 	c.tree = ComputeTree(o.G, key.dst,
 		func(link int32) bool { return st.down[link] },
-		func(as int32) uint64 { return st.salt[as] })
+		func(as int32) uint64 { return st.salt[as] ^ psalt })
 
 	e := &treeEntry{tree: c.tree}
 	e.touch.Store(o.ticket.Add(1))
@@ -204,11 +231,18 @@ func (o *Oracle) epochState(ep int32) *epochState {
 	return o.epochs[ep].Load()
 }
 
-// PathIdxAt returns the AS-index path from src to dst at time t.
+// PathIdxAt returns the AS-index path from src to dst at time t on the
+// canonical forwarding plane.
 func (o *Oracle) PathIdxAt(src, dst int32, t time.Time) ([]int32, bool) {
+	return o.PathIdxAtPlane(src, dst, t, 0)
+}
+
+// PathIdxAtPlane returns the AS-index path from src to dst at time t on
+// one forwarding plane (see TreeAtPlane). Plane 0 is the canonical path.
+func (o *Oracle) PathIdxAtPlane(src, dst int32, t time.Time, plane int32) ([]int32, bool) {
 	o.queries.Add(1)
 	ep := o.TL.EpochAt(t)
-	return o.TreeAt(dst, ep).Path(src, dst)
+	return o.TreeAtPlane(dst, ep, plane).Path(src, dst)
 }
 
 // PathAt returns the ASN path from src to dst at time t.

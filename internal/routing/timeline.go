@@ -89,6 +89,14 @@ type TimelineConfig struct {
 	// Empty means none, which leaves the generated timeline bit-identical
 	// to one built without the field.
 	Outages []RegionalOutage
+
+	// Waves schedules correlated policy-shift bursts: BGP routing changes
+	// that move many paths at one instant without any link failing — the
+	// routing-induced-change regime where a fixed censor sees its
+	// observing paths reshuffled mid-timeline. Empty means none, which
+	// leaves the generated timeline bit-identical to one built without
+	// the field.
+	Waves []PolicyWave
 }
 
 // RegionalOutage is one correlated failure burst: at Start + At*(End-Start)
@@ -102,6 +110,18 @@ type RegionalOutage struct {
 	At       float64       // burst position as a fraction of the span, in [0, 1)
 	Duration time.Duration // how long the burst lasts; must be > 0
 	Frac     float64       // fraction of the region's links taken down, in (0, 1]
+}
+
+// PolicyWave is one correlated policy-shift burst: at Start + At*(End-Start)
+// a Frac-sized random subset of all ASes simultaneously re-rolls its
+// tie-break salt, modeling a wave of BGP updates (a provider repricing, an
+// IXP policy change, a route-leak cleanup) that redraws many paths at one
+// epoch boundary. Unlike a RegionalOutage nothing fails: connectivity is
+// unchanged, only path selection moves — which is exactly the regime where
+// a *fixed* censor's set of observing paths churns under it.
+type PolicyWave struct {
+	At   float64 // burst position as a fraction of the span, in [0, 1)
+	Frac float64 // fraction of ASes re-rolling their salt, in (0, 1]
 }
 
 func (c *TimelineConfig) fillDefaults() {
@@ -138,6 +158,14 @@ func GenTimeline(g *topology.Graph, cfg TimelineConfig) (*Timeline, error) {
 		}
 		if o.Duration <= 0 {
 			return nil, fmt.Errorf("routing: outage %d: Duration %v must be > 0", i, o.Duration)
+		}
+	}
+	for i, w := range cfg.Waves {
+		if w.At < 0 || w.At >= 1 {
+			return nil, fmt.Errorf("routing: wave %d: At %v outside [0, 1)", i, w.At)
+		}
+		if w.Frac <= 0 || w.Frac > 1 {
+			return nil, fmt.Errorf("routing: wave %d: Frac %v outside (0, 1]", i, w.Frac)
 		}
 	}
 	rng := rand.New(rand.NewPCG(cfg.Seed, 0x636875726e)) // "churn"
@@ -203,6 +231,22 @@ func GenTimeline(g *topology.Graph, cfg TimelineConfig) (*Timeline, error) {
 		}
 	}
 
+	// Policy-shift waves. Like outage bursts, a dedicated RNG keeps the
+	// background churn above byte-identical whether or not waves are
+	// scheduled.
+	if len(cfg.Waves) > 0 {
+		wrng := rand.New(rand.NewPCG(cfg.Seed, 0x7761766573)) // "waves"
+		for _, w := range cfg.Waves {
+			at := cfg.Start.Add(time.Duration(w.At * float64(span)))
+			for i := range g.ASes {
+				if wrng.Float64() >= w.Frac {
+					continue
+				}
+				events = append(events, Event{At: at, Kind: PolicyShift, AS: int32(i), Salt: wrng.Uint64()})
+			}
+		}
+	}
+
 	sort.Slice(events, func(i, j int) bool {
 		if !events[i].At.Equal(events[j].At) {
 			return events[i].At.Before(events[j].At)
@@ -243,6 +287,13 @@ func (tl *Timeline) buildEpochs(g *topology.Graph) {
 			}
 		case PolicyShift:
 			epochID := int32(len(tl.epochs)) // the epoch about to be created
+			if ev.At.Equal(tl.epochs[len(tl.epochs)-1].at) {
+				// A shift sharing its instant with an earlier event (a
+				// correlated wave, or a shift landing exactly on tl.Start)
+				// merges into that epoch instead of opening a new one; its
+				// salt must take effect there, not one boundary later.
+				epochID = int32(len(tl.epochs) - 1)
+			}
 			tl.salts[ev.AS] = append(tl.salts[ev.AS], saltChange{epoch: epochID, salt: ev.Salt})
 			// Fall through to creating an epoch boundary below.
 		}

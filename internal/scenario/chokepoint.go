@@ -1,0 +1,51 @@
+package scenario
+
+import (
+	"churntomo/internal/censor"
+	"churntomo/internal/topology"
+)
+
+// ChokepointRegime is a CensorRegime that places censors structurally
+// instead of by country: it ranks the topology's border ASes by
+// betweenness centrality (topology.ChokePoints) and pins one censor at
+// each of the top Sites — the deployment the decoy-routing and
+// chokepoint-analytics literature assumes, where a filter buys maximum
+// path coverage per installed box. The registry contains exactly the
+// pinned set: no country profiles, no extra countries.
+type ChokepointRegime struct {
+	Label string
+	// Sites is how many top-centrality border ASes censor; 0 means 6.
+	Sites int
+	// Apply optionally mutates the generator config after the pins are
+	// chosen (policy-change cadence, etc.).
+	Apply func(*censor.GenConfig)
+}
+
+// Name returns the provider label.
+func (c ChokepointRegime) Name() string { return c.Label }
+
+// Censors pins censors at the top-centrality border ASes.
+func (c ChokepointRegime) Censors(g *topology.Graph, seed uint64, p Params) (*censor.Registry, error) {
+	sites := c.Sites
+	if sites <= 0 {
+		sites = 6
+	}
+	ranked := g.ChokePoints()
+	if len(ranked) > sites {
+		ranked = ranked[:sites]
+	}
+	pins := make([]topology.ASN, len(ranked))
+	for i, cp := range ranked {
+		pins[i] = cp.ASN
+	}
+	cfg := censor.GenConfig{
+		Seed: seed, Start: p.Start, End: p.End,
+		Profiles:       []censor.CountryProfile{}, // non-nil empty: no profiled censors
+		ExtraCountries: -1,
+		PinnedASes:     pins,
+	}
+	if c.Apply != nil {
+		c.Apply(&cfg)
+	}
+	return censor.Generate(g, cfg)
+}

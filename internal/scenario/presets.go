@@ -108,4 +108,48 @@ func init() {
 			c.ContentFrac = 0.4
 		}},
 	})
+
+	MustRegister(Spec{
+		Name:        "routing-shift",
+		Description: "censors stay fixed while BGP policy waves re-route paths mid-timeline",
+		Echoes:      "routing changes alone reshaping who is censored (arXiv:2406.19304)",
+		Churn: ChurnTweak{Label: "policy-waves", Apply: func(c *routing.TimelineConfig) {
+			// Three synchronized policy bursts, each re-rolling the route
+			// tie-breaks of roughly half the ASes at one instant — the
+			// localized equivalent of a large BGP event sweeping the table.
+			// Background churn is untouched.
+			c.Waves = []routing.PolicyWave{
+				{At: 0.3, Frac: 0.5},
+				{At: 0.55, Frac: 0.45},
+				{At: 0.8, Frac: 0.5},
+			}
+		}},
+		Censors: CensorTweak{Label: "pinned-policy", Apply: func(c *censor.GenConfig) {
+			// The censors never change what they block: every measurement
+			// delta is attributable to the path churn, isolating the
+			// paper's core signal.
+			c.PolicyChangeProb = -1
+		}},
+	})
+
+	MustRegister(Spec{
+		Name:        "ecmp-multipath",
+		Description: "load-balanced forwarding: repeats of one vantage-target pair hash onto different paths",
+		Echoes:      "Pathfinder's per-flow path variation under ECMP (arXiv:2407.04213)",
+		Topology: TopologyTweak{Label: "dense-peering", Apply: func(c *topology.GenConfig) {
+			// Dense peering produces the route ties ECMP needs: with few
+			// equally-preferred routes, extra planes collapse onto plane 0.
+			c.PeerProb = 0.5
+		}},
+		Platform: PlatformTweak{Label: "ecmp-3", Apply: func(c *iclab.ScenarioConfig) {
+			c.ECMPPaths = 3
+		}},
+	})
+
+	MustRegister(Spec{
+		Name:        "chokepoint",
+		Description: "censors pinned at the highest-betweenness border ASes instead of by country",
+		Echoes:      "chokepoint-placement analyses from the decoy-routing literature",
+		Censors:     ChokepointRegime{Label: "top-betweenness", Sites: 6},
+	})
 }

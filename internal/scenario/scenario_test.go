@@ -22,6 +22,7 @@ func TestRegistryBuiltins(t *testing.T) {
 	want := []string{
 		DefaultName, "national-firewall", "transit-leakage",
 		"bgp-storm", "regional-outage", "policy-flap", "path-diverse",
+		"routing-shift", "ecmp-multipath", "chokepoint",
 	}
 	names := Names()
 	if len(names) < len(want) {

@@ -1,0 +1,92 @@
+package stream
+
+// Edge-case coverage for Converge: zero-day timelines, censors present
+// from the very first window, censors that vanish before the end
+// (StableFrom = -1), and single-window replays.
+
+import (
+	"reflect"
+	"testing"
+
+	"churntomo/internal/tomo"
+	"churntomo/internal/topology"
+)
+
+func idSet(asns ...topology.ASN) map[topology.ASN]*tomo.IdentifiedCensor {
+	m := map[topology.ASN]*tomo.IdentifiedCensor{}
+	for _, a := range asns {
+		m[a] = &tomo.IdentifiedCensor{ASN: a}
+	}
+	return m
+}
+
+func TestConvergeZeroDayTimeline(t *testing.T) {
+	// A replay too short to emit any window: no stats, not a panic.
+	if got := Converge(nil); len(got) != 0 {
+		t.Errorf("Converge(nil) = %v, want empty", got)
+	}
+	if got := Converge([]*Window{}); len(got) != 0 {
+		t.Errorf("Converge(empty) = %v, want empty", got)
+	}
+	// Windows that identified nothing produce no entries either — a
+	// never-identified censor simply does not appear.
+	empty := []*Window{{Index: 0, Identified: idSet()}, {Index: 1, Identified: idSet()}}
+	if got := Converge(empty); len(got) != 0 {
+		t.Errorf("empty windows produced %v", got)
+	}
+}
+
+func TestConvergeCensorActiveFromDayOne(t *testing.T) {
+	// Identified in every window from the first: stable from window 0.
+	windows := []*Window{
+		{Index: 0, Identified: idSet(5)},
+		{Index: 1, Identified: idSet(5)},
+		{Index: 2, Identified: idSet(5)},
+	}
+	got := Converge(windows)
+	want := []Convergence{{ASN: 5, FirstWindow: 0, LastWindow: 2, Windows: 3, StableFrom: 0}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Converge = %+v, want %+v", got, want)
+	}
+}
+
+func TestConvergeUnstableCensor(t *testing.T) {
+	// Identified early, gone by the final window: StableFrom must be -1
+	// no matter how long the earlier run was.
+	windows := []*Window{
+		{Index: 0, Identified: idSet(5)},
+		{Index: 1, Identified: idSet(5)},
+		{Index: 2, Identified: idSet()},
+	}
+	got := Converge(windows)
+	want := []Convergence{{ASN: 5, FirstWindow: 0, LastWindow: 1, Windows: 2, StableFrom: -1}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Converge = %+v, want %+v", got, want)
+	}
+}
+
+func TestConvergeSingleWindow(t *testing.T) {
+	// One window is its own trailing run: stable from window 0; an AS
+	// absent from it gets no entry at all.
+	got := Converge([]*Window{{Index: 0, Identified: idSet(7)}})
+	want := []Convergence{{ASN: 7, FirstWindow: 0, LastWindow: 0, Windows: 1, StableFrom: 0}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Converge = %+v, want %+v", got, want)
+	}
+}
+
+func TestConvergeInterruptedRun(t *testing.T) {
+	// A gap resets the trailing run: stability dates from the window
+	// after the last gap, not the first identification.
+	windows := []*Window{
+		{Index: 0, Identified: idSet(5)},
+		{Index: 1, Identified: idSet()},
+		{Index: 2, Identified: idSet(5)},
+		{Index: 3, Identified: idSet(5)},
+	}
+	got := Converge(windows)
+	want := []Convergence{{ASN: 5, FirstWindow: 0, LastWindow: 3, Windows: 3, StableFrom: 2}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Converge = %+v, want %+v", got, want)
+	}
+}

@@ -1,0 +1,96 @@
+package tomo
+
+// Edge-case coverage for IdentifyCensors: the exact threshold boundary
+// (inclusive — documented on the function), degenerate inputs, and
+// outcome classes that must never name anyone.
+
+import (
+	"testing"
+
+	"churntomo/internal/anomaly"
+	"churntomo/internal/sat"
+	"churntomo/internal/topology"
+)
+
+// uniqueNaming fabricates n unique-solution outcomes all naming as, each
+// under a distinct URL so the CNF count is what is being tested.
+func uniqueNaming(as topology.ASN, n int) []Outcome {
+	out := make([]Outcome, n)
+	for i := range out {
+		out[i] = Outcome{
+			Class:   sat.Unique,
+			Censors: []topology.ASN{as},
+			Inst:    &Instance{Key: Key{URL: string(rune('a'+i)) + ".com", Kind: anomaly.TTL}},
+		}
+	}
+	return out
+}
+
+func TestIdentifyCensorsThresholdBoundary(t *testing.T) {
+	const minCNFs = 8
+	// Exactly at the threshold: kept. This is the documented inclusive
+	// tie-break ("at least minCNFs").
+	at := IdentifyCensors(uniqueNaming(20, minCNFs), minCNFs)
+	if c, ok := at[20]; !ok {
+		t.Fatalf("AS20 with CNFs == minCNFs (%d) dropped; boundary must be inclusive", minCNFs)
+	} else if c.CNFs != minCNFs {
+		t.Fatalf("CNFs = %d, want %d", c.CNFs, minCNFs)
+	}
+	// One below: dropped.
+	below := IdentifyCensors(uniqueNaming(20, minCNFs-1), minCNFs)
+	if _, ok := below[20]; ok {
+		t.Fatalf("AS20 with CNFs == minCNFs-1 kept; threshold not enforced")
+	}
+}
+
+func TestIdentifyCensorsDegenerateInputs(t *testing.T) {
+	if got := IdentifyCensors(nil, 8); len(got) != 0 {
+		t.Errorf("nil outcomes identified %v", got)
+	}
+	if got := IdentifyCensors([]Outcome{}, 8); len(got) != 0 {
+		t.Errorf("empty outcomes identified %v", got)
+	}
+	// minCNFs <= 1 means a single CNF suffices (the paper's unfiltered
+	// behaviour); zero and negative behave like 1.
+	for _, min := range []int{1, 0, -3} {
+		if _, ok := IdentifyCensors(uniqueNaming(7, 1), min)[7]; !ok {
+			t.Errorf("minCNFs=%d: single corroborating CNF not enough", min)
+		}
+	}
+}
+
+func TestIdentifyCensorsIgnoresNonUnique(t *testing.T) {
+	inst := &Instance{Key: Key{URL: "a.com", Kind: anomaly.RST}}
+	outcomes := []Outcome{
+		// A Multiple outcome's potential censors must never be promoted.
+		{Class: sat.Multiple, Potential: []topology.ASN{20, 30}, Inst: inst},
+		// An Unsat outcome names no one even with a stale Censors slice.
+		{Class: sat.Unsat, Censors: []topology.ASN{40}, Inst: inst},
+	}
+	if got := IdentifyCensors(outcomes, 1); len(got) != 0 {
+		t.Fatalf("non-unique outcomes identified %v", got)
+	}
+}
+
+func TestIdentifyCensorsAggregatesAcrossOutcomes(t *testing.T) {
+	// The same AS named under two kinds and two URLs: one entry, unioned
+	// kinds, both URLs, CNFs summed — the aggregation the streaming
+	// windows and the public Censor type rely on.
+	outcomes := []Outcome{
+		{Class: sat.Unique, Censors: []topology.ASN{9},
+			Inst: &Instance{Key: Key{URL: "a.com", Kind: anomaly.TTL}}},
+		{Class: sat.Unique, Censors: []topology.ASN{9},
+			Inst: &Instance{Key: Key{URL: "b.com", Kind: anomaly.DNS}}},
+	}
+	got := IdentifyCensors(outcomes, 2)
+	c, ok := got[9]
+	if !ok {
+		t.Fatal("AS9 not identified")
+	}
+	if c.CNFs != 2 || !c.Kinds.Has(anomaly.TTL) || !c.Kinds.Has(anomaly.DNS) {
+		t.Errorf("aggregation wrong: %+v", c)
+	}
+	if !c.URLs["a.com"] || !c.URLs["b.com"] {
+		t.Errorf("URLs not unioned: %v", c.URLs)
+	}
+}

@@ -481,6 +481,10 @@ type IdentifiedCensor struct {
 // CNFs (2 is a good default; the full pipeline uses 8) removes most
 // fabrications. Pass 1 (or anything <= 1) for the paper's unfiltered
 // behaviour, where a single CNF suffices.
+//
+// The boundary is inclusive: an AS whose corroboration count equals
+// minCNFs exactly is kept — the threshold reads "at least minCNFs", not
+// "more than". Pinned by TestIdentifyCensorsThresholdBoundary.
 func IdentifyCensors(outcomes []Outcome, minCNFs int) map[topology.ASN]*IdentifiedCensor {
 	found := map[topology.ASN]*IdentifiedCensor{}
 	for _, o := range outcomes {

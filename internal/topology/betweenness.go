@@ -1,0 +1,121 @@
+package topology
+
+import "sort"
+
+// Betweenness returns the shortest-path betweenness centrality of every AS,
+// indexed like Graph.ASes, computed with Brandes' algorithm over the
+// undirected link graph (unit edge weights, business relationships
+// ignored). It deliberately measures *structural* chokepoint potential —
+// how many shortest paths cross an AS — rather than valley-free routed
+// load: the ranking is a candidate heuristic in the spirit of the
+// decoy-routing placement literature, not a traffic model, and it must
+// stay meaningful even as churn moves the routed paths around.
+//
+// Scores are normalized by the number of ordered non-adjacent pairs so
+// they land in [0, 1] regardless of graph size. Deterministic: plain BFS
+// over the adjacency lists in index order, no randomness.
+func (g *Graph) Betweenness() []float64 {
+	n := len(g.ASes)
+	score := make([]float64, n)
+	if n < 3 {
+		return score
+	}
+
+	// Brandes: one BFS per source, accumulating pair dependencies.
+	dist := make([]int32, n)
+	sigma := make([]float64, n) // shortest-path counts
+	delta := make([]float64, n) // dependency accumulator
+	order := make([]int32, 0, n)
+	queue := make([]int32, 0, n)
+	preds := make([][]int32, n)
+
+	for s := 0; s < n; s++ {
+		order = order[:0]
+		queue = queue[:0]
+		for i := range dist {
+			dist[i] = -1
+			sigma[i] = 0
+			delta[i] = 0
+			preds[i] = preds[i][:0]
+		}
+		dist[s] = 0
+		sigma[s] = 1
+		queue = append(queue, int32(s))
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			order = append(order, v)
+			for _, nb := range g.Neighbors[v] {
+				w := nb.Idx
+				if dist[w] < 0 {
+					dist[w] = dist[v] + 1
+					queue = append(queue, w)
+				}
+				if dist[w] == dist[v]+1 {
+					sigma[w] += sigma[v]
+					preds[w] = append(preds[w], v)
+				}
+			}
+		}
+		// Accumulate dependencies in reverse BFS order.
+		for i := len(order) - 1; i >= 0; i-- {
+			w := order[i]
+			for _, v := range preds[w] {
+				delta[v] += sigma[v] / sigma[w] * (1 + delta[w])
+			}
+			if w != int32(s) {
+				score[w] += delta[w]
+			}
+		}
+	}
+
+	// Normalize to [0, 1]: the maximum possible ordered-pair count through
+	// a vertex is (n-1)(n-2).
+	norm := float64(n-1) * float64(n-2)
+	for i := range score {
+		score[i] /= norm
+	}
+	return score
+}
+
+// ChokePoint is one candidate censorship chokepoint: a border AS ranked by
+// betweenness centrality.
+type ChokePoint struct {
+	Idx   int32
+	ASN   ASN
+	Score float64
+}
+
+// ChokePoints ranks the graph's border ASes — non-stub ASes with at least
+// one cross-country link, the places a national filtering mandate or a
+// decoy-routing deployment would sit — by betweenness centrality,
+// descending (ties broken by ascending ASN for determinism). The resolver
+// AS is excluded: nothing in the simulation ever censors it.
+func (g *Graph) ChokePoints() []ChokePoint {
+	bc := g.Betweenness()
+	var out []ChokePoint
+	for i := range g.ASes {
+		as := &g.ASes[i]
+		if as.Role == RoleStub || as.ASN == ResolverASN {
+			continue
+		}
+		border := false
+		for _, nb := range g.Neighbors[i] {
+			if g.ASes[nb.Idx].Country != as.Country {
+				border = true
+				break
+			}
+		}
+		if !border {
+			continue
+		}
+		out = append(out, ChokePoint{Idx: int32(i), ASN: as.ASN, Score: bc[i]})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].ASN < out[j].ASN
+	})
+	return out
+}

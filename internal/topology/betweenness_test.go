@@ -1,0 +1,118 @@
+package topology
+
+import (
+	"testing"
+)
+
+func genGraph(t *testing.T, seed uint64, ases int) *Graph {
+	t.Helper()
+	g, err := Generate(GenConfig{Seed: seed, ASes: ases})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBetweennessRangeAndDeterminism(t *testing.T) {
+	g := genGraph(t, 31, 200)
+	a := g.Betweenness()
+	if len(a) != len(g.ASes) {
+		t.Fatalf("Betweenness returned %d scores for %d ASes", len(a), len(g.ASes))
+	}
+	nonzero := 0
+	for i, s := range a {
+		if s < 0 || s > 1 || s != s {
+			t.Fatalf("score[%d] = %v outside [0, 1]", i, s)
+		}
+		if s > 0 {
+			nonzero++
+		}
+	}
+	if nonzero == 0 {
+		t.Fatal("every betweenness score is zero on a connected 200-AS graph")
+	}
+	b := g.Betweenness()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("Betweenness not deterministic at index %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestBetweennessTransitDominatesLeaves(t *testing.T) {
+	// Structural sanity: the best-scoring AS must be one that forwards —
+	// transit or tier-1 — never a stub sitting at the edge.
+	g := genGraph(t, 32, 250)
+	scores := g.Betweenness()
+	best, bestIdx := -1.0, -1
+	for i, s := range scores {
+		if s > best {
+			best, bestIdx = s, i
+		}
+	}
+	if role := g.ASes[bestIdx].Role; role == RoleStub {
+		t.Errorf("highest-betweenness AS %v is a stub (score %v)", g.ASes[bestIdx].ASN, best)
+	}
+}
+
+func TestBetweennessTinyGraph(t *testing.T) {
+	// Fewer than 3 ASes means no AS can sit between two others; the
+	// zero-value graph must not panic either.
+	empty := &Graph{}
+	if got := empty.Betweenness(); len(got) != 0 {
+		t.Errorf("empty graph scores = %v", got)
+	}
+	if got := empty.ChokePoints(); len(got) != 0 {
+		t.Errorf("empty graph chokepoints = %v", got)
+	}
+}
+
+func TestChokePointsRankingContract(t *testing.T) {
+	g := genGraph(t, 33, 250)
+	cps := g.ChokePoints()
+	if len(cps) == 0 {
+		t.Fatal("no chokepoints on a 250-AS multi-country graph")
+	}
+	for i, cp := range cps {
+		as := g.ASes[cp.Idx]
+		if as.ASN != cp.ASN {
+			t.Fatalf("chokepoint %d: Idx/ASN mismatch", i)
+		}
+		if as.Role == RoleStub {
+			t.Errorf("stub %v ranked as a chokepoint", cp.ASN)
+		}
+		if cp.ASN == ResolverASN {
+			t.Error("resolver ranked as a chokepoint")
+		}
+		// Border requirement: at least one neighbor in another country.
+		cross := false
+		for _, nb := range g.Neighbors[cp.Idx] {
+			if g.ASes[nb.Idx].Country != as.Country {
+				cross = true
+				break
+			}
+		}
+		if !cross {
+			t.Errorf("chokepoint %v has no cross-country link", cp.ASN)
+		}
+		if i > 0 {
+			prev := cps[i-1]
+			if cp.Score > prev.Score {
+				t.Fatalf("chokepoints not sorted by score desc at %d", i)
+			}
+			if cp.Score == prev.Score && cp.ASN < prev.ASN {
+				t.Fatalf("score tie not broken by ascending ASN at %d", i)
+			}
+		}
+	}
+	// Deterministic ranking.
+	again := g.ChokePoints()
+	if len(again) != len(cps) {
+		t.Fatalf("chokepoint count changed across calls: %d vs %d", len(again), len(cps))
+	}
+	for i := range cps {
+		if cps[i] != again[i] {
+			t.Fatalf("chokepoint ranking not deterministic at %d", i)
+		}
+	}
+}

@@ -246,6 +246,13 @@ type Result struct {
 	Windows     []WindowResult
 	Convergence []Convergence
 
+	// Evaluation grades the verdict against the scenario's ground truth
+	// (precision/recall/F1, leakage rate, candidate reduction,
+	// convergence days). Nil when no ground truth is available: matrix
+	// mode, or a replayed dataset without a censor registry. See
+	// Evaluate/Truth to score against external or modified truth.
+	Evaluation *Evaluation
+
 	// Matrix aggregates a matrix run; Cells reports per-cell outcomes in
 	// input order (matrix mode).
 	Matrix *MatrixSummary
@@ -256,6 +263,11 @@ type Result struct {
 	// figure printers) and deprecated-shim compatibility; external
 	// consumers should not need it — everything above is self-contained.
 	Pipelines []*Pipeline
+
+	// reductionFracs caches the per-CNF candidate-elimination fractions
+	// of the run's Multiple outcomes for Evaluate — in streaming mode
+	// the final window's outcomes are not otherwise retained.
+	reductionFracs []float64
 }
 
 // FinalWindow returns the last emitted streaming window, or nil outside

@@ -18,6 +18,7 @@ import (
 var requiredPresets = []string{
 	"paper-baseline", "national-firewall", "transit-leakage",
 	"bgp-storm", "regional-outage", "policy-flap", "path-diverse",
+	"routing-shift", "ecmp-multipath", "chokepoint",
 }
 
 // smokeConfig is the smallest configuration that still runs the whole
