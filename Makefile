@@ -6,17 +6,30 @@
 
 GO ?= go
 
-.PHONY: all ci vet build test race bench bench-json profile docs api-check scenario-check dataset-check cover fuzz clean
+# Per-target fuzzing budget for `make fuzz`; raise for real hunts.
+FUZZTIME ?= 30s
+
+.PHONY: all ci vet build test race bench bench-json profile docs lint api-check scenario-check dataset-check cover fuzz fuzz-smoke clean
 
 all: ci
 
-ci: build race docs scenario-check dataset-check cover bench
+ci: build lint race docs scenario-check dataset-check cover fuzz-smoke bench
 
 vet:
 	$(GO) vet ./...
 
 build:
 	$(GO) build ./...
+
+# Invariant gate: churnvet (cmd/churnvet, internal/lint) type-checks the
+# whole module and enforces the determinism and concurrency invariants —
+# no ambient nondeterminism in deterministic packages, named unique RNG
+# stream constants, no map-order leaks into output, `go` only in
+# internal/parallel, and a sealed public-API boundary. Suppressions need
+# a written reason (//churnvet:ok <analyzer> -- <reason>); malformed ones
+# are themselves findings.
+lint:
+	$(GO) run ./cmd/churnvet ./...
 
 # Public-API gate: the examples must build as external consumers would and
 # must not import churntomo/internal packages — the Result/Event surface
@@ -88,9 +101,19 @@ profile:
 	rm -f churntomo.test
 	@echo "profile: wrote profiles/after.{cpu,mem}.pb.gz and -top digests" >&2
 
-# Short fuzz pass over the DIMACS parser; extend -fuzztime for real hunts.
+# Short fuzz pass over every fuzz target — the DIMACS parser, the dataset
+# codec round trip, and the evaluation kernel — each with the FUZZTIME
+# budget. `make fuzz FUZZTIME=5m` for a real hunt.
 fuzz:
-	$(GO) test -run '^$$' -fuzz FuzzParseDIMACS -fuzztime 30s ./internal/sat
+	$(GO) test -run '^$$' -fuzz FuzzParseDIMACS -fuzztime $(FUZZTIME) ./internal/sat
+	$(GO) test -run '^$$' -fuzz FuzzDatasetRoundTrip -fuzztime $(FUZZTIME) ./internal/dataset
+	$(GO) test -run '^$$' -fuzz FuzzEvaluate -fuzztime $(FUZZTIME) .
+
+# Seed-corpus-only fuzz smoke for CI: replays every fuzz target's seed
+# corpus as ordinary tests, so a target that rots fails fast without
+# paying for wall-clock fuzzing.
+fuzz-smoke:
+	$(GO) test -count 1 -run '^Fuzz' ./internal/sat ./internal/dataset .
 
 clean:
 	$(GO) clean ./...

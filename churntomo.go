@@ -166,21 +166,25 @@ func (c *Config) fillDefaults() {
 const identifyMinCNFs = 8
 
 // Pipeline holds every artifact of one end-to-end run.
+//
+// Pipeline predates the Experiment API and deliberately exposes internal
+// artifact types; Result is the internal-free replacement, and the
+// churnvet suppressions below are removed with the deprecated shims.
 type Pipeline struct {
 	Config Config
 
-	Graph    *topology.Graph
-	Timeline *routing.Timeline
-	Oracle   *routing.Oracle
-	Censors  *censor.Registry
-	DB       *ipasmap.DB
-	Scenario *iclab.Scenario
-	Dataset  *iclab.Dataset
+	Graph    *topology.Graph   //churnvet:ok internalimport -- deprecated pre-Experiment surface; Result is the exported form
+	Timeline *routing.Timeline //churnvet:ok internalimport -- deprecated pre-Experiment surface; Result is the exported form
+	Oracle   *routing.Oracle   //churnvet:ok internalimport -- deprecated pre-Experiment surface; Result is the exported form
+	Censors  *censor.Registry  //churnvet:ok internalimport -- deprecated pre-Experiment surface; Result is the exported form
+	DB       *ipasmap.DB       //churnvet:ok internalimport -- deprecated pre-Experiment surface; Result is the exported form
+	Scenario *iclab.Scenario   //churnvet:ok internalimport -- deprecated pre-Experiment surface; Result is the exported form
+	Dataset  *iclab.Dataset    //churnvet:ok internalimport -- deprecated pre-Experiment surface; Result is the exported form
 
-	Instances  []*tomo.Instance
-	Outcomes   []tomo.Outcome
+	Instances  []*tomo.Instance //churnvet:ok internalimport -- deprecated pre-Experiment surface; Result is the exported form
+	Outcomes   []tomo.Outcome   //churnvet:ok internalimport -- deprecated pre-Experiment surface; Result is the exported form
 	Identified map[topology.ASN]*tomo.IdentifiedCensor
-	Leakage    *leakage.Analysis
+	Leakage    *leakage.Analysis //churnvet:ok internalimport -- deprecated pre-Experiment surface; Result is the exported form
 }
 
 // Run executes the full pipeline: generate substrate, measure, build CNFs,

@@ -1,0 +1,104 @@
+// Command churnvet runs the project's custom static-analysis suite
+// (internal/lint) over the module and reports every invariant violation
+// as file:line:col findings. It exits 0 when clean, 1 when findings
+// remain, 2 on usage or load errors.
+//
+// Usage:
+//
+//	churnvet [-C dir] [-only analyzer[,analyzer...]] [-list] [./...]
+//
+// The optional `./...` argument is accepted for symmetry with the go
+// tool; churnvet always analyzes the whole module containing -C
+// (default: the module enclosing the current directory). `make lint`
+// wires the full suite into `make ci`; scripts/check-api.sh runs
+// `churnvet -only internalimport` as the public-API gate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"churntomo/internal/lint"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	fs := flag.NewFlagSet("churnvet", flag.ExitOnError)
+	dir := fs.String("C", ".", "directory inside the module to analyze")
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := fs.Bool("list", false, "list registered analyzers and exit")
+	fs.Parse(os.Args[1:])
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-15s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	for _, arg := range fs.Args() {
+		if arg != "./..." {
+			fmt.Fprintf(os.Stderr, "churnvet: unexpected argument %q (the whole module is always analyzed)\n", arg)
+			return 2
+		}
+	}
+	root, err := findModuleRoot(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "churnvet:", err)
+		return 2
+	}
+	mod, err := lint.Load(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "churnvet:", err)
+		return 2
+	}
+	var names []string
+	if *only != "" {
+		for _, n := range strings.Split(*only, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+	}
+	findings, err := lint.Run(mod, names)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "churnvet:", err)
+		return 2
+	}
+	for _, f := range findings {
+		// Report module-relative paths so output is stable across checkouts.
+		if rel, err := filepath.Rel(root, f.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			f.Pos.Filename = rel
+		}
+		fmt.Println(f.String())
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "churnvet: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}
+
+// findModuleRoot walks up from dir to the nearest directory containing
+// go.mod.
+func findModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := abs; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("no go.mod found above %s", abs)
+		}
+		d = parent
+	}
+}

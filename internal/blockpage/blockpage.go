@@ -39,11 +39,15 @@ type FingerprintDB struct {
 	known    map[int]bool
 }
 
+// pcgStreamBlock is the fingerprint-corpus RNG stream word ("block" in
+// ASCII); stream words are module-unique, enforced by churnvet.
+const pcgStreamBlock = 0x626c6f636b // "block"
+
 // NewFingerprintDB builds a corpus covering a fraction of the template IDs
 // in [0, numTemplates). Coverage below 1 models censors whose pages the
 // public corpora have not catalogued. Deterministic per seed.
 func NewFingerprintDB(numTemplates int, coverage float64, seed uint64) *FingerprintDB {
-	rng := rand.New(rand.NewPCG(seed, 0x626c6f636b)) // "block"
+	rng := rand.New(rand.NewPCG(seed, pcgStreamBlock))
 	db := &FingerprintDB{known: make(map[int]bool)}
 	for id := 0; id < numTemplates; id++ {
 		if rng.Float64() < coverage {

@@ -116,6 +116,10 @@ func (c *GenConfig) fillDefaults() {
 	}
 }
 
+// pcgStreamCensor is the censor-placement RNG stream word ("censor" in
+// ASCII); stream words are module-unique, enforced by churnvet.
+const pcgStreamCensor = 0x63656e736f72 // "censor"
+
 // Generate places censors into the topology per the configuration. The same
 // inputs always produce the same registry.
 func Generate(g *topology.Graph, cfg GenConfig) (*Registry, error) {
@@ -123,7 +127,7 @@ func Generate(g *topology.Graph, cfg GenConfig) (*Registry, error) {
 	if !cfg.Start.Before(cfg.End) {
 		return nil, fmt.Errorf("censor: start %v not before end %v", cfg.Start, cfg.End)
 	}
-	rng := rand.New(rand.NewPCG(cfg.Seed, 0x63656e736f72)) // "censor"
+	rng := rand.New(rand.NewPCG(cfg.Seed, pcgStreamCensor))
 	reg := NewRegistry()
 	blockpageID := 0
 

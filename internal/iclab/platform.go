@@ -153,12 +153,17 @@ func (s *Scenario) runDay(cfg PlatformConfig, day int) []Record {
 	return recs
 }
 
+// pcgStreamPlatform is the per-day measurement-schedule RNG stream word
+// ("platform" in ASCII); stream words are module-unique, enforced by
+// churnvet.
+const pcgStreamPlatform = 0x706c6174666f726d // "platform"
+
 // runDayInto measures day's shard directly into out, which must have
 // length ShardSize(cfg). Writing in place lets the engine lay all shards
 // out in one flat record slice instead of merging per-day allocations.
 func (s *Scenario) runDayInto(cfg PlatformConfig, day int, out []Record) {
 	at := s.Start.AddDate(0, 0, day)
-	rng := rand.New(rand.NewPCG(DaySeed(cfg.Seed^s.Seed, day), 0x706c6174666f726d)) // "platform"
+	rng := rand.New(rand.NewPCG(DaySeed(cfg.Seed^s.Seed, day), pcgStreamPlatform))
 	pr := newPathRNG()
 	idx := 0
 	// The fleet works through the URL list in lockstep, URLsPerDay at a

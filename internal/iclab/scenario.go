@@ -92,6 +92,11 @@ func (c *ScenarioConfig) fillDefaults() {
 	}
 }
 
+// pcgStreamScenario is the vantage/target-selection RNG stream word
+// ("iclab" in ASCII); stream words are module-unique, enforced by
+// churnvet.
+const pcgStreamScenario = 0x69636c6162 // "iclab"
+
 // BuildScenario selects vantage points and targets over a prepared
 // topology, routing oracle, censor registry and mapping database.
 func BuildScenario(g *topology.Graph, o *routing.Oracle, reg *censor.Registry,
@@ -100,7 +105,7 @@ func BuildScenario(g *topology.Graph, o *routing.Oracle, reg *censor.Registry,
 	if !start.Before(end) {
 		return nil, fmt.Errorf("iclab: start %v not before end %v", start, end)
 	}
-	rng := rand.New(rand.NewPCG(cfg.Seed, 0x69636c6162)) // "iclab"
+	rng := rand.New(rand.NewPCG(cfg.Seed, pcgStreamScenario))
 
 	censoringCountry := map[string]bool{}
 	for _, asn := range reg.ASNs() {

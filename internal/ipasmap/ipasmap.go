@@ -43,6 +43,10 @@ func (c *BuildConfig) fillDefaults() {
 	}
 }
 
+// pcgStreamIP2AS is the snapshot-drift RNG stream word ("ip2as" in
+// ASCII); stream words are module-unique, enforced by churnvet.
+const pcgStreamIP2AS = 0x6970326173 // "ip2as"
+
 // Build derives monthly snapshots from the topology's prefix assignments.
 // Deterministic for identical inputs.
 func Build(g *topology.Graph, cfg BuildConfig) (*DB, error) {
@@ -50,7 +54,7 @@ func Build(g *topology.Graph, cfg BuildConfig) (*DB, error) {
 	if !cfg.Start.Before(cfg.End) {
 		return nil, fmt.Errorf("ipasmap: start %v not before end %v", cfg.Start, cfg.End)
 	}
-	rng := rand.New(rand.NewPCG(cfg.Seed, 0x6970326173)) // "ip2as"
+	rng := rand.New(rand.NewPCG(cfg.Seed, pcgStreamIP2AS))
 	db := &DB{}
 	for at := monthStart(cfg.Start); at.Before(cfg.End); at = at.AddDate(0, 1, 0) {
 		var snap snapshot

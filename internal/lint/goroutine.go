@@ -1,0 +1,38 @@
+package lint
+
+import "go/ast"
+
+// analyzerGoroutine confines `go` statements to internal/parallel. The
+// pool there is the one place that owns cancellation, draining, and
+// panic recovery (a worker panic is re-raised on the caller, never a
+// process crash from an anonymous goroutine); a raw `go` anywhere else
+// in production code escapes those semantics and, worse, is exactly
+// where ordering nondeterminism creeps in. Tests are never loaded, so
+// test helpers may still launch goroutines freely.
+var analyzerGoroutine = &Analyzer{
+	Name: "goroutine",
+	Doc:  "`go` statements only in internal/parallel",
+	Run:  runGoroutine,
+}
+
+func runGoroutine(m *Module) []Finding {
+	var findings []Finding
+	for _, p := range m.Pkgs {
+		if p.Path == m.Path+"/internal/parallel" {
+			continue
+		}
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if g, ok := n.(*ast.GoStmt); ok {
+					findings = append(findings, Finding{
+						Pos:      m.Fset.Position(g.Pos()),
+						Analyzer: "goroutine",
+						Message:  "`go` statement outside internal/parallel; route concurrency through the pool (parallel.ForEachCtx) so cancellation and panic recovery hold",
+					})
+				}
+				return true
+			})
+		}
+	}
+	return findings
+}

@@ -1,0 +1,214 @@
+package lint
+
+import (
+	"fmt"
+	"go/types"
+	"strings"
+)
+
+// analyzerInternalImport guards the public API boundary in both
+// directions. Examples stand in for external modules — which cannot
+// import <module>/internal/... — so any such import there, however
+// aliased or blank, is a finding (this subsumes the old grep in
+// scripts/check-api.sh, which only matched the literal quoted path).
+// And the root package's exported surface must not leak internal named
+// types *indirectly*: every internal type reachable from an exported
+// symbol (signatures, exported fields, exported methods, element types)
+// must have an exported alias in the root package, or external callers
+// would be forced into the internal import the first check forbids.
+var analyzerInternalImport = &Analyzer{
+	Name: "internalimport",
+	Doc:  "examples never import internal packages; the root API leaks no internal types",
+	Run:  runInternalImport,
+}
+
+func runInternalImport(m *Module) []Finding {
+	var findings []Finding
+	for _, p := range m.Pkgs {
+		if !strings.HasPrefix(p.Path, m.Path+"/examples/") {
+			continue
+		}
+		for _, f := range p.Files {
+			for _, spec := range f.Imports {
+				path := strings.Trim(spec.Path.Value, `"`)
+				if m.Internal(path) {
+					findings = append(findings, Finding{
+						Pos:      m.Fset.Position(spec.Pos()),
+						Analyzer: "internalimport",
+						Message:  fmt.Sprintf("example imports %s; examples must consume only the public %s API", path, m.Path),
+					})
+				}
+			}
+		}
+	}
+	if root, ok := m.PackageByPath(m.Path); ok && root.Name != "main" {
+		findings = append(findings, checkRootSurface(m, root)...)
+	}
+	return findings
+}
+
+// surfaceWalker walks the type graph reachable from the root package's
+// exported symbols, hunting internal named types that lack a root alias.
+// Every public-surface named type (root types and sanctioned internal
+// types) is processed exactly once; a finding is attributed to the
+// declaration that *directly* references the offending internal type —
+// the struct field, method, function, or alias — so the fix (or a
+// //churnvet:ok suppression) lands on the responsible line and stays put
+// when unrelated surface shifts around it.
+type surfaceWalker struct {
+	m        *Module
+	allowed  map[*types.TypeName]bool // internal types with an exported root alias
+	queued   map[*types.TypeName]bool
+	queue    []*types.Named
+	reported map[string]bool // carrier pos + internal type, deduped
+	findings []Finding
+}
+
+func checkRootSurface(m *Module, root *Package) []Finding {
+	w := &surfaceWalker{
+		m:        m,
+		allowed:  make(map[*types.TypeName]bool),
+		queued:   make(map[*types.TypeName]bool),
+		reported: make(map[string]bool),
+	}
+	scope := root.Types.Scope()
+	// Pass 1: exported aliases to internal named types sanction those
+	// types — callers can name them without importing internal.
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || !tn.Exported() || !tn.IsAlias() {
+			continue
+		}
+		if named, ok := types.Unalias(tn.Type()).(*types.Named); ok && w.internalType(named.Obj()) {
+			w.allowed[named.Obj()] = true
+		}
+	}
+	// Pass 2: seed the walk from every exported root symbol, then drain
+	// the queue of reachable surface types.
+	for _, name := range scope.Names() {
+		obj := scope.Lookup(name)
+		if !obj.Exported() {
+			continue
+		}
+		w.check(obj.Type(), obj)
+	}
+	for len(w.queue) > 0 {
+		named := w.queue[0]
+		w.queue = w.queue[1:]
+		w.processNamed(named)
+	}
+	return w.findings
+}
+
+func (w *surfaceWalker) internalType(tn *types.TypeName) bool {
+	return tn.Pkg() != nil && w.m.Internal(tn.Pkg().Path())
+}
+
+// processNamed walks one surface type's exported structure: underlying
+// type and exported methods, with fields/methods as the finding carrier.
+func (w *surfaceWalker) processNamed(t *types.Named) {
+	switch under := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < under.NumFields(); i++ {
+			if f := under.Field(i); f.Exported() {
+				w.check(f.Type(), f)
+			}
+		}
+	case *types.Interface:
+		for i := 0; i < under.NumMethods(); i++ {
+			if meth := under.Method(i); meth.Exported() {
+				w.check(meth.Type(), meth)
+			}
+		}
+	default:
+		w.check(under, t.Obj())
+	}
+	for i := 0; i < t.NumMethods(); i++ {
+		if meth := t.Method(i); meth.Exported() {
+			w.check(meth.Type(), meth)
+		}
+	}
+}
+
+// check scans type t for internal named types, reporting them against
+// carrier (the declaration that references t) and enqueueing surface
+// types for their own walk.
+func (w *surfaceWalker) check(t types.Type, carrier types.Object) {
+	switch t := types.Unalias(t).(type) {
+	case *types.Pointer:
+		w.check(t.Elem(), carrier)
+	case *types.Slice:
+		w.check(t.Elem(), carrier)
+	case *types.Array:
+		w.check(t.Elem(), carrier)
+	case *types.Chan:
+		w.check(t.Elem(), carrier)
+	case *types.Map:
+		w.check(t.Key(), carrier)
+		w.check(t.Elem(), carrier)
+	case *types.Signature:
+		for i := 0; i < t.Params().Len(); i++ {
+			w.check(t.Params().At(i).Type(), carrier)
+		}
+		for i := 0; i < t.Results().Len(); i++ {
+			w.check(t.Results().At(i).Type(), carrier)
+		}
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if f := t.Field(i); f.Exported() {
+				w.check(f.Type(), f)
+			}
+		}
+	case *types.Interface:
+		for i := 0; i < t.NumMethods(); i++ {
+			if meth := t.Method(i); meth.Exported() {
+				w.check(meth.Type(), meth)
+			}
+		}
+	case *types.Named:
+		tn := t.Obj()
+		switch {
+		case tn.Pkg() == nil:
+			// error, comparable, ... — universe scope.
+		case w.internalType(tn):
+			if !w.allowed[tn] {
+				w.report(carrier, tn)
+				return
+			}
+			w.enqueue(t)
+		case tn.Pkg().Path() == w.m.Path:
+			w.enqueue(t)
+		default:
+			// stdlib or otherwise foreign — cannot reference our internals.
+		}
+	}
+}
+
+func (w *surfaceWalker) enqueue(t *types.Named) {
+	if tn := t.Obj(); !w.queued[tn] {
+		w.queued[tn] = true
+		w.queue = append(w.queue, t)
+	}
+}
+
+func (w *surfaceWalker) report(carrier types.Object, tn *types.TypeName) {
+	pos := w.m.Fset.Position(carrier.Pos())
+	key := fmt.Sprintf("%s:%d:%s.%s", pos.Filename, pos.Line, tn.Pkg().Path(), tn.Name())
+	if w.reported[key] {
+		return
+	}
+	w.reported[key] = true
+	w.findings = append(w.findings, Finding{
+		Pos:      pos,
+		Analyzer: "internalimport",
+		Message: fmt.Sprintf("%s exposes internal type %s.%s on the public surface with no exported alias in package %s; add `type %s = %s.%s` or stop exposing it",
+			carrier.Name(), tn.Pkg().Path(), tn.Name(), w.m.Path, tn.Name(), pkgBase(tn.Pkg().Path()), tn.Name()),
+	})
+}
+
+func pkgBase(path string) string {
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

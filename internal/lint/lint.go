@@ -1,0 +1,108 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one analyzer hit: a position, the analyzer that fired, and
+// a message explaining the invariant the site violates.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the finding in the conventional file:line:col form,
+// with the position relative to dir when possible (keeps CI output
+// stable across checkouts).
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// Analyzer is one registered invariant check, run over the whole loaded
+// module so cross-package facts (like RNG stream-constant uniqueness)
+// are in scope.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(m *Module) []Finding
+}
+
+// Analyzers returns the registered suite in its canonical order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		analyzerNondet,
+		analyzerRNGStream,
+		analyzerMapOrder,
+		analyzerGoroutine,
+		analyzerInternalImport,
+		analyzerSuppress,
+	}
+}
+
+// ByName resolves one analyzer by its registered name.
+func ByName(name string) (*Analyzer, bool) {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return nil, false
+}
+
+// Run executes the named analyzers (all of them when names is empty)
+// over the module, applies //churnvet:ok suppressions, and returns the
+// surviving findings sorted by position. Unknown analyzer names are an
+// error.
+func Run(m *Module, names []string) ([]Finding, error) {
+	var selected []*Analyzer
+	if len(names) == 0 {
+		selected = Analyzers()
+	} else {
+		for _, name := range names {
+			a, ok := ByName(name)
+			if !ok {
+				return nil, fmt.Errorf("lint: unknown analyzer %q (have %s)", name, strings.Join(analyzerNames(), ", "))
+			}
+			selected = append(selected, a)
+		}
+	}
+	sup := collectSuppressions(m)
+	var findings []Finding
+	for _, a := range selected {
+		for _, f := range a.Run(m) {
+			// Malformed-suppression findings are not themselves
+			// suppressible; everything else honors //churnvet:ok.
+			if a.Name != suppressName && sup.matches(a.Name, f.Pos) {
+				continue
+			}
+			findings = append(findings, f)
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+func analyzerNames() []string {
+	all := Analyzers()
+	names := make([]string, len(all))
+	for i, a := range all {
+		names[i] = a.Name
+	}
+	return names
+}

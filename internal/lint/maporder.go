@@ -1,0 +1,262 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// analyzerMapOrder flags `range` over a map whose body lets Go's
+// randomized iteration order escape into output: appending to a slice
+// that is never sorted afterwards, writing into an encoder or writer, or
+// emitting events / sending on a channel. Order-independent bodies
+// (aggregating into counters, writing into another map, indexed stores)
+// are fine and never flagged. The accepted safe idiom is collect → sort:
+// an append inside the loop is allowed when a sort.*/slices.* call on
+// the same slice follows the loop in the enclosing block. Anything
+// subtler carries a //churnvet:ok maporder suppression with the reason.
+var analyzerMapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "map iteration must not leak randomized order into output",
+	Run:  runMapOrder,
+}
+
+// sinkMethods are method names whose call inside a map-range body writes
+// order-dependent bytes or events somewhere downstream.
+var sinkMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Encode": true, "Emit": true, "Publish": true, "Send": true,
+}
+
+// sinkFmtFuncs are fmt package functions that render directly inside the
+// loop body.
+var sinkFmtFuncs = map[string]bool{
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+}
+
+// sortFuncs are the sort/slices package functions accepted as ordering
+// the collected slice after the loop.
+var sortFuncs = map[string]bool{
+	"Sort": true, "Stable": true, "Slice": true, "SliceStable": true,
+	"Strings": true, "Ints": true, "Float64s": true,
+	"SortFunc": true, "SortStableFunc": true,
+}
+
+func runMapOrder(m *Module) []Finding {
+	var findings []Finding
+	for _, p := range m.Pkgs {
+		for _, f := range p.Files {
+			// Every function body — declared or literal — is a root
+			// statement list; walkStmts handles nesting below it but
+			// never crosses into another function literal.
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch fn := n.(type) {
+				case *ast.FuncDecl:
+					if fn.Body != nil {
+						findings = append(findings, walkStmts(m, p, fn.Body.List)...)
+					}
+				case *ast.FuncLit:
+					findings = append(findings, walkStmts(m, p, fn.Body.List)...)
+				}
+				return true
+			})
+		}
+	}
+	return findings
+}
+
+// walkStmts scans a statement list for map ranges, handing each one the
+// statements that follow it (where the sort-after-collect idiom lives),
+// and recurses into nested statement lists. Function literals are
+// deliberately not entered — ast.Inspect in runMapOrder roots them
+// separately.
+func walkStmts(m *Module, p *Package, list []ast.Stmt) []Finding {
+	var findings []Finding
+	for i, s := range list {
+		switch st := s.(type) {
+		case *ast.RangeStmt:
+			if isMapType(p, st.X) {
+				findings = append(findings, checkMapRange(m, p, st, list[i+1:])...)
+			}
+			findings = append(findings, walkStmts(m, p, st.Body.List)...)
+		case *ast.BlockStmt:
+			findings = append(findings, walkStmts(m, p, st.List)...)
+		case *ast.IfStmt:
+			findings = append(findings, walkStmts(m, p, st.Body.List)...)
+			if st.Else != nil {
+				findings = append(findings, walkStmts(m, p, []ast.Stmt{st.Else})...)
+			}
+		case *ast.ForStmt:
+			findings = append(findings, walkStmts(m, p, st.Body.List)...)
+		case *ast.SwitchStmt:
+			findings = append(findings, walkStmts(m, p, st.Body.List)...)
+		case *ast.TypeSwitchStmt:
+			findings = append(findings, walkStmts(m, p, st.Body.List)...)
+		case *ast.SelectStmt:
+			findings = append(findings, walkStmts(m, p, st.Body.List)...)
+		case *ast.CaseClause:
+			findings = append(findings, walkStmts(m, p, st.Body)...)
+		case *ast.CommClause:
+			findings = append(findings, walkStmts(m, p, st.Body)...)
+		case *ast.LabeledStmt:
+			findings = append(findings, walkStmts(m, p, []ast.Stmt{st.Stmt})...)
+		}
+	}
+	return findings
+}
+
+// isMapType reports whether expression e has map type.
+func isMapType(p *Package, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// checkMapRange inspects one map-range body for order-dependent escapes.
+func checkMapRange(m *Module, p *Package, rs *ast.RangeStmt, rest []ast.Stmt) []Finding {
+	var findings []Finding
+	appended := map[string]ast.Node{} // rendered append target -> first append site
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			findings = append(findings, mapOrderFinding(m, x.Pos(),
+				"channel send inside map iteration emits events in randomized order"))
+		case *ast.CallExpr:
+			if msg := sinkCall(p, x); msg != "" {
+				findings = append(findings, mapOrderFinding(m, x.Pos(), msg))
+			}
+		case *ast.AssignStmt:
+			for _, rhs := range x.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(p, call) || len(call.Args) == 0 {
+					continue
+				}
+				target := types.ExprString(call.Args[0])
+				if _, seen := appended[target]; !seen {
+					appended[target] = call
+				}
+			}
+		}
+		return true
+	})
+	targets := make([]string, 0, len(appended))
+	for target := range appended {
+		targets = append(targets, target)
+	}
+	sort.Strings(targets)
+	for _, target := range targets {
+		site := appended[target]
+		// The safe idiom: a sort of the collected slice later in the
+		// loop body (per-iteration scratch, as in collect-keys-of-inner-
+		// map) or anywhere after the loop in the enclosing block.
+		if sortedWithin(p, rs.Body, target, site.Pos()) || sortedAfter(p, rest, target) {
+			continue
+		}
+		findings = append(findings, mapOrderFinding(m, site.Pos(),
+			fmt.Sprintf("append to %s inside map iteration, and no sort of %s follows the loop; output order depends on map randomization", target, target)))
+	}
+	return findings
+}
+
+func mapOrderFinding(m *Module, pos token.Pos, msg string) Finding {
+	return Finding{Pos: m.Fset.Position(pos), Analyzer: "maporder", Message: msg + " (sort first or add //churnvet:ok maporder -- reason)"}
+}
+
+// sinkCall classifies a call inside a map-range body as an
+// order-dependent escape, returning a message, or "" when it is benign.
+func sinkCall(p *Package, call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		name := fun.Sel.Name
+		// fmt.Fprintf and friends resolved by package path, so aliased
+		// imports are still caught.
+		if fn, ok := p.Info.Uses[fun.Sel].(*types.Func); ok && fn.Pkg() != nil {
+			if fn.Pkg().Path() == "fmt" && sinkFmtFuncs[fn.Name()] {
+				return "fmt." + fn.Name() + " inside map iteration renders in randomized order"
+			}
+		}
+		// Method calls on encoders/writers/emitters by conventional name.
+		if sinkMethods[name] && p.Info.Selections[fun] != nil {
+			return "call to ." + name + " inside map iteration writes in randomized order"
+		}
+	case *ast.Ident:
+		// The repo's event-emission idiom: a plain emit(...) callback.
+		if fun.Name == "emit" {
+			return "emit(...) inside map iteration publishes events in randomized order"
+		}
+	}
+	return ""
+}
+
+// isBuiltinAppend reports whether the call is the append builtin.
+func isBuiltinAppend(p *Package, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := p.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// sortedAfter reports whether any statement after the loop (within its
+// enclosing block) sorts the collected slice — the collect-then-sort
+// idiom that makes the append safe.
+func sortedAfter(p *Package, rest []ast.Stmt, target string) bool {
+	for _, s := range rest {
+		if sortedWithin(p, s, target, s.Pos()-1) {
+			return true
+		}
+	}
+	return false
+}
+
+// sortedWithin reports whether node contains, after position after, a
+// call recognized as sorting target: a sort.*/slices.* function, or a
+// helper whose name carries the sorting intent (sortASNs and friends),
+// with the target among its arguments.
+func sortedWithin(p *Package, node ast.Node, target string, after token.Pos) bool {
+	found := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found || call.Pos() <= after {
+			return !found
+		}
+		if !isSortCall(p, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if types.ExprString(arg) == target {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isSortCall recognizes sort.*/slices.* sorting functions plus local
+// helpers whose name starts with "sort"/"Sort".
+func isSortCall(p *Package, call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if !sortFuncs[fun.Sel.Name] {
+			return strings.HasPrefix(fun.Sel.Name, "Sort") || strings.HasPrefix(fun.Sel.Name, "sort")
+		}
+		fn, ok := p.Info.Uses[fun.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return false
+		}
+		path := fn.Pkg().Path()
+		return path == "sort" || path == "slices"
+	case *ast.Ident:
+		return strings.HasPrefix(fun.Name, "sort") || strings.HasPrefix(fun.Name, "Sort")
+	}
+	return false
+}

@@ -1,0 +1,282 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one loaded, type-checked package of the module under
+// analysis. Only non-test files are loaded: every analyzer exempts
+// _test.go files, so they are never parsed in the first place.
+type Package struct {
+	Path  string      // import path ("churntomo", "churntomo/internal/sat", ...)
+	Dir   string      // absolute directory
+	Name  string      // package name ("main" for binaries)
+	Files []*ast.File // non-test files, with comments, in file-name order
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Module is a fully loaded module: every package type-checked against
+// one shared FileSet, in deterministic (import-path) order.
+type Module struct {
+	Path   string // module path from go.mod
+	Dir    string // module root (directory containing go.mod)
+	Fset   *token.FileSet
+	Pkgs   []*Package
+	byPath map[string]*Package
+}
+
+// PackageByPath returns the loaded package with the given import path.
+func (m *Module) PackageByPath(path string) (*Package, bool) {
+	p, ok := m.byPath[path]
+	return p, ok
+}
+
+// Internal reports whether path names a package under <module>/internal.
+func (m *Module) Internal(path string) bool {
+	return path == m.Path+"/internal" || strings.HasPrefix(path, m.Path+"/internal/")
+}
+
+// relFile renders an absolute file path relative to the module root when
+// possible, keeping finding messages stable across checkouts.
+func (m *Module) relFile(path string) string {
+	if rel, err := filepath.Rel(m.Dir, path); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return path
+}
+
+// The analyzers never need cgo-using stdlib packages, and the source
+// importer cannot type-check cgo files without invoking the cgo tool;
+// force the pure-Go stdlib variants once, process-wide.
+var disableCgo = sync.OnceFunc(func() { build.Default.CgoEnabled = false })
+
+// Load discovers, parses, and type-checks every non-test package under
+// dir, which must be a module root (contain go.mod). Stdlib imports are
+// resolved with the go/types source importer; module-local imports are
+// resolved against the loaded set, so go.mod needs no dependencies and
+// none are consulted.
+func Load(dir string) (*Module, error) {
+	disableCgo()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	m := &Module{
+		Path:   modPath,
+		Dir:    abs,
+		Fset:   token.NewFileSet(),
+		byPath: make(map[string]*Package),
+	}
+	if err := m.parseAll(); err != nil {
+		return nil, err
+	}
+	if err := m.checkAll(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// modulePath extracts the module directive from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("lint: not a module root: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("lint: %s: no module directive", gomod)
+}
+
+// parseAll walks the module tree and parses every non-test .go file,
+// grouping files into packages by directory. testdata, hidden, and
+// underscore-prefixed directories are skipped, exactly as the go tool
+// skips them — which is also what keeps this package's own deliberately
+// violating fixtures out of a real run.
+func (m *Module) parseAll() error {
+	err := filepath.WalkDir(m.Dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != m.Dir && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		name := d.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			return nil
+		}
+		file, err := parser.ParseFile(m.Fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return err
+		}
+		pkgDir := filepath.Dir(path)
+		ip := m.importPath(pkgDir)
+		p, ok := m.byPath[ip]
+		if !ok {
+			p = &Package{Path: ip, Dir: pkgDir, Name: file.Name.Name}
+			m.byPath[ip] = p
+			m.Pkgs = append(m.Pkgs, p)
+		}
+		if p.Name != file.Name.Name {
+			return fmt.Errorf("lint: %s: package %s conflicts with package %s in %s", path, file.Name.Name, p.Name, pkgDir)
+		}
+		p.Files = append(p.Files, file)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	sort.Slice(m.Pkgs, func(i, j int) bool { return m.Pkgs[i].Path < m.Pkgs[j].Path })
+	return nil
+}
+
+// importPath maps an absolute package directory to its import path.
+func (m *Module) importPath(dir string) string {
+	rel, err := filepath.Rel(m.Dir, dir)
+	if err != nil || rel == "." {
+		return m.Path
+	}
+	return m.Path + "/" + filepath.ToSlash(rel)
+}
+
+// moduleImporter resolves module-local imports from the loaded set and
+// everything else (the stdlib) through the source importer.
+type moduleImporter struct {
+	m        *Module
+	fallback types.Importer
+}
+
+func (mi *moduleImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == mi.m.Path || strings.HasPrefix(path, mi.m.Path+"/") {
+		p, ok := mi.m.byPath[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: module package %s not found", path)
+		}
+		if p.Types == nil {
+			return nil, fmt.Errorf("lint: import cycle or unchecked package %s", path)
+		}
+		return p.Types, nil
+	}
+	return mi.fallback.Import(path)
+}
+
+// checkAll type-checks the packages in dependency order.
+func (m *Module) checkAll() error {
+	order, err := m.topoOrder()
+	if err != nil {
+		return err
+	}
+	imp := &moduleImporter{m: m, fallback: importer.ForCompiler(m.Fset, "source", nil)}
+	for _, p := range order {
+		var errs []error
+		conf := types.Config{
+			Importer: imp,
+			Error:    func(err error) { errs = append(errs, err) },
+		}
+		p.Info = &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+		tpkg, cerr := conf.Check(p.Path, m.Fset, p.Files, p.Info)
+		if len(errs) > 0 {
+			msgs := make([]string, 0, len(errs))
+			for _, e := range errs {
+				msgs = append(msgs, e.Error())
+			}
+			return fmt.Errorf("lint: type-checking %s:\n\t%s", p.Path, strings.Join(msgs, "\n\t"))
+		}
+		if cerr != nil {
+			return fmt.Errorf("lint: type-checking %s: %w", p.Path, cerr)
+		}
+		p.Types = tpkg
+	}
+	return nil
+}
+
+// topoOrder sorts packages so every module-local import is checked
+// before its importers, detecting cycles.
+func (m *Module) topoOrder() ([]*Package, error) {
+	const (
+		unseen = iota
+		visiting
+		done
+	)
+	state := make(map[*Package]int, len(m.Pkgs))
+	order := make([]*Package, 0, len(m.Pkgs))
+	var visit func(p *Package) error
+	visit = func(p *Package) error {
+		switch state[p] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("lint: import cycle through %s", p.Path)
+		}
+		state[p] = visiting
+		for _, dep := range m.localImports(p) {
+			if err := visit(dep); err != nil {
+				return err
+			}
+		}
+		state[p] = done
+		order = append(order, p)
+		return nil
+	}
+	for _, p := range m.Pkgs {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// localImports lists the module-local packages p imports, in
+// deterministic order.
+func (m *Module) localImports(p *Package) []*Package {
+	seen := make(map[string]bool)
+	var deps []*Package
+	for _, f := range p.Files {
+		for _, spec := range f.Imports {
+			path := strings.Trim(spec.Path.Value, `"`)
+			if path != m.Path && !strings.HasPrefix(path, m.Path+"/") {
+				continue
+			}
+			if seen[path] {
+				continue
+			}
+			seen[path] = true
+			if dep, ok := m.byPath[path]; ok {
+				deps = append(deps, dep)
+			}
+		}
+	}
+	sort.Slice(deps, func(i, j int) bool { return deps[i].Path < deps[j].Path })
+	return deps
+}

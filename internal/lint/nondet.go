@@ -1,0 +1,104 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// analyzerNondet bans ambient-nondeterminism reads — wall clock,
+// process environment, and the shared global RNG — from the
+// deterministic packages: the root package and everything under
+// internal/. Those packages are the same-seed→same-output kernel;
+// cmd/ binaries and examples are interface glue and may read clocks and
+// flags freely, and _test.go files are never loaded at all.
+var analyzerNondet = &Analyzer{
+	Name: "nondet",
+	Doc:  "no time.Now/time.Since, global math/rand, or os.Getenv in deterministic packages",
+	Run:  runNondet,
+}
+
+// nondetBanned maps package path → banned top-level function names. Any
+// reference (call or value) to one of these from a deterministic package
+// is a finding. For math/rand the constructors are fine — it is the
+// process-global generator and the implicit clock seeding that break
+// replayability.
+var nondetBanned = map[string]map[string]string{
+	"time": {
+		"Now":       "reads the wall clock",
+		"Since":     "reads the wall clock",
+		"Until":     "reads the wall clock",
+		"Tick":      "reads the wall clock",
+		"After":     "reads the wall clock",
+		"AfterFunc": "reads the wall clock",
+		"NewTicker": "reads the wall clock",
+		"NewTimer":  "reads the wall clock",
+	},
+	"os": {
+		"Getenv":    "reads the process environment",
+		"LookupEnv": "reads the process environment",
+		"Environ":   "reads the process environment",
+		"ExpandEnv": "reads the process environment",
+	},
+}
+
+// mathRandAllowed lists the math/rand{,/v2} top-level functions that are
+// constructors for explicitly seeded generators; every other top-level
+// function drives the shared global source.
+var mathRandAllowed = map[string]bool{
+	"New":        true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+	"NewZipf":    true,
+	"NewSource":  true,
+}
+
+// deterministic reports whether the package must uphold the
+// same-seed→same-output invariant: the module root and all of
+// internal/... (including this lint package — it dogfoods its own rule).
+func deterministic(m *Module, p *Package) bool {
+	return p.Path == m.Path || m.Internal(p.Path)
+}
+
+func runNondet(m *Module) []Finding {
+	var findings []Finding
+	for _, p := range m.Pkgs {
+		if !deterministic(m, p) {
+			continue
+		}
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				fn, ok := p.Info.Uses[id].(*types.Func)
+				if !ok || fn.Pkg() == nil {
+					return true
+				}
+				// Only package-level functions: methods (Time.Sub,
+				// Rand.IntN, ...) are deterministic given their receiver.
+				if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+					return true
+				}
+				pkgPath, name := fn.Pkg().Path(), fn.Name()
+				if why, ok := nondetBanned[pkgPath][name]; ok {
+					findings = append(findings, Finding{
+						Pos:      m.Fset.Position(id.Pos()),
+						Analyzer: "nondet",
+						Message:  pkgPath + "." + name + " " + why + "; deterministic packages must derive everything from the seed and inputs",
+					})
+					return true
+				}
+				if (pkgPath == "math/rand" || pkgPath == "math/rand/v2") && !mathRandAllowed[name] {
+					findings = append(findings, Finding{
+						Pos:      m.Fset.Position(id.Pos()),
+						Analyzer: "nondet",
+						Message:  pkgPath + "." + name + " uses the shared global RNG; construct a seeded generator (rand.New(rand.NewPCG(seed, stream))) instead",
+					})
+				}
+				return true
+			})
+		}
+	}
+	return findings
+}

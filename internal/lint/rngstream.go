@@ -1,0 +1,171 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// analyzerRNGStream polices the project's RNG-stream discipline. Every
+// generator is rand.New(rand.NewPCG(seed, K)) where the seed word varies
+// per run/day and K is the *stream* word that keeps independent
+// generators decorrelated even when their seeds collide. Two rules make
+// that auditable: K must be a named constant declared as a hex literal
+// (so the stream table is greppable and the ASCII mnemonic stays next to
+// its declaration), and every NewPCG call site must use a K distinct
+// from every other call site in the module, or two generators could
+// silently produce identical sequences.
+var analyzerRNGStream = &Analyzer{
+	Name: "rngstream",
+	Doc:  "rand.NewPCG stream words are named hex constants, unique module-wide",
+	Run:  runRNGStream,
+}
+
+type pcgSite struct {
+	pos       token.Position
+	constName string
+	value     uint64
+}
+
+func runRNGStream(m *Module) []Finding {
+	var findings []Finding
+	constDecls := constLiterals(m)
+	var sites []pcgSite
+	for _, p := range m.Pkgs {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isNewPCG(p, call) || len(call.Args) != 2 {
+					return true
+				}
+				pos := m.Fset.Position(call.Args[1].Pos())
+				obj := constObject(p, call.Args[1])
+				if obj == nil {
+					findings = append(findings, Finding{
+						Pos:      pos,
+						Analyzer: "rngstream",
+						Message:  "rand.NewPCG stream word must be a named hex constant (const streamFoo = 0x...), not an inline expression",
+					})
+					return true
+				}
+				lit, declared := constDecls[obj]
+				if !declared || !isHexLiteral(lit) {
+					findings = append(findings, Finding{
+						Pos:      pos,
+						Analyzer: "rngstream",
+						Message:  fmt.Sprintf("stream constant %s must be declared as a hex literal so the stream table stays greppable", obj.Name()),
+					})
+					return true
+				}
+				val, ok := constant.Uint64Val(obj.Val())
+				if !ok {
+					findings = append(findings, Finding{
+						Pos:      pos,
+						Analyzer: "rngstream",
+						Message:  fmt.Sprintf("stream constant %s does not fit in uint64", obj.Name()),
+					})
+					return true
+				}
+				sites = append(sites, pcgSite{pos: pos, constName: obj.Name(), value: val})
+				return true
+			})
+		}
+	}
+	findings = append(findings, duplicateStreams(m, sites)...)
+	return findings
+}
+
+// duplicateStreams reports every NewPCG call site whose stream word
+// collides with an earlier site anywhere in the module.
+func duplicateStreams(m *Module, sites []pcgSite) []Finding {
+	sort.Slice(sites, func(i, j int) bool {
+		a, b := sites[i], sites[j]
+		if a.pos.Filename != b.pos.Filename {
+			return a.pos.Filename < b.pos.Filename
+		}
+		return a.pos.Line < b.pos.Line
+	})
+	first := make(map[uint64]pcgSite)
+	var findings []Finding
+	for _, s := range sites {
+		prev, seen := first[s.value]
+		if !seen {
+			first[s.value] = s
+			continue
+		}
+		findings = append(findings, Finding{
+			Pos:      s.pos,
+			Analyzer: "rngstream",
+			Message: fmt.Sprintf("stream word 0x%x (%s) already used at %s:%d (%s); every NewPCG site needs a unique stream or generators can correlate",
+				s.value, s.constName, m.relFile(prev.pos.Filename), prev.pos.Line, prev.constName),
+		})
+	}
+	return findings
+}
+
+// isNewPCG reports whether the call resolves to math/rand/v2.NewPCG.
+func isNewPCG(p *Package, call *ast.CallExpr) bool {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.Ident:
+		id = fun
+	default:
+		return false
+	}
+	fn, ok := p.Info.Uses[id].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "math/rand/v2" && fn.Name() == "NewPCG"
+}
+
+// constObject resolves an argument expression to the named constant it
+// refers to, or nil when it is anything else (literal, arithmetic, call).
+func constObject(p *Package, e ast.Expr) *types.Const {
+	var id *ast.Ident
+	switch x := e.(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return nil
+	}
+	c, _ := p.Info.Uses[id].(*types.Const)
+	return c
+}
+
+// constLiterals indexes every module-level constant declaration onto the
+// literal expression it was declared with.
+func constLiterals(m *Module) map[*types.Const]*ast.BasicLit {
+	decls := make(map[*types.Const]*ast.BasicLit)
+	for _, p := range m.Pkgs {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				spec, ok := n.(*ast.ValueSpec)
+				if !ok {
+					return true
+				}
+				for i, name := range spec.Names {
+					c, ok := p.Info.Defs[name].(*types.Const)
+					if !ok || i >= len(spec.Values) {
+						continue
+					}
+					if lit, ok := spec.Values[i].(*ast.BasicLit); ok {
+						decls[c] = lit
+					}
+				}
+				return true
+			})
+		}
+	}
+	return decls
+}
+
+func isHexLiteral(lit *ast.BasicLit) bool {
+	return lit != nil && lit.Kind == token.INT &&
+		(strings.HasPrefix(lit.Value, "0x") || strings.HasPrefix(lit.Value, "0X"))
+}

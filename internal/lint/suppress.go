@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+const suppressName = "suppress"
+
+// analyzerSuppress validates the suppression comments themselves: a
+// comment that invokes the churnvet: namespace but is malformed —
+// unknown directive, unknown analyzer name, missing `--` separator or
+// empty reason — is a finding, so a typo can never silently disable a
+// real check. These findings are not suppressible.
+var analyzerSuppress = &Analyzer{
+	Name: suppressName,
+	Doc:  "malformed //churnvet:ok suppression comments are findings",
+	Run: func(m *Module) []Finding {
+		var findings []Finding
+		forEachDirective(m, func(pos token.Position, text string) {
+			if _, msg := parseSuppression(text); msg != "" {
+				findings = append(findings, Finding{Pos: pos, Analyzer: suppressName, Message: msg})
+			}
+		})
+		return findings
+	},
+}
+
+// suppression is one parsed, valid //churnvet:ok comment. It silences
+// findings for exactly one analyzer on the comment's own line (the
+// end-of-line form) or the line directly below it (the standalone form).
+type suppression struct {
+	analyzer string
+	file     string
+	line     int
+}
+
+type suppressionSet map[string][]suppression // keyed by filename
+
+func (s suppressionSet) matches(analyzer string, pos token.Position) bool {
+	for _, sup := range s[pos.Filename] {
+		if sup.analyzer == analyzer && (sup.line == pos.Line || sup.line == pos.Line-1) {
+			return true
+		}
+	}
+	return false
+}
+
+// collectSuppressions indexes every well-formed suppression in the
+// module; malformed ones are deliberately excluded (and reported by the
+// suppress analyzer instead).
+func collectSuppressions(m *Module) suppressionSet {
+	set := make(suppressionSet)
+	forEachDirective(m, func(pos token.Position, text string) {
+		if analyzer, msg := parseSuppression(text); msg == "" {
+			set[pos.Filename] = append(set[pos.Filename], suppression{analyzer: analyzer, file: pos.Filename, line: pos.Line})
+		}
+	})
+	return set
+}
+
+// forEachDirective invokes fn for every //churnvet:* comment in the
+// module with the comment's position and its text after `//`.
+func forEachDirective(m *Module, fn func(pos token.Position, text string)) {
+	for _, p := range m.Pkgs {
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					trimmed := strings.TrimSpace(text)
+					if !strings.HasPrefix(trimmed, "churnvet:") {
+						continue
+					}
+					fn(m.Fset.Position(c.Pos()), trimmed)
+				}
+			}
+		}
+	}
+}
+
+// parseSuppression parses `churnvet:ok <analyzer> -- <reason>` and
+// returns the analyzer name, or a non-empty problem description when the
+// comment is malformed.
+func parseSuppression(text string) (analyzer, problem string) {
+	rest, ok := strings.CutPrefix(text, "churnvet:ok")
+	if !ok {
+		directive := strings.Fields(text)[0]
+		return "", "unknown churnvet directive " + quote(directive) + " (only //churnvet:ok is recognized)"
+	}
+	if rest != "" && !strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "\t") {
+		// e.g. churnvet:okay...
+		directive := strings.Fields(text)[0]
+		return "", "unknown churnvet directive " + quote(directive) + " (only //churnvet:ok is recognized)"
+	}
+	body, reason, found := strings.Cut(rest, "--")
+	name := strings.TrimSpace(body)
+	if name == "" {
+		return "", "suppression names no analyzer (want //churnvet:ok <analyzer> -- <reason>)"
+	}
+	if len(strings.Fields(name)) != 1 {
+		return "", "suppression must name exactly one analyzer, got " + quote(name)
+	}
+	if !suppressible(name) {
+		return "", "suppression names unknown analyzer " + quote(name) + " (have " + strings.Join(suppressibleNames(), ", ") + ")"
+	}
+	if !found {
+		return "", "suppression for " + name + " is missing the `-- <reason>` clause"
+	}
+	if strings.TrimSpace(reason) == "" {
+		return "", "suppression for " + name + " has an empty reason (a written justification is required)"
+	}
+	return name, ""
+}
+
+// suppressibleList names the analyzers whose findings may be silenced
+// with //churnvet:ok; the suppress analyzer itself deliberately is not.
+// Kept as a static list (rather than derived from Analyzers) to avoid an
+// initialization cycle; TestRegistry pins the two in sync.
+var suppressibleList = []string{"nondet", "rngstream", "maporder", "goroutine", "internalimport"}
+
+func suppressible(name string) bool {
+	for _, n := range suppressibleList {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+func suppressibleNames() []string { return suppressibleList }
+
+func quote(s string) string { return "\"" + s + "\"" }

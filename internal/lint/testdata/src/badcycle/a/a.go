@@ -1,0 +1,7 @@
+// Package a imports b, which imports a — an import cycle.
+package a
+
+import "churnvet.fixture/badcycle/b"
+
+// X references b so the import is used.
+var X = b.Y

@@ -1,0 +1,7 @@
+// Package b closes the cycle back to a.
+package b
+
+import "churnvet.fixture/badcycle/a"
+
+// Y references a so the import is used.
+var Y = a.X

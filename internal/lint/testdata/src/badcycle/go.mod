@@ -1,0 +1,3 @@
+module churnvet.fixture/badcycle
+
+go 1.22

@@ -1,0 +1,4 @@
+// Package broken fails type-checking: V references an undefined name.
+package broken
+
+var V = undefinedIdent

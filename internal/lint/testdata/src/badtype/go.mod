@@ -1,0 +1,3 @@
+module churnvet.fixture/badtype
+
+go 1.22

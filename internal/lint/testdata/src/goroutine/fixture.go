@@ -1,0 +1,13 @@
+// Package fixture exercises the goroutine analyzer: raw `go` statements
+// are confined to internal/parallel.
+package fixture
+
+// Launch starts a goroutine outside the sanctioned pool.
+func Launch(f func()) {
+	go f() // want "outside internal/parallel"
+}
+
+// Suppressed carries a written justification.
+func Suppressed(f func()) {
+	go f() //churnvet:ok goroutine -- fixture: demonstrates suppression
+}

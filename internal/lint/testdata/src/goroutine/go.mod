@@ -1,0 +1,3 @@
+module churnvet.fixture/goroutine
+
+go 1.22

@@ -1,0 +1,7 @@
+// Package parallel is the one place `go` statements are allowed.
+package parallel
+
+// Spawn launches f; no finding here.
+func Spawn(f func()) {
+	go f()
+}

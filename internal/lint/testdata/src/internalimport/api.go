@@ -1,0 +1,28 @@
+// Package api is the public surface of the internalimport fixture. The
+// root package may import its own internal packages; the analyzer checks
+// what it re-exposes.
+package api
+
+import "churnvet.fixture/internalimport/internal/impl"
+
+// Widget is the sanctioned escape hatch: an exported alias lets callers
+// name the internal type without importing internal/impl.
+type Widget = impl.Widget
+
+// Config exposes internal types in several ways.
+type Config struct {
+	// W is fine: Widget is an exported root alias.
+	W Widget
+	G impl.Gadget // want "G exposes internal type churnvet.fixture/internalimport/internal/impl.Gadget"
+	H impl.Hidden //churnvet:ok internalimport -- fixture: demonstrates suppression
+}
+
+// NewGadget leaks an internal type through a result.
+func NewGadget() impl.Gadget { // want "NewGadget exposes internal type"
+	return impl.Gadget{}
+}
+
+// Describe takes only sanctioned and universe types — no findings.
+func Describe(w Widget, n int) string {
+	return w.Label
+}

@@ -1,0 +1,14 @@
+// Command demo stands in for an external consumer: examples must build
+// against the public API only. The aliased import form is still caught —
+// the check matches import paths, not source text.
+package main
+
+import (
+	"fmt"
+
+	guts "churnvet.fixture/internalimport/internal/impl" // want "example imports churnvet.fixture/internalimport/internal/impl"
+)
+
+func main() {
+	fmt.Println(guts.Gadget{N: 1})
+}

@@ -1,0 +1,3 @@
+module churnvet.fixture/internalimport
+
+go 1.22

@@ -1,0 +1,16 @@
+// Package impl is the fixture's internal implementation package.
+package impl
+
+// Widget is aliased by the root package, so it is part of the public
+// surface — which means its own exported structure is walked too.
+type Widget struct {
+	Label string
+	Inner Gadget // want "Inner exposes internal type churnvet.fixture/internalimport/internal/impl.Gadget"
+}
+
+// Gadget has no root alias: exposing it anywhere on the surface is a
+// finding.
+type Gadget struct{ N int }
+
+// Hidden is referenced only by a suppressed field.
+type Hidden struct{}

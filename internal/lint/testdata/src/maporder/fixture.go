@@ -1,0 +1,119 @@
+// Package fixture exercises the maporder analyzer: map iteration whose
+// body lets the randomized order escape into output.
+package fixture
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+	"strings"
+)
+
+// CollectUnsorted appends under map iteration and never sorts.
+func CollectUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "append to out inside map iteration"
+	}
+	return out
+}
+
+// CollectSorted is the sanctioned collect-then-sort idiom.
+func CollectSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// CollectSlicesSorted sorts with the slices package instead.
+func CollectSlicesSorted(m map[int]bool) []int {
+	var vals []int
+	for k := range m {
+		vals = append(vals, k)
+	}
+	slices.Sort(vals)
+	return vals
+}
+
+// NestedScratch sorts per-iteration scratch inside the outer loop body:
+// both the inner collect and the outer loop are safe.
+func NestedScratch(m map[string]map[string]int) [][]string {
+	var rows [][]string
+	var names []string
+	for name, inner := range m {
+		var ks []string
+		for ik := range inner {
+			ks = append(ks, ik)
+		}
+		sort.Strings(ks)
+		rows = append(rows, ks)
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	sort.Slice(rows, func(i, j int) bool { return len(rows[i]) < len(rows[j]) })
+	return rows
+}
+
+// Aggregate is order-independent — counters never expose iteration order.
+func Aggregate(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Reindex writes into another map — also order-independent.
+func Reindex(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// Render writes bytes inside the loop.
+func Render(m map[string]int) string {
+	var sb strings.Builder
+	for k := range m {
+		sb.WriteString(k) // want "WriteString inside map iteration"
+	}
+	return sb.String()
+}
+
+// Printed formats directly inside the loop.
+func Printed(m map[string]int) string {
+	var sb strings.Builder
+	for k, v := range m {
+		fmt.Fprintf(&sb, "%s=%d\n", k, v) // want "fmt.Fprintf inside map iteration"
+	}
+	return sb.String()
+}
+
+// SendAll emits on a channel in randomized order.
+func SendAll(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want "channel send inside map iteration"
+	}
+}
+
+func emit(string) {}
+
+// Publish uses the event-emission idiom.
+func Publish(m map[string]bool) {
+	for k := range m {
+		emit(k) // want "publishes events in randomized order"
+	}
+}
+
+// Suppressed carries a written justification for an unsorted collect.
+func Suppressed(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) //churnvet:ok maporder -- fixture: consumer treats out as a set
+	}
+	return out
+}

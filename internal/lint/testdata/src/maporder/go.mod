@@ -1,0 +1,3 @@
+module churnvet.fixture/maporder
+
+go 1.22

@@ -1,0 +1,13 @@
+// Command tool shows that cmd/ binaries are exempt: interface glue may
+// read clocks and the environment freely.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+)
+
+func main() {
+	fmt.Println(time.Now(), os.Getenv("HOME"))
+}

@@ -1,0 +1,41 @@
+// Package fixture exercises the nondet analyzer: ambient-nondeterminism
+// reads in a deterministic (module-root) package.
+package fixture
+
+import (
+	"math/rand/v2"
+	"os"
+	"time"
+)
+
+// Clock reads the wall clock directly.
+func Clock() time.Time {
+	return time.Now() // want "time.Now reads the wall clock"
+}
+
+// Env reads the process environment.
+func Env() string {
+	return os.Getenv("HOME") // want "os.Getenv reads the process environment"
+}
+
+// Global drives the shared global RNG.
+func Global() int {
+	return rand.IntN(10) // want "uses the shared global RNG"
+}
+
+// Seeded constructs an explicitly seeded generator: the constructors are
+// allowed, and methods on the generator are deterministic given it.
+func Seeded(seed uint64) int {
+	rng := rand.New(rand.NewPCG(seed, 0x1))
+	return rng.IntN(10)
+}
+
+// Elapsed uses only time arithmetic — methods are fine.
+func Elapsed(a, b time.Time) time.Duration {
+	return b.Sub(a)
+}
+
+// Suppressed demonstrates the end-of-line suppression form.
+func Suppressed() time.Time {
+	return time.Now() //churnvet:ok nondet -- fixture: demonstrates suppression
+}

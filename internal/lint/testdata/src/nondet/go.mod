@@ -1,0 +1,3 @@
+module churnvet.fixture/nondet
+
+go 1.22

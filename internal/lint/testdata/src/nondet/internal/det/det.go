@@ -1,0 +1,9 @@
+// Package det shows that internal/... packages are deterministic too.
+package det
+
+import "time"
+
+// Age reads the wall clock through time.Since.
+func Age(t time.Time) time.Duration {
+	return time.Since(t) // want "time.Since reads the wall clock"
+}

@@ -1,0 +1,37 @@
+// Package fixture exercises the rngstream analyzer: every NewPCG stream
+// word must be a named hex constant, unique module-wide.
+package fixture
+
+import "math/rand/v2"
+
+const (
+	streamAlpha = 0x616c706861 // "alpha"
+	streamBeta  = 0x62657461   // "beta"
+	streamDup   = 0x616c706861 // collides with streamAlpha by value
+	streamDec   = 99991        // declared as a decimal literal
+)
+
+// Good uses two distinct named hex stream constants — no findings.
+func Good(seed uint64) (*rand.Rand, *rand.Rand) {
+	return rand.New(rand.NewPCG(seed, streamAlpha)), rand.New(rand.NewPCG(seed, streamBeta))
+}
+
+// Inline passes a literal instead of a named constant.
+func Inline(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, 0xdead)) // want "named hex constant"
+}
+
+// Decimal names a constant that was not declared as a hex literal.
+func Decimal(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, streamDec)) // want "declared as a hex literal"
+}
+
+// Duplicate reuses a stream value already claimed by Good.
+func Duplicate(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, streamDup)) // want "already used at"
+}
+
+// SuppressedDup is the same collision, silenced with a written reason.
+func SuppressedDup(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, streamDup)) //churnvet:ok rngstream -- fixture: deliberate collision to demonstrate suppression
+}

@@ -1,0 +1,3 @@
+module churnvet.fixture/rngstream
+
+go 1.22

@@ -1,0 +1,25 @@
+// Package fixture exercises the suppress analyzer: malformed
+// //churnvet:ok comments are findings themselves, so a typo can never
+// silently disable a real check.
+package fixture
+
+//churnvet:ok nosuch -- the analyzer does not exist // want "unknown analyzer"
+
+//churnvet:frobnicate cache // want "unknown churnvet directive"
+
+//churnvet:okay maporder -- close but no // want "unknown churnvet directive"
+
+/* want "names no analyzer" */ //churnvet:ok
+
+//churnvet:ok maporder goroutine -- two names // want "exactly one analyzer"
+
+/* want "missing the" */ //churnvet:ok maporder
+
+/* want "empty reason" */ //churnvet:ok maporder --
+
+//churnvet:ok maporder -- a well-formed suppression is not a finding
+
+// A plain comment mentioning churnvet in prose is not a directive.
+
+// Placeholder is here so the package has a declaration.
+var Placeholder = 0

@@ -1,0 +1,3 @@
+module churnvet.fixture/suppressbad
+
+go 1.22

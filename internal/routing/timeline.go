@@ -142,6 +142,18 @@ func (c *TimelineConfig) fillDefaults() {
 	}
 }
 
+// The timeline generator's RNG stream words (ASCII mnemonics). Outage
+// bursts, policy waves, and the salt base each get a dedicated stream so
+// the background churn stays byte-identical whether or not those
+// features are scheduled; stream words are module-unique, enforced by
+// churnvet.
+const (
+	pcgStreamChurn   = 0x636875726e     // "churn"
+	pcgStreamOutages = 0x6f757461676573 // "outages"
+	pcgStreamWaves   = 0x7761766573     // "waves"
+	pcgStreamSalt    = 0x73616c74       // "salt"
+)
+
 // GenTimeline builds a churn timeline for g. Identical inputs produce
 // identical timelines.
 func GenTimeline(g *topology.Graph, cfg TimelineConfig) (*Timeline, error) {
@@ -168,7 +180,7 @@ func GenTimeline(g *topology.Graph, cfg TimelineConfig) (*Timeline, error) {
 			return nil, fmt.Errorf("routing: wave %d: Frac %v outside (0, 1]", i, w.Frac)
 		}
 	}
-	rng := rand.New(rand.NewPCG(cfg.Seed, 0x636875726e)) // "churn"
+	rng := rand.New(rand.NewPCG(cfg.Seed, pcgStreamChurn))
 	span := cfg.End.Sub(cfg.Start)
 	years := span.Hours() / (365 * 24)
 
@@ -213,7 +225,7 @@ func GenTimeline(g *topology.Graph, cfg TimelineConfig) (*Timeline, error) {
 	// Regional outage bursts. A dedicated RNG keeps the background churn
 	// above byte-identical whether or not bursts are scheduled.
 	if len(cfg.Outages) > 0 {
-		orng := rand.New(rand.NewPCG(cfg.Seed, 0x6f757461676573)) // "outages"
+		orng := rand.New(rand.NewPCG(cfg.Seed, pcgStreamOutages))
 		for _, o := range cfg.Outages {
 			at := cfg.Start.Add(time.Duration(o.At * float64(span)))
 			for _, link := range g.Links {
@@ -235,7 +247,7 @@ func GenTimeline(g *topology.Graph, cfg TimelineConfig) (*Timeline, error) {
 	// background churn above byte-identical whether or not waves are
 	// scheduled.
 	if len(cfg.Waves) > 0 {
-		wrng := rand.New(rand.NewPCG(cfg.Seed, 0x7761766573)) // "waves"
+		wrng := rand.New(rand.NewPCG(cfg.Seed, pcgStreamWaves))
 		for _, w := range cfg.Waves {
 			at := cfg.Start.Add(time.Duration(w.At * float64(span)))
 			for i := range g.ASes {
@@ -263,7 +275,7 @@ func GenTimeline(g *topology.Graph, cfg TimelineConfig) (*Timeline, error) {
 		End:     cfg.End,
 		events:  events,
 		salts:   make(map[int32][]saltChange),
-		base:    rand.New(rand.NewPCG(cfg.Seed, 0x73616c74)).Uint64(), // "salt"
+		base:    rand.New(rand.NewPCG(cfg.Seed, pcgStreamSalt)).Uint64(),
 		nevents: len(events),
 	}
 	tl.buildEpochs(g)

@@ -90,10 +90,14 @@ type Spec struct {
 	// Echoes names the paper section or related work the preset models.
 	Echoes string
 
-	Topology TopologyProvider
-	Churn    ChurnProcess
-	Censors  CensorRegime
-	Platform PlatformProfile
+	// The four axes are opaque to external callers: provider values come
+	// from the registry (ScenarioByName, Scenarios) and are recomposed,
+	// not implemented, outside the module — their methods exchange
+	// internal substrate types by design.
+	Topology TopologyProvider //churnvet:ok internalimport -- axis values are opaque; external presets recompose registry providers
+	Churn    ChurnProcess     //churnvet:ok internalimport -- axis values are opaque; external presets recompose registry providers
+	Censors  CensorRegime     //churnvet:ok internalimport -- axis values are opaque; external presets recompose registry providers
+	Platform PlatformProfile  //churnvet:ok internalimport -- axis values are opaque; external presets recompose registry providers
 }
 
 // withDefaults fills nil axes with the paper-baseline providers.

@@ -134,7 +134,10 @@ func (inc *Incremental) AddDay(day int, records []iclab.Record) {
 		}
 		st.days[day] = grp
 		inc.dirty[key] = true
-		inc.byDay[day] = append(inc.byDay[day], key)
+		// byDay is consumed strictly as a set: RemoveDay marks members
+		// dirty and deletes them, and rebuilds walk the sorted key index,
+		// so insertion order never reaches any output.
+		inc.byDay[day] = append(inc.byDay[day], key) //churnvet:ok maporder -- byDay is a retraction set; order never escapes (RemoveDay marks dirty/deletes only)
 	}
 }
 

@@ -264,6 +264,12 @@ type generator struct {
 	nextBlock uint32 // next /16 block index for prefix allocation
 }
 
+// pcgStreamTopology is the graph generator's RNG stream word (truncated
+// "topology" in ASCII; the historical seed value is kept so existing
+// golden worlds reproduce). Stream words are module-unique, enforced by
+// churnvet.
+const pcgStreamTopology = 0x70706f6c6f6779 // "ppology"
+
 // Generate builds a topology from cfg. Identical configs produce identical
 // graphs.
 func Generate(cfg GenConfig) (*Graph, error) {
@@ -273,7 +279,7 @@ func Generate(cfg GenConfig) (*Graph, error) {
 	cfg.fillDefaults()
 	gen := &generator{
 		cfg:       cfg,
-		rng:       rand.New(rand.NewPCG(cfg.Seed, 0x70706f6c6f6779)), // "topology"
+		rng:       rand.New(rand.NewPCG(cfg.Seed, pcgStreamTopology)),
 		g:         &Graph{byASN: make(map[ASN]int32)},
 		usedASN:   make(map[ASN]bool),
 		nextBlock: 20 << 8, // allocate /16s starting at 20.0.0.0

@@ -128,11 +128,15 @@ var hostStems = [...][]string{
 
 var tlds = []string{"com", "net", "org", "info", "co"}
 
+// pcgStreamURLs is the URL-corpus generator's RNG stream word ("urls" in
+// ASCII); stream words are module-unique, enforced by churnvet.
+const pcgStreamURLs = 0x75726c73 // "urls"
+
 // GenURLs produces n synthetic test-list URLs with a category mix biased
 // toward the categories the paper reports as most-censored. Deterministic
 // for a given seed.
 func GenURLs(seed uint64, n int) []URL {
-	rng := rand.New(rand.NewPCG(seed, 0x75726c73)) // "urls"
+	rng := rand.New(rand.NewPCG(seed, pcgStreamURLs))
 	// Weighted category selection: the head categories get more URLs, every
 	// category gets at least one URL once n is large enough.
 	weights := make([]int, NumCategories)

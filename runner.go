@@ -125,14 +125,16 @@ type StreamRun struct {
 	// populated — the Windows timeline replaces them.
 	Pipeline *Pipeline
 	// Windows is the emitted timeline, in order.
-	Windows []*stream.Window
+	Windows []*stream.Window //churnvet:ok internalimport -- deprecated pre-Experiment surface; Result.Windows is the exported form
 	// Convergence summarizes each ever-identified censor's trajectory:
 	// first window seen, how many windows until it stabilized.
-	Convergence []stream.Convergence
+	Convergence []stream.Convergence //churnvet:ok internalimport -- deprecated pre-Experiment surface; Result.Convergence is the exported form
 }
 
 // Final returns the last emitted window, or nil when the replay was too
 // short to fill one.
+//
+//churnvet:ok internalimport -- deprecated pre-Experiment surface; Result.FinalWindow is the exported form
 func (sr *StreamRun) Final() *stream.Window {
 	if len(sr.Windows) == 0 {
 		return nil

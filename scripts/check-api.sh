@@ -1,14 +1,12 @@
 #!/bin/sh
-# check-api.sh: asserts the examples consume only churntomo's public API.
+# check-api.sh: asserts the public-API boundary holds in both directions.
 # The examples stand in for external modules — which cannot import
-# churntomo/internal/... — so any such import here means the public
-# Experiment/Result surface regressed. Run from the repo root;
-# `make api-check` (part of the docs gate and `make ci`) wires it in.
+# churntomo/internal/... — and the root package's exported surface must
+# not leak internal named types without an exported alias. Both checks
+# are the churnvet internalimport analyzer (internal/lint), which resolves
+# real import paths and walks the type graph, so aliased imports and
+# indirect type leaks are caught where the old grep for the quoted path
+# was not. Run from the repo root; `make api-check` (part of the docs
+# gate and `make ci`) wires it in.
 set -eu
-# Match the quoted import path, not prose mentioning it in comments.
-hits=$(grep -rn '"churntomo/internal' examples/ || true)
-if [ -n "$hits" ]; then
-    echo "examples must not import churntomo/internal packages:" >&2
-    echo "$hits" >&2
-    exit 1
-fi
+go run ./cmd/churnvet -only internalimport ./...
