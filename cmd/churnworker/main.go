@@ -1,0 +1,29 @@
+// Command churnworker is a dedicated distributed-execution worker: it
+// speaks the churntomo worker protocol on stdin/stdout and exits when the
+// coordinator closes the pipe. It takes no flags — every parameter arrives
+// in the job envelopes.
+//
+// A distributed experiment normally re-executes its own binary as the
+// worker (see churntomo.MaybeWorker); churnworker exists for deployments
+// that want a separate, minimal worker executable instead:
+//
+//	exp, _ := churntomo.New(
+//		churntomo.WithSeedSweep(8),
+//		churntomo.WithDistributed(4),
+//		churntomo.WithWorkerBinary("/usr/local/bin/churnworker"),
+//	)
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"churntomo"
+)
+
+func main() {
+	if err := churntomo.ServeWorker(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "churnworker:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,254 @@
+package churntomo
+
+// The coordinator side of distributed execution (see WithDistributed).
+// Matrix cells — or, for a single batch run, contiguous day ranges of its
+// measurement schedule — are serialized into self-contained job envelopes
+// and dispatched to a pool of worker subprocesses (internal/distrib); the
+// results merge through the same deterministic aggregation the in-process
+// paths use, so the output is byte-identical at any worker count.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+
+	"churntomo/internal/dataset"
+	"churntomo/internal/distrib"
+	"churntomo/internal/iclab"
+	"churntomo/internal/leakage"
+	"churntomo/internal/tomo"
+)
+
+// CellError is a matrix cell that failed in a worker process. Unwrap
+// exposes the transport-level *distrib.WorkerError (the worker crashed on
+// both attempts) or deterministic *distrib.RemoteError behind it.
+type CellError struct {
+	// Cell is the matrix cell index, -1 for a non-matrix job.
+	Cell int
+	Err  error
+}
+
+// Error implements error.
+func (e *CellError) Error() string {
+	if e.Cell < 0 {
+		return fmt.Sprintf("churntomo: distributed run: %v", e.Err)
+	}
+	return fmt.Sprintf("churntomo: matrix cell %d: %v", e.Cell, e.Err)
+}
+
+// Unwrap exposes the underlying worker failure.
+func (e *CellError) Unwrap() error { return e.Err }
+
+// workerCommand resolves the worker argv: the WithWorkerBinary override,
+// or the running binary re-executed with the magic worker argument (which
+// MaybeWorker intercepts — churnlab and the test binaries both do).
+func (e *Experiment) workerCommand() ([]string, error) {
+	if len(e.workerCmd) > 0 {
+		return e.workerCmd, nil
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, fmt.Errorf("churntomo: resolving the worker binary (own executable): %w", err)
+	}
+	return []string{exe, workerArg}, nil
+}
+
+// cellEnvelope serializes one matrix cell as a self-contained job: the
+// cell config plus a reference to its measurement source.
+func (e *Experiment) cellEnvelope(cfg Config, cell int) ([]byte, error) {
+	env := jobEnvelope{Kind: jobKindCell, Config: cfg, MinCNFs: e.resolvedMinCNFs(), MemoryMB: e.workerMemMB}
+	env.Config.Progress = nil
+	src := e.sourceFor(cell)
+	switch s := src.(type) {
+	case *ScenarioSource:
+		// The scenario name travels in Config.Scenario; New rejected specs.
+	case *FileSource:
+		env.SourcePath = s.Path
+	case *Dataset:
+		f, err := publicToFile(s)
+		if err != nil {
+			return nil, fmt.Errorf("churntomo: cell %d: %w", cell, err)
+		}
+		var buf bytes.Buffer
+		if err := dataset.Encode(&buf, f); err != nil {
+			return nil, fmt.Errorf("churntomo: cell %d: encoding inline dataset: %w", cell, err)
+		}
+		env.SourceData = buf.Bytes()
+	default:
+		return nil, fmt.Errorf("churntomo: cell %d: source %q cannot cross the worker process boundary", cell, src.Label())
+	}
+	return json.Marshal(&env)
+}
+
+// runMatrixDistributed executes the matrix cells in worker subprocesses,
+// one envelope per cell, and returns per-cell results in input order —
+// the distributed twin of runMatrixCells. Worker events are re-tagged with
+// their cell index and fed to the observers live; each settled cell emits
+// the same StageCell event the in-process path would. A failed cell
+// carries a *CellError instead of aborting the sweep; only a done ctx (or
+// an unresolvable worker command) fails the run itself.
+func (e *Experiment) runMatrixDistributed(ctx context.Context, cfgs []Config) ([]MatrixResult, error) {
+	cmd, err := e.workerCommand()
+	if err != nil {
+		return nil, err
+	}
+	jobs := make([][]byte, len(cfgs))
+	for i := range cfgs {
+		if jobs[i], err = e.cellEnvelope(cfgs[i], i); err != nil {
+			return nil, err
+		}
+	}
+	// Indexed writes from OnDone are race-free: each job settles exactly
+	// once, and distrib.Run joins every driver before returning.
+	summaries := make([]*CellSummary, len(cfgs))
+	cellErrs := make([]error, len(cfgs))
+	// Outcomes are consumed through OnDone (which also drives the live
+	// StageCell events); only the run-level error matters here.
+	_, runErr := distrib.Run(ctx, distrib.Options{
+		Procs:   e.procs,
+		Command: cmd,
+		OnEvent: func(job int, payload []byte) {
+			var w wireEvent
+			if err := json.Unmarshal(payload, &w); err != nil {
+				return
+			}
+			ev := eventFromWire(w)
+			ev.Cell = job
+			e.emit(ev)
+		},
+		OnDone: func(job int, out distrib.Outcome) {
+			if out.Err != nil {
+				cellErrs[job] = &CellError{Cell: job, Err: out.Err}
+			} else {
+				var w wireCellResult
+				if err := json.Unmarshal(out.Payload, &w); err != nil {
+					cellErrs[job] = &CellError{Cell: job, Err: fmt.Errorf("decoding cell result: %w", err)}
+				} else {
+					summaries[job] = summaryFromWire(&w)
+				}
+			}
+			if errors.Is(out.Err, context.Canceled) || errors.Is(out.Err, context.DeadlineExceeded) {
+				return // a canceled cell is not an outcome worth reporting
+			}
+			ev := newEvent(StageCell)
+			ev.Cell = job
+			ev.Err = cellErrs[job]
+			ev.Stats.Seed = cfgs[job].Seed
+			if s := summaries[job]; s != nil {
+				ev.Stats.Censors = len(s.Identified)
+				ev.Stats.CNFs = s.CNFs
+			}
+			e.emit(ev)
+		},
+	}, jobs)
+	if runErr != nil {
+		return nil, runErr
+	}
+	results := make([]MatrixResult, len(cfgs))
+	for i := range cfgs {
+		results[i] = MatrixResult{Index: i, Config: cfgs[i], Summary: summaries[i], Err: cellErrs[i]}
+	}
+	return results, nil
+}
+
+// dayRanges splits a days-long schedule into contiguous [lo, hi) chunks
+// for the worker pool — several chunks per worker, so a slow process never
+// strands a quarter of the schedule behind it.
+func dayRanges(days, procs int) [][2]int {
+	chunks := procs * 4
+	if chunks > days {
+		chunks = days
+	}
+	if chunks < 1 {
+		chunks = 1
+	}
+	out := make([][2]int, 0, chunks)
+	for i := 0; i < chunks; i++ {
+		lo, hi := i*days/chunks, (i+1)*days/chunks
+		if lo < hi {
+			out = append(out, [2]int{lo, hi})
+		}
+	}
+	return out
+}
+
+// runCellDistributed executes one batch cell with its measurement days
+// fanned out across worker subprocesses: the coordinator builds the world
+// (and narrates the substrate stages, exactly as an in-process run would),
+// workers measure disjoint day ranges, and the format-v1 slices merge
+// through MergeShards into the same record sequence — then the solve runs
+// locally on the merged dataset. Byte-identical to runCell at any worker
+// count; day-sharded randomness makes that a property of the engine, not
+// of scheduling.
+func (e *Experiment) runCellDistributed(ctx context.Context, cfg Config) (*cellRun, error) {
+	cfg.Progress = nil
+	emit := func(ev Event) {
+		ev.Cell = -1
+		e.emit(ev)
+	}
+	src, ok := e.sourceFor(-1).(*ScenarioSource)
+	if !ok {
+		// New validates this; keep the failure typed rather than panicking.
+		return nil, fmt.Errorf("churntomo: distributed batch runs require scenario synthesis")
+	}
+	spec, err := src.spec(e, cfg)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Scenario = spec.Name
+	p, err := prepareSpecCtx(ctx, cfg, spec, emit)
+	if err != nil {
+		return nil, err
+	}
+	ev := newEvent(StageMeasure)
+	ev.Stats.Seed = p.Config.Seed
+	emit(ev)
+
+	days := p.Scenario.Days()
+	ranges := dayRanges(days, e.procs)
+	cmd, err := e.workerCommand()
+	if err != nil {
+		return nil, err
+	}
+	jobs := make([][]byte, len(ranges))
+	for i, r := range ranges {
+		env := jobEnvelope{Kind: jobKindDays, Config: p.Config, MemoryMB: e.workerMemMB, DayLo: r[0], DayHi: r[1]}
+		env.Config.Progress = nil
+		if jobs[i], err = json.Marshal(&env); err != nil {
+			return nil, err
+		}
+	}
+	outs, err := distrib.Run(ctx, distrib.Options{Procs: e.procs, Command: cmd}, jobs)
+	if err != nil {
+		return nil, err
+	}
+	shards := make([][]iclab.Record, days)
+	for i, out := range outs {
+		lo, hi := ranges[i][0], ranges[i][1]
+		if out.Err != nil {
+			return nil, fmt.Errorf("churntomo: distributed measurement days %d..%d: %w", lo, hi-1, out.Err)
+		}
+		f, err := dataset.Decode(bytes.NewReader(out.Payload))
+		if err != nil {
+			return nil, fmt.Errorf("churntomo: distributed measurement days %d..%d: decoding slice: %w", lo, hi-1, err)
+		}
+		if len(f.Days) != days {
+			return nil, fmt.Errorf("churntomo: distributed measurement days %d..%d: worker returned a %d-day slice for a %d-day schedule", lo, hi-1, len(f.Days), days)
+		}
+		copy(shards[lo:hi], f.Days[lo:hi])
+	}
+	p.Dataset = iclab.NewDataset(p.Scenario, iclab.MergeShards(shards))
+	ev = newEvent(StageSolve)
+	ev.Stats.Seed = p.Config.Seed
+	emit(ev)
+	p.Instances, p.Outcomes, err = tomo.BuildAndSolveCtx(ctx, p.Dataset.Records, tomo.BuildConfig{Workers: p.Config.Workers})
+	if err != nil {
+		return nil, err
+	}
+	p.Identified = tomo.IdentifyCensors(p.Outcomes, e.resolvedMinCNFs())
+	p.Leakage = leakage.Analyze(p.Outcomes, p.Graph)
+	return &cellRun{cfg: p.Config, pipe: p}, nil
+}

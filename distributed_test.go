@@ -1,0 +1,355 @@
+package churntomo
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"churntomo/internal/distrib"
+)
+
+// TestMain intercepts the worker re-executions of this test binary before
+// any test runs: the default self-exec worker (MaybeWorker, exactly what
+// churnlab does) and the fault-injecting crashy worker the crash tests
+// install via WithWorkerBinary.
+func TestMain(m *testing.M) {
+	MaybeWorker()
+	if len(os.Args) >= 3 && os.Args[1] == crashyWorkerArg {
+		crashyWorkerMain(os.Args[2])
+	}
+	os.Exit(m.Run())
+}
+
+// crashyWorkerArg turns this test binary into a worker that dies mid-job.
+const crashyWorkerArg = "__churntomo_crashy_worker__"
+
+// crashyWorkerMain speaks the worker protocol but kills the process on the
+// first job it receives, leaving the sentinel file as proof — so the
+// pool's respawned retry (which finds the sentinel) succeeds and the test
+// can assert the crash actually happened. A sentinel of "-" crashes on
+// every attempt, modeling a worker that can never finish a job.
+func crashyWorkerMain(sentinel string) {
+	err := serveWorkerFault(os.Stdin, os.Stdout, func() bool {
+		if sentinel == "-" {
+			return true
+		}
+		if _, err := os.Stat(sentinel); err == nil {
+			return false // already crashed once; behave this time
+		}
+		if err := os.WriteFile(sentinel, []byte("crashed\n"), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "crashy worker: writing sentinel:", err)
+			os.Exit(1)
+		}
+		return true
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crashy worker:", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// serveWorkerFault is the crash-injection twin of ServeWorker: before
+// executing each job it consults shouldCrash and, when told to, dies the
+// way a real worker crash does — abruptly, mid-protocol, with a nonzero
+// exit — instead of returning a typed failure.
+func serveWorkerFault(r *os.File, w *os.File, shouldCrash func() bool) error {
+	return distrib.Serve(r, w, func(job int, payload []byte, emit func([]byte)) ([]byte, error) {
+		if shouldCrash() {
+			fmt.Fprintln(os.Stderr, "crashy worker: simulated crash")
+			os.Exit(3)
+		}
+		return runWorkerJob(job, payload, emit)
+	})
+}
+
+// --- Option validation ------------------------------------------------------
+
+func TestDistributedOptionValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		opts []Option
+		want string // substring of the New error
+	}{
+		{"zero procs", []Option{WithDistributed(0)}, "WithDistributed"},
+		{"negative procs", []Option{WithDistributed(-2)}, "WithDistributed"},
+		{"with streaming", []Option{WithDistributed(2), WithStreaming()}, "mutually exclusive"},
+		{"with window", []Option{WithDistributed(2), WithWindow(7)}, "mutually exclusive"},
+		{"with matrix workers", []Option{WithDistributed(2), WithMatrixWorkers(2)}, "both bound matrix concurrency"},
+		{"worker binary without distributed", []Option{WithWorkerBinary("/bin/worker")}, "WithWorkerBinary without WithDistributed"},
+		{"empty worker binary", []Option{WithDistributed(2), WithWorkerBinary("")}, "WithWorkerBinary"},
+		{"memory budget without distributed", []Option{WithWorkerMemoryMB(512)}, "WithWorkerMemoryMB without WithDistributed"},
+		{"zero memory budget", []Option{WithDistributed(2), WithWorkerMemoryMB(0)}, "WithWorkerMemoryMB"},
+		{"batch replay", []Option{WithDistributed(2), WithInput("ds.jsonl.gz")}, "nothing left to measure"},
+		{"composed spec", []Option{WithDistributed(2), WithScenarioSpec(ScenarioSpec{Name: "composed"})}, "cannot cross the worker process boundary"},
+	}
+	for _, tc := range cases {
+		_, err := New(tc.opts...)
+		if err == nil {
+			t.Errorf("%s: New accepted invalid options", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// --- Byte identity ----------------------------------------------------------
+
+// compareBatchResults asserts the public outcome of two batch runs is
+// identical: identifications, summary, censor enrichment, leakage, churn
+// and the ground-truth evaluation. Raw Pipelines are deliberately out of
+// scope — a distributed dataset crosses a JSON round trip, which may
+// normalize time.Time representations without changing any derived value.
+func compareBatchResults(t *testing.T, got, want *Result) {
+	t.Helper()
+	if gb, wb := identifiedBytes(got.Identified), identifiedBytes(want.Identified); !reflect.DeepEqual(gb, wb) {
+		t.Errorf("identifications diverge:\n%s\nvs\n%s", gb, wb)
+	}
+	if !reflect.DeepEqual(got.Summary, want.Summary) {
+		t.Errorf("summaries diverge: %+v vs %+v", got.Summary, want.Summary)
+	}
+	if !reflect.DeepEqual(got.Censors, want.Censors) {
+		t.Error("censor enrichment diverges")
+	}
+	if !reflect.DeepEqual(got.Leakage, want.Leakage) {
+		t.Errorf("leakage summaries diverge: %+v vs %+v", got.Leakage, want.Leakage)
+	}
+	if !reflect.DeepEqual(got.Churn, want.Churn) {
+		t.Error("churn distributions diverge")
+	}
+	if !reflect.DeepEqual(got.Evaluation, want.Evaluation) {
+		t.Errorf("ground-truth evaluations diverge: %+v vs %+v", got.Evaluation, want.Evaluation)
+	}
+}
+
+// compareMatrixResults asserts two matrix runs agree on everything the
+// matrix mode publishes: the aggregate and the per-cell statuses.
+func compareMatrixResults(t *testing.T, got, want *Result) {
+	t.Helper()
+	if !reflect.DeepEqual(got.Matrix, want.Matrix) {
+		t.Errorf("matrix aggregates diverge:\n%+v\nvs\n%+v", got.Matrix, want.Matrix)
+	}
+	if !reflect.DeepEqual(got.Cells, want.Cells) {
+		t.Errorf("cell statuses diverge:\n%+v\nvs\n%+v", got.Cells, want.Cells)
+	}
+}
+
+// TestDistributedMatchesInProcess is the acceptance gate for distributed
+// execution: at every worker count, both the matrix path (cells as jobs)
+// and the batch path (day ranges as jobs) must reproduce the in-process
+// result exactly. `scripts/check-dist.sh` asserts the same property on
+// churnlab's rendered stdout.
+func TestDistributedMatchesInProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process pipelines in -short mode")
+	}
+	for _, seed := range []uint64{1, 7} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			base := matrixConfig()
+			base.Seed = seed
+			matrixRef := runDirect(t, WithConfig(base), WithSeedSweep(3))
+			batchRef := runDirect(t, WithConfig(base))
+			for _, procs := range []int{1, 2, 4} {
+				t.Run(fmt.Sprintf("procs=%d", procs), func(t *testing.T) {
+					mres := runDirect(t, WithConfig(base), WithSeedSweep(3), WithDistributed(procs))
+					if mres.Mode != ModeMatrix {
+						t.Fatalf("mode %v, want matrix", mres.Mode)
+					}
+					compareMatrixResults(t, mres, matrixRef)
+					for _, p := range mres.Pipelines {
+						if p != nil {
+							t.Fatal("distributed cells must not ship Pipelines back")
+						}
+					}
+
+					bres := runDirect(t, WithConfig(base), WithDistributed(procs))
+					if bres.Mode != ModeBatch {
+						t.Fatalf("mode %v, want batch", bres.Mode)
+					}
+					compareBatchResults(t, bres, batchRef)
+				})
+			}
+		})
+	}
+}
+
+// TestDistributedDatasetSources covers the inline-envelope path: *Dataset
+// cell sources are serialized into the job itself (no file handoff), and
+// the distributed matrix over them matches the in-process one.
+func TestDistributedDatasetSources(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process pipelines in -short mode")
+	}
+	base := matrixConfig()
+	ds, err := runDirect(t, WithConfig(base)).Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := runDirect(t, WithConfig(base), WithSources(ds, ds))
+	res := runDirect(t, WithConfig(base), WithSources(ds, ds), WithDistributed(2))
+	compareMatrixResults(t, res, ref)
+	if res.Matrix.Runs != 2 || res.Matrix.Failed != 0 {
+		t.Fatalf("runs=%d failed=%d, want 2/0", res.Matrix.Runs, res.Matrix.Failed)
+	}
+}
+
+// TestDistributedForwardsWorkerEvents checks live observer progress: cell
+// events emitted inside a worker process arrive at the coordinator's
+// observers re-tagged with the cell index, and every settled cell emits a
+// StageCell event exactly as the in-process matrix does.
+func TestDistributedForwardsWorkerEvents(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process pipelines in -short mode")
+	}
+	perCell := map[int]int{}
+	cellsDone := map[int]bool{}
+	exp, err := New(WithConfig(matrixConfig()), WithSeedSweep(2), WithDistributed(2),
+		WithObserver(func(ev Event) {
+			if ev.Cell < 0 {
+				t.Errorf("distributed matrix event without a cell index: %+v", ev)
+				return
+			}
+			if ev.Stage == StageCell {
+				cellsDone[ev.Cell] = true
+				return
+			}
+			perCell[ev.Cell]++
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := exp.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for cell := 0; cell < 2; cell++ {
+		if !cellsDone[cell] {
+			t.Errorf("cell %d never emitted StageCell", cell)
+		}
+		if perCell[cell] == 0 {
+			t.Errorf("cell %d forwarded no worker progress events", cell)
+		}
+	}
+}
+
+// --- Fault injection --------------------------------------------------------
+
+// workerBinary resolves this test binary for WithWorkerBinary.
+func workerBinary(t *testing.T) string {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return exe
+}
+
+// TestDistributedWorkerCrashRecovers kills a worker mid-cell and asserts
+// the retry covers for it: the run succeeds, and the partial results of
+// the crashed attempt never corrupt the merged output — it stays identical
+// to the in-process run. procs=1 keeps the job assignment deterministic.
+func TestDistributedWorkerCrashRecovers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process pipelines in -short mode")
+	}
+	base := matrixConfig()
+
+	t.Run("matrix", func(t *testing.T) {
+		sentinel := filepath.Join(t.TempDir(), "crashed")
+		ref := runDirect(t, WithConfig(base), WithSeedSweep(2))
+		res := runDirect(t, WithConfig(base), WithSeedSweep(2), WithDistributed(1),
+			WithWorkerBinary(workerBinary(t), crashyWorkerArg, sentinel))
+		if _, err := os.Stat(sentinel); err != nil {
+			t.Fatal("the worker never crashed; fault injection is broken")
+		}
+		compareMatrixResults(t, res, ref)
+		if res.Matrix.Failed != 0 {
+			t.Fatalf("%d cells failed after a recovered crash", res.Matrix.Failed)
+		}
+	})
+
+	t.Run("batch day shards", func(t *testing.T) {
+		sentinel := filepath.Join(t.TempDir(), "crashed")
+		ref := runDirect(t, WithConfig(base))
+		res := runDirect(t, WithConfig(base), WithDistributed(2),
+			WithWorkerBinary(workerBinary(t), crashyWorkerArg, sentinel))
+		if _, err := os.Stat(sentinel); err != nil {
+			t.Fatal("the worker never crashed; fault injection is broken")
+		}
+		compareBatchResults(t, res, ref)
+	})
+}
+
+// TestDistributedWorkerCrashSurfacesTypedError drives a worker that
+// crashes on every attempt: after the single retry the failure must
+// surface as a typed error — never a hang, never a corrupted aggregate.
+func TestDistributedWorkerCrashSurfacesTypedError(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process pipelines in -short mode")
+	}
+	base := matrixConfig()
+
+	t.Run("matrix cell error", func(t *testing.T) {
+		res := runDirect(t, WithConfig(base), WithSeedSweep(2), WithDistributed(1),
+			WithWorkerBinary(workerBinary(t), crashyWorkerArg, "-"))
+		if res.Matrix.Runs != 0 || res.Matrix.Failed != 2 {
+			t.Fatalf("runs=%d failed=%d, want 0/2", res.Matrix.Runs, res.Matrix.Failed)
+		}
+		if res.Matrix.TotalCNFs != 0 || len(res.Matrix.Censors) != 0 {
+			t.Fatalf("failed cells leaked partial results into the aggregate: %+v", res.Matrix)
+		}
+		for _, cs := range res.Cells {
+			var ce *CellError
+			if !errors.As(cs.Err, &ce) || ce.Cell != cs.Index {
+				t.Fatalf("cell %d error %v is not its typed *CellError", cs.Index, cs.Err)
+			}
+			var we *distrib.WorkerError
+			if !errors.As(cs.Err, &we) {
+				t.Fatalf("cell %d error %v hides the transport *WorkerError", cs.Index, cs.Err)
+			}
+			if we.Attempts != 2 {
+				t.Errorf("cell %d settled after %d attempts, want 2 (one retry)", cs.Index, we.Attempts)
+			}
+			if !strings.Contains(we.Stderr, "simulated crash") {
+				t.Errorf("cell %d WorkerError dropped the stderr tail: %q", cs.Index, we.Stderr)
+			}
+		}
+	})
+
+	t.Run("batch run error", func(t *testing.T) {
+		exp, err := New(WithConfig(base), WithDistributed(1),
+			WithWorkerBinary(workerBinary(t), crashyWorkerArg, "-"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = exp.Run(context.Background())
+		var we *distrib.WorkerError
+		if !errors.As(err, &we) {
+			t.Fatalf("batch run error %v is not a typed *WorkerError", err)
+		}
+		if we.Attempts != 2 {
+			t.Errorf("settled after %d attempts, want 2", we.Attempts)
+		}
+	})
+}
+
+// TestDistributedCancellation extends the prompt-cancellation guarantee to
+// worker pools: canceling the context mid-run kills the subprocesses and
+// Run returns context.Canceled without leaking goroutines.
+func TestDistributedCancellation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process pipelines in -short mode")
+	}
+	t.Run("matrix", func(t *testing.T) {
+		runCanceled(t, StageCell, WithConfig(matrixConfig()), WithSeedSweep(4), WithDistributed(2))
+	})
+	t.Run("batch", func(t *testing.T) {
+		runCanceled(t, StageMeasure, WithConfig(matrixConfig()), WithDistributed(2))
+	})
+}

@@ -1,0 +1,359 @@
+package distrib
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// The pool is tested against real subprocesses: the test binary re-execs
+// itself as a fake worker, with os.Args[1] selecting the failure mode.
+// TestMain intercepts the re-exec before the testing framework parses
+// flags.
+
+const fakePrefix = "distrib-fake:"
+
+func TestMain(m *testing.M) {
+	if len(os.Args) > 1 && strings.HasPrefix(os.Args[1], fakePrefix) {
+		fakeWorkerMain(strings.TrimPrefix(os.Args[1], fakePrefix))
+		return
+	}
+	os.Exit(m.Run())
+}
+
+func fakeWorkerMain(mode string) {
+	switch mode {
+	case "garbage":
+		// Not a protocol worker at all: junk on stdout, then exit.
+		os.Stdout.WriteString("this child does not speak the frame protocol\n")
+		return
+	case "badversion":
+		bw := bufio.NewWriter(os.Stdout)
+		_ = writeFrame(bw, frameHello, Version+41, nil)
+		_ = bw.Flush()
+		return
+	case "silent":
+		// Never speaks; the hello watchdog must kill it.
+		time.Sleep(30 * time.Second)
+		return
+	}
+	err := Serve(os.Stdin, os.Stdout, func(job int, payload []byte, emit func([]byte)) ([]byte, error) {
+		switch mode {
+		case "ok":
+			emit([]byte("ev:" + string(payload)))
+			return []byte("ok:" + string(payload)), nil
+		case "fail":
+			if string(payload) == "boom" {
+				return nil, errors.New("deterministic job failure")
+			}
+			return payload, nil
+		case "crash-once":
+			// Crash exactly once per sentinel file: the retry attempt
+			// (and every other job) finds the sentinel and succeeds.
+			if strings.HasPrefix(string(payload), "crash") {
+				sentinel := os.Args[2]
+				if _, err := os.Stat(sentinel); err != nil {
+					_ = os.WriteFile(sentinel, []byte("crashed"), 0o644)
+					fmt.Fprintln(os.Stderr, "injected crash")
+					os.Exit(2)
+				}
+			}
+			return payload, nil
+		case "crash-always":
+			fmt.Fprintln(os.Stderr, "worker exploding")
+			os.Exit(2)
+		case "slow":
+			time.Sleep(100 * time.Millisecond)
+			return payload, nil
+		}
+		return nil, fmt.Errorf("unknown fake worker mode %q", mode)
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fake worker:", err)
+		os.Exit(1)
+	}
+}
+
+// fakeCommand builds the re-exec argv for a fake worker mode.
+func fakeCommand(t *testing.T, mode string, extra ...string) []string {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatalf("os.Executable: %v", err)
+	}
+	return append([]string{exe, fakePrefix + mode}, extra...)
+}
+
+func TestRunOrderingAndEvents(t *testing.T) {
+	t.Parallel()
+	jobs := make([][]byte, 12)
+	for i := range jobs {
+		jobs[i] = []byte(fmt.Sprintf("job-%d", i))
+	}
+	var mu sync.Mutex
+	events := map[int]string{}
+	done := map[int]bool{}
+	outs, err := Run(context.Background(), Options{
+		Procs:   4,
+		Command: fakeCommand(t, "ok"),
+		OnEvent: func(job int, p []byte) {
+			mu.Lock()
+			events[job] = string(p)
+			mu.Unlock()
+		},
+		OnDone: func(job int, out Outcome) {
+			mu.Lock()
+			done[job] = true
+			mu.Unlock()
+		},
+	}, jobs)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(outs) != len(jobs) {
+		t.Fatalf("got %d outcomes, want %d", len(outs), len(jobs))
+	}
+	for i, out := range outs {
+		if out.Err != nil {
+			t.Fatalf("job %d: %v", i, out.Err)
+		}
+		if want := fmt.Sprintf("ok:job-%d", i); string(out.Payload) != want {
+			t.Errorf("job %d payload %q, want %q (ordered merge broken)", i, out.Payload, want)
+		}
+		if want := fmt.Sprintf("ev:job-%d", i); events[i] != want {
+			t.Errorf("job %d event %q, want %q", i, events[i], want)
+		}
+		if !done[i] {
+			t.Errorf("job %d: OnDone never fired", i)
+		}
+	}
+}
+
+func TestRemoteErrorNotRetried(t *testing.T) {
+	t.Parallel()
+	jobs := [][]byte{[]byte("fine"), []byte("boom"), []byte("also-fine")}
+	outs, err := Run(context.Background(), Options{Procs: 1, Command: fakeCommand(t, "fail")}, jobs)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if outs[0].Err != nil || outs[2].Err != nil {
+		t.Fatalf("healthy jobs failed: %v / %v", outs[0].Err, outs[2].Err)
+	}
+	var re *RemoteError
+	if !errors.As(outs[1].Err, &re) {
+		t.Fatalf("job 1 error %v, want *RemoteError", outs[1].Err)
+	}
+	if re.Job != 1 || !strings.Contains(re.Msg, "deterministic job failure") {
+		t.Errorf("RemoteError = %+v", re)
+	}
+	// Jobs 0..2 ran on one process (Procs: 1): the worker surviving the
+	// fail frame is what let job 2 succeed after job 1's failure.
+	if string(outs[2].Payload) != "also-fine" {
+		t.Errorf("job 2 payload %q", outs[2].Payload)
+	}
+}
+
+func TestCrashRetriesOnce(t *testing.T) {
+	t.Parallel()
+	sentinel := filepath.Join(t.TempDir(), "crashed-once")
+	jobs := [][]byte{[]byte("a"), []byte("crash-me"), []byte("c")}
+	outs, err := Run(context.Background(), Options{
+		Procs:   1,
+		Command: fakeCommand(t, "crash-once", sentinel),
+	}, jobs)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i, out := range outs {
+		if out.Err != nil {
+			t.Fatalf("job %d: %v (crash must be retried on a fresh process)", i, out.Err)
+		}
+		if string(out.Payload) != string(jobs[i]) {
+			t.Errorf("job %d payload %q, want %q", i, out.Payload, jobs[i])
+		}
+	}
+	if _, err := os.Stat(sentinel); err != nil {
+		t.Fatalf("sentinel missing: the worker never crashed, so the retry path went untested")
+	}
+}
+
+func TestCrashAlwaysSurfacesTypedError(t *testing.T) {
+	t.Parallel()
+	jobs := [][]byte{[]byte("x"), []byte("y")}
+	outs, err := Run(context.Background(), Options{Procs: 1, Command: fakeCommand(t, "crash-always")}, jobs)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i, out := range outs {
+		var we *WorkerError
+		if !errors.As(out.Err, &we) {
+			t.Fatalf("job %d error %v, want *WorkerError", i, out.Err)
+		}
+		if we.Job != i || we.Attempts != 2 {
+			t.Errorf("job %d: WorkerError{Job: %d, Attempts: %d}, want one retry (2 attempts)", i, we.Job, we.Attempts)
+		}
+		if !strings.Contains(we.Stderr, "worker exploding") {
+			t.Errorf("job %d: stderr tail %q missing the worker's dying words", i, we.Stderr)
+		}
+	}
+}
+
+func TestNonProtocolChild(t *testing.T) {
+	t.Parallel()
+	outs, err := Run(context.Background(), Options{Procs: 1, Command: fakeCommand(t, "garbage")}, [][]byte{[]byte("j")})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var we *WorkerError
+	if !errors.As(outs[0].Err, &we) {
+		t.Fatalf("error %v, want *WorkerError", outs[0].Err)
+	}
+}
+
+func TestVersionSkew(t *testing.T) {
+	t.Parallel()
+	outs, err := Run(context.Background(), Options{Procs: 1, Command: fakeCommand(t, "badversion")}, [][]byte{[]byte("j")})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if outs[0].Err == nil || !strings.Contains(outs[0].Err.Error(), "protocol version") {
+		t.Fatalf("error %v, want a protocol version mismatch", outs[0].Err)
+	}
+}
+
+func TestSilentChildKilledByHelloWatchdog(t *testing.T) {
+	t.Parallel()
+	start := time.Now()
+	outs, err := Run(context.Background(), Options{
+		Procs:        1,
+		Command:      fakeCommand(t, "silent"),
+		HelloTimeout: 200 * time.Millisecond,
+	}, [][]byte{[]byte("j")})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var we *WorkerError
+	if !errors.As(outs[0].Err, &we) {
+		t.Fatalf("error %v, want *WorkerError", outs[0].Err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("Run took %v: the watchdog did not convert the silent child into an error", elapsed)
+	}
+}
+
+func TestCancelKillsWorkers(t *testing.T) {
+	t.Parallel()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	jobs := make([][]byte, 30)
+	for i := range jobs {
+		jobs[i] = []byte(fmt.Sprintf("j%d", i))
+	}
+	// Cancel as soon as the first job settles, while the rest are queued
+	// or in flight; Run must kill the workers and return promptly.
+	firstDone := make(chan struct{})
+	var once sync.Once
+	done := make(chan struct{})
+	var outs []Outcome
+	var err error
+	go func() {
+		defer close(done)
+		outs, err = Run(ctx, Options{
+			Procs:   2,
+			Command: fakeCommand(t, "slow"),
+			OnDone:  func(int, Outcome) { once.Do(func() { close(firstDone) }) },
+		}, jobs)
+	}()
+	<-firstDone
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Run hung after cancellation")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run error %v, want context.Canceled", err)
+	}
+	settled := 0
+	for _, out := range outs {
+		if out.Err == nil && out.Payload != nil {
+			settled++
+		}
+	}
+	if settled == 0 {
+		t.Error("no job settled before cancellation (OnDone fired, so at least one should have)")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := Run(context.Background(), Options{Procs: 0, Command: []string{"x"}}, nil); err == nil {
+		t.Error("Procs 0 accepted")
+	}
+	if _, err := Run(context.Background(), Options{Procs: 1}, nil); err == nil {
+		t.Error("empty command accepted")
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	payload := []byte("the payload")
+	if err := writeFrame(&buf, frameResult, 7, payload); err != nil {
+		t.Fatal(err)
+	}
+	typ, job, got, err := readFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != frameResult || job != 7 || !bytes.Equal(got, payload) {
+		t.Errorf("round trip: typ %q job %d payload %q", typ, job, got)
+	}
+	// Empty payload round-trips as nil/empty.
+	buf.Reset()
+	if err := writeFrame(&buf, frameHello, Version, nil); err != nil {
+		t.Fatal(err)
+	}
+	if typ, job, got, err = readFrame(&buf); err != nil || typ != frameHello || job != Version || len(got) != 0 {
+		t.Errorf("empty round trip: typ %q job %d payload %q err %v", typ, job, got, err)
+	}
+}
+
+func TestFrameRejectsOversizedLength(t *testing.T) {
+	t.Parallel()
+	hdr := []byte{frameJob, 0, 0, 0, 0, 0xff, 0xff, 0xff, 0xff}
+	if _, _, _, err := readFrame(bytes.NewReader(hdr)); err == nil {
+		t.Error("oversized length prefix accepted")
+	}
+}
+
+func TestServeRejectsNonJobFrame(t *testing.T) {
+	t.Parallel()
+	var in, out bytes.Buffer
+	if err := writeFrame(&in, frameEvent, 0, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	err := Serve(&in, &out, func(int, []byte, func([]byte)) ([]byte, error) { return nil, nil })
+	if err == nil || !strings.Contains(err.Error(), "unexpected frame type") {
+		t.Fatalf("Serve error %v, want unexpected-frame-type", err)
+	}
+	// EOF with no jobs is a clean shutdown.
+	in.Reset()
+	out.Reset()
+	if err := Serve(&in, &out, func(int, []byte, func([]byte)) ([]byte, error) { return nil, nil }); err != nil {
+		t.Fatalf("Serve on empty stream: %v", err)
+	}
+	// The hello frame must have been written even with no jobs.
+	typ, version, _, err := readFrame(&out)
+	if err != nil || typ != frameHello || version != Version {
+		t.Fatalf("hello frame: typ %q version %d err %v", typ, version, err)
+	}
+}

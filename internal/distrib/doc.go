@@ -1,0 +1,24 @@
+// Package distrib is the multi-process executor behind WithDistributed:
+// a coordinator-side process pool that dispatches opaque job payloads to
+// worker subprocesses over length-prefixed pipe frames and collects one
+// typed Outcome per job, in job order, regardless of which process ran
+// what when.
+//
+// The package is deliberately payload-agnostic — jobs and results are
+// []byte — so it sits below the churntomo root package in the import
+// graph: the root package owns the job envelopes (Config + scenario
+// spec, or a format-v1 dataset slice) and the worker-side execution
+// (churntomo.ServeWorker wraps Serve), while distrib owns everything
+// about processes: spawning, the frame protocol, bounded in-flight
+// scheduling, crash-retry, stderr capture, and shutdown.
+//
+// Failure model: a transport-level failure (spawn error, broken pipe,
+// short read, malformed frame — the signature of a crashed or wedged
+// worker) kills the process, respawns a fresh one and retries the job
+// exactly once; a second failure surfaces as a *WorkerError on that
+// job's Outcome and the pool moves on. A job-level failure reported by a
+// live worker (a frameFail frame) is deterministic, so it is never
+// retried and surfaces as a *RemoteError. Neither aborts the other jobs,
+// and a done context kills every worker process, so the pool cannot
+// hang on a dead or silent child.
+package distrib

@@ -1,0 +1,66 @@
+package distrib
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// The pipe protocol: every message between coordinator and worker is one
+// frame — a 1-byte type, a big-endian uint32 job index, a big-endian
+// uint32 payload length, then the payload. The worker speaks first with
+// a hello frame carrying the protocol version in the index field (a
+// version skew between a coordinator and a stale worker binary is a
+// spawn error, not silent corruption); after that the coordinator writes
+// one job frame at a time and reads event frames until a result or fail
+// frame closes the job.
+
+// Version is the frame protocol version, carried in the hello frame.
+const Version = 1
+
+// maxFrame bounds a frame payload; a length prefix beyond it means the
+// child is not speaking the protocol (or the stream is corrupt), which
+// the coordinator treats as a worker crash.
+const maxFrame = 1 << 30
+
+const (
+	frameHello  byte = 'H' // worker → coordinator: protocol version in the index field
+	frameJob    byte = 'J' // coordinator → worker: one job payload
+	frameEvent  byte = 'E' // worker → coordinator: progress event for the in-flight job
+	frameResult byte = 'R' // worker → coordinator: the job's result payload
+	frameFail   byte = 'F' // worker → coordinator: the job's error message
+)
+
+// writeFrame writes one frame. The caller flushes any buffering.
+func writeFrame(w io.Writer, typ byte, job uint32, payload []byte) error {
+	var hdr [9]byte
+	hdr[0] = typ
+	binary.BigEndian.PutUint32(hdr[1:5], job)
+	binary.BigEndian.PutUint32(hdr[5:9], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one frame, rejecting oversized length prefixes.
+func readFrame(r io.Reader) (typ byte, job uint32, payload []byte, err error) {
+	var hdr [9]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, nil, err
+	}
+	typ = hdr[0]
+	job = binary.BigEndian.Uint32(hdr[1:5])
+	n := binary.BigEndian.Uint32(hdr[5:9])
+	if n > maxFrame {
+		return 0, 0, nil, fmt.Errorf("distrib: frame of %d bytes exceeds the %d-byte limit", n, maxFrame)
+	}
+	if n > 0 {
+		payload = make([]byte, n)
+		if _, err = io.ReadFull(r, payload); err != nil {
+			return 0, 0, nil, err
+		}
+	}
+	return typ, job, payload, nil
+}

@@ -1,0 +1,301 @@
+package distrib
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"os/exec"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Options configures a Run.
+type Options struct {
+	// Procs is the worker process count; Run spawns at most
+	// min(Procs, len(jobs)) processes. Must be >= 1.
+	Procs int
+	// Command is the worker argv: Command[0] is the binary, the rest its
+	// arguments. The spawned process must speak the frame protocol on
+	// stdin/stdout (see Serve).
+	Command []string
+	// OnEvent, when non-nil, receives every event frame a worker streams
+	// for a job, as it arrives. Called concurrently from the per-process
+	// driver goroutines; the callback must do its own serialization.
+	OnEvent func(job int, payload []byte)
+	// OnDone, when non-nil, receives each job's Outcome the moment it
+	// settles — before Run returns, so observers see remote progress
+	// live. Same concurrency contract as OnEvent.
+	OnDone func(job int, out Outcome)
+	// HelloTimeout bounds how long a freshly spawned process may take to
+	// speak the hello frame before it is killed (a child that is not a
+	// protocol worker might otherwise block the pool forever). 0 means
+	// 30 seconds.
+	HelloTimeout time.Duration
+}
+
+// Outcome is one job's terminal state: the worker's result payload, or
+// the error that job ran into (*WorkerError after a crash-and-retry,
+// *RemoteError for a worker-reported failure, or the context error).
+type Outcome struct {
+	Payload []byte
+	Err     error
+}
+
+// WorkerError is a job that failed at the process layer — the worker
+// crashed, wedged, or stopped speaking the protocol — on every attempt.
+type WorkerError struct {
+	Job      int
+	Attempts int
+	Err      error
+	// Stderr is the tail of the last failed process's stderr.
+	Stderr string
+}
+
+// Error implements error.
+func (e *WorkerError) Error() string {
+	msg := fmt.Sprintf("distrib: job %d failed after %d attempts: %v", e.Job, e.Attempts, e.Err)
+	if e.Stderr != "" {
+		msg += " (worker stderr: " + e.Stderr + ")"
+	}
+	return msg
+}
+
+// Unwrap exposes the underlying transport error.
+func (e *WorkerError) Unwrap() error { return e.Err }
+
+// RemoteError is a job-level failure reported by a live worker. The
+// worker computed it deterministically, so it is never retried.
+type RemoteError struct {
+	Job int
+	Msg string
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("distrib: job %d: %s", e.Job, e.Msg)
+}
+
+// Run dispatches every job to a pool of worker subprocesses and returns
+// one Outcome per job, in job order. Scheduling is pull-based — each
+// process's driver claims the next unclaimed job — so at most
+// Options.Procs jobs are in flight and a slow job never blocks the
+// others. A done ctx kills the worker processes, stops claiming, and
+// returns the outcomes settled so far along with ctx.Err(); Run never
+// hangs on a dead, wedged or silent child.
+func Run(ctx context.Context, o Options, jobs [][]byte) ([]Outcome, error) {
+	if o.Procs < 1 {
+		return nil, fmt.Errorf("distrib: Procs is %d; the pool needs at least one worker process", o.Procs)
+	}
+	if len(o.Command) == 0 {
+		return nil, fmt.Errorf("distrib: empty worker command")
+	}
+	if o.HelloTimeout <= 0 {
+		o.HelloTimeout = 30 * time.Second
+	}
+	outcomes := make([]Outcome, len(jobs))
+	procs := o.Procs
+	if procs > len(jobs) {
+		procs = len(jobs)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	// One driver goroutine per worker process. This is raw-goroutine
+	// territory by design — each driver owns one child process's whole
+	// lifecycle (spawn, pipes, kill, reap) and the WaitGroup joins them
+	// all before Run returns, so no goroutine outlives the call; the
+	// churnvet goroutine analyzer sanctions this package alongside
+	// internal/parallel for exactly this reason.
+	for w := 0; w < procs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			d := &driver{opts: &o, ctx: ctx}
+			defer d.stop()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) || ctx.Err() != nil {
+					return
+				}
+				outcomes[i] = d.runJob(i, jobs[i])
+				if o.OnDone != nil {
+					o.OnDone(i, outcomes[i])
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return outcomes, err
+	}
+	return outcomes, nil
+}
+
+// driver owns one worker process and feeds it jobs sequentially.
+type driver struct {
+	opts *Options
+	ctx  context.Context
+
+	cmd    *exec.Cmd
+	stdin  io.WriteCloser
+	stdout *bufio.Reader
+	stderr *tailBuffer
+}
+
+// runJob executes one job with the crash-retry policy: a transport
+// failure kills the process and retries once on a fresh one; a second
+// failure settles the job as a *WorkerError. A frameFail from a live
+// worker settles immediately as a *RemoteError (deterministic, not
+// retried).
+func (d *driver) runJob(job int, payload []byte) Outcome {
+	var lastErr error
+	const attempts = 2
+	for a := 0; a < attempts; a++ {
+		if err := d.ctx.Err(); err != nil {
+			return Outcome{Err: err}
+		}
+		result, failMsg, err := d.tryJob(job, payload)
+		if err == nil {
+			if failMsg != nil {
+				return Outcome{Err: &RemoteError{Job: job, Msg: string(failMsg)}}
+			}
+			return Outcome{Payload: result}
+		}
+		lastErr = err
+		d.stop() // kill and reap; the next attempt spawns fresh
+	}
+	if err := d.ctx.Err(); err != nil {
+		// The "crash" was our own kill-on-cancel; report the cancellation.
+		return Outcome{Err: err}
+	}
+	return Outcome{Err: &WorkerError{Job: job, Attempts: attempts, Err: lastErr, Stderr: d.stderrTail()}}
+}
+
+// tryJob runs one attempt: ensure a live process, write the job frame,
+// and pump frames until the job's result or fail frame. Any transport
+// error is returned for the retry policy to handle.
+func (d *driver) tryJob(job int, payload []byte) (result, failMsg []byte, err error) {
+	if err := d.start(); err != nil {
+		return nil, nil, err
+	}
+	if err := writeFrame(d.stdin, frameJob, uint32(job), payload); err != nil {
+		return nil, nil, fmt.Errorf("writing job frame: %w", err)
+	}
+	for {
+		typ, j, p, err := readFrame(d.stdout)
+		if err != nil {
+			return nil, nil, fmt.Errorf("reading frame: %w", err)
+		}
+		if int(j) != job {
+			return nil, nil, fmt.Errorf("worker answered job %d while job %d was in flight", j, job)
+		}
+		switch typ {
+		case frameEvent:
+			if d.opts.OnEvent != nil {
+				d.opts.OnEvent(job, p)
+			}
+		case frameResult:
+			return p, nil, nil
+		case frameFail:
+			return nil, p, nil
+		default:
+			return nil, nil, fmt.Errorf("unexpected frame type %q", typ)
+		}
+	}
+}
+
+// start spawns the worker process if none is live and waits for its
+// hello frame, bounded by HelloTimeout.
+func (d *driver) start() error {
+	if d.cmd != nil {
+		return nil
+	}
+	cmd := exec.CommandContext(d.ctx, d.opts.Command[0], d.opts.Command[1:]...)
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	stderr := &tailBuffer{}
+	cmd.Stderr = stderr
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("spawning worker %q: %w", d.opts.Command[0], err)
+	}
+	d.cmd, d.stdin, d.stderr = cmd, stdin, stderr
+	d.stdout = bufio.NewReader(stdout)
+	// A child that is not a protocol worker may never write a byte; the
+	// timer converts that hang into a killed process and a retryable
+	// spawn error. Process supervision is inherently wall-clock — the
+	// timeout races a real child's startup, not anything seeded.
+	timer := time.AfterFunc(d.opts.HelloTimeout, func() { _ = cmd.Process.Kill() }) //churnvet:ok nondet -- process supervision needs a wall-clock watchdog: a non-worker child may never speak the hello frame, and the kill turns that hang into a retryable error; nothing deterministic reads this clock
+	defer timer.Stop()
+	typ, version, _, err := readFrame(d.stdout)
+	if err != nil {
+		d.stop()
+		return fmt.Errorf("waiting for worker hello: %w", err)
+	}
+	if typ != frameHello {
+		d.stop()
+		return fmt.Errorf("worker opened with frame type %q, want hello", typ)
+	}
+	if version != Version {
+		d.stop()
+		return fmt.Errorf("worker speaks protocol version %d, coordinator %d (stale worker binary?)", version, Version)
+	}
+	return nil
+}
+
+// stop kills and reaps the current process, if any. Closing stdin first
+// lets a healthy worker exit on EOF; the kill covers the rest.
+func (d *driver) stop() {
+	if d.cmd == nil {
+		return
+	}
+	_ = d.stdin.Close()
+	_ = d.cmd.Process.Kill()
+	_ = d.cmd.Wait()
+	d.cmd, d.stdin, d.stdout = nil, nil, nil
+}
+
+// stderrTail returns the tail of the most recent process's stderr.
+func (d *driver) stderrTail() string {
+	if d.stderr == nil {
+		return ""
+	}
+	return d.stderr.String()
+}
+
+// tailBuffer keeps the last stderrTailMax bytes written — enough of a
+// crashed worker's stderr to diagnose it without unbounded growth.
+type tailBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+const stderrTailMax = 8 << 10
+
+// Write implements io.Writer.
+func (t *tailBuffer) Write(p []byte) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.buf.Write(p)
+	if t.buf.Len() > stderrTailMax {
+		b := t.buf.Bytes()
+		tail := append([]byte(nil), b[len(b)-stderrTailMax:]...)
+		t.buf.Reset()
+		t.buf.Write(tail)
+	}
+	return len(p), nil
+}
+
+// String returns the buffered tail, trimmed of trailing newlines.
+func (t *tailBuffer) String() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return string(bytes.TrimRight(t.buf.Bytes(), "\n"))
+}

@@ -1,0 +1,64 @@
+package distrib
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// Serve runs the worker side of the frame protocol: write the hello
+// frame, then loop reading job frames and executing them through run
+// until the coordinator closes the pipe (EOF is a clean shutdown). run
+// may stream progress through emit — each call becomes one event frame,
+// flushed immediately so the coordinator observes it live — and returns
+// the job's result payload, or an error that is reported back as a fail
+// frame (the worker stays alive and serves the next job; deterministic
+// job failures must not look like crashes).
+func Serve(r io.Reader, w io.Writer, run func(job int, payload []byte, emit func(event []byte)) ([]byte, error)) error {
+	br := bufio.NewReaderSize(r, 64<<10)
+	bw := bufio.NewWriterSize(w, 64<<10)
+	if err := writeFrame(bw, frameHello, Version, nil); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	for {
+		typ, job, payload, err := readFrame(br)
+		if err == io.EOF {
+			return nil // coordinator closed the pipe: done
+		}
+		if err != nil {
+			return fmt.Errorf("distrib: reading job frame: %w", err)
+		}
+		if typ != frameJob {
+			return fmt.Errorf("distrib: unexpected frame type %q from coordinator", typ)
+		}
+		var emitErr error
+		emit := func(ev []byte) {
+			if emitErr != nil {
+				return
+			}
+			if err := writeFrame(bw, frameEvent, job, ev); err != nil {
+				emitErr = err
+				return
+			}
+			emitErr = bw.Flush()
+		}
+		result, runErr := run(int(job), payload, emit)
+		if emitErr != nil {
+			return fmt.Errorf("distrib: streaming event: %w", emitErr)
+		}
+		if runErr != nil {
+			err = writeFrame(bw, frameFail, job, []byte(runErr.Error()))
+		} else {
+			err = writeFrame(bw, frameResult, job, result)
+		}
+		if err == nil {
+			err = bw.Flush()
+		}
+		if err != nil {
+			return fmt.Errorf("distrib: writing result frame: %w", err)
+		}
+	}
+}

@@ -1,10 +1,10 @@
 // Package fixture exercises the goroutine analyzer: raw `go` statements
-// are confined to internal/parallel.
+// are confined to the sanctioned concurrency packages.
 package fixture
 
-// Launch starts a goroutine outside the sanctioned pool.
+// Launch starts a goroutine outside the sanctioned packages.
 func Launch(f func()) {
-	go f() // want "outside internal/parallel"
+	go f() // want "outside the sanctioned concurrency packages"
 }
 
 // Suppressed carries a written justification.

@@ -442,11 +442,19 @@ func matrixSummaryOf(agg *MatrixAggregate, results []MatrixResult) *MatrixSummar
 	}
 	nameOf := func(asn topology.ASN) (string, string) {
 		for _, res := range results {
-			if res.Pipeline == nil {
+			// A distributed cell ships its full AS table in the summary, so
+			// the lookup resolves from the same cell an in-process run's
+			// Graph lookup would — keeping the aggregate byte-identical.
+			if res.Pipeline != nil {
+				if as, ok := res.Pipeline.Graph.ByASN(asn); ok {
+					return as.Name, as.Country
+				}
 				continue
 			}
-			if as, ok := res.Pipeline.Graph.ByASN(asn); ok {
-				return as.Name, as.Country
+			if res.Summary != nil {
+				if as, ok := res.Summary.ASes[asn]; ok {
+					return as.Name, as.Country
+				}
 			}
 		}
 		return "", ""

@@ -1,0 +1,58 @@
+#!/bin/sh
+# bench-scaling.sh: measure how the distributed matrix runner scales with
+# worker processes and render the speedup curve as JSON to the file named
+# by $1 (default BENCH_SCALING.json). Runs BenchmarkEngine_MatrixDistributed
+# min-of-N (the same discipline as bench-json.sh) and reports, per worker
+# count, ns/op and the speedup relative to the in-process baseline.
+#
+# Interpreting the curve: on a single-core host every point sits near 1.0x
+# (the processes time-share one CPU and the procs=1 point prices the
+# envelope/IPC overhead); the >=2x-at-4-procs expectation only applies on
+# a host with >= 4 real cores. The raw series also lands in the per-PR
+# min-of-N suite via `make bench-json`.
+#
+# Output shape:
+#   {"benchmark": "BenchmarkEngine_MatrixDistributed", "cells": 4,
+#    "series": [{"name": "inprocess", "procs": 0, "ns_per_op": ..., "speedup": 1.0}, ...]}
+set -eu
+out=${1:-BENCH_SCALING.json}
+go=${GO:-go}
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+"$go" test -run '^$' -bench 'BenchmarkEngine_MatrixDistributed' \
+	-benchtime "${BENCHTIME:-3x}" -count "${BENCHCOUNT:-3}" . >"$tmp"
+
+awk '
+/^BenchmarkEngine_MatrixDistributed\// {
+    # BenchmarkEngine_MatrixDistributed/procs=4-8  ->  variant "procs=4"
+    split($1, path, "/")
+    variant = path[2]
+    sub(/-[0-9]+$/, "", variant)
+    ns = $3 + 0
+    if (!(variant in best) || ns < best[variant]) best[variant] = ns
+    if (!(variant in seen)) { seen[variant] = 1; order[n++] = variant }
+}
+END {
+    if (!("inprocess" in best)) {
+        print "bench-scaling: no in-process baseline in the benchmark output" > "/dev/stderr"
+        exit 1
+    }
+    base = best["inprocess"]
+    printf("{\"benchmark\": \"BenchmarkEngine_MatrixDistributed\", \"cells\": 4, \"series\": [\n")
+    for (i = 0; i < n; i++) {
+        v = order[i]
+        procs = 0
+        if (v ~ /^procs=/) { procs = substr(v, 7) + 0 }
+        printf("  {\"name\": \"%s\", \"procs\": %d, \"ns_per_op\": %s, \"speedup\": %.3f}",
+               v, procs, best[v], base / best[v])
+        if (i < n - 1) printf(",")
+        printf("\n")
+        printf("bench-scaling: %-10s %12.0f ns/op  %.2fx\n", v, best[v], base / best[v]) > "/dev/stderr"
+    }
+    printf("]}\n")
+}
+' "$tmp" >"$out"
+
+echo "bench-scaling: wrote speedup curve (min of ${BENCHCOUNT:-3} runs) to $out" >&2

@@ -1,0 +1,38 @@
+#!/bin/sh
+# check-dist.sh: asserts the distributed runner's determinism contract at
+# the CLI layer: `churnlab -procs N` must print stdout byte-identical to
+# the in-process run — for a matrix sweep (cells as jobs) and for a batch
+# run (measurement-day ranges as jobs) — at more than one worker count.
+# The in-test twin is TestDistributedMatchesInProcess; this script pins
+# the same property end to end through the rendered reports. Run from the
+# repo root; `make check-dist` (part of `make ci`) wires it in.
+set -eu
+go=${GO:-go}
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+# A real binary, not `go run`: -procs re-executes its own binary as the
+# workers (os.Executable), and the check should exercise exactly the
+# artifact a user runs.
+"$go" build -o "$tmp/churnlab" ./cmd/churnlab
+
+"$tmp/churnlab" -scale small -seed 5 -matrix 3 -quiet >"$tmp/matrix-inproc.txt"
+for procs in 2 4; do
+    "$tmp/churnlab" -scale small -seed 5 -matrix 3 -procs "$procs" -quiet >"$tmp/matrix-procs$procs.txt"
+    if ! cmp -s "$tmp/matrix-inproc.txt" "$tmp/matrix-procs$procs.txt"; then
+        echo "check-dist: matrix output at -procs $procs diverges from the in-process run:" >&2
+        diff "$tmp/matrix-inproc.txt" "$tmp/matrix-procs$procs.txt" >&2 || true
+        exit 1
+    fi
+done
+
+"$tmp/churnlab" -scale small -seed 5 -quiet >"$tmp/batch-inproc.txt"
+"$tmp/churnlab" -scale small -seed 5 -procs 2 -quiet >"$tmp/batch-procs2.txt"
+if ! cmp -s "$tmp/batch-inproc.txt" "$tmp/batch-procs2.txt"; then
+    echo "check-dist: batch output at -procs 2 diverges from the in-process run:" >&2
+    diff "$tmp/batch-inproc.txt" "$tmp/batch-procs2.txt" >&2 || true
+    exit 1
+fi
+
+echo "check-dist: distributed output byte-identical to in-process (matrix -procs 2/4, batch -procs 2)" >&2

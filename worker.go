@@ -1,0 +1,246 @@
+package churntomo
+
+// The worker side of distributed execution (see WithDistributed and
+// internal/distrib). A coordinator serializes each job as a self-contained
+// JSON envelope — a whole matrix cell (Config plus source reference), or a
+// day range of a single cell's measurement schedule — and the worker
+// process answers with a typed result payload: a condensed cell summary,
+// or a format-v1 dataset slice holding the measured day shards. Events the
+// cell emits while running are forwarded live as event frames, so the
+// coordinator's observers see remote progress as it happens.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"runtime/debug"
+
+	"churntomo/internal/dataset"
+	"churntomo/internal/distrib"
+	"churntomo/internal/iclab"
+	"churntomo/internal/sat"
+)
+
+// workerArg is the magic first argument that turns a churntomo-embedding
+// binary into a protocol worker (see MaybeWorker). Deliberately ugly: no
+// human-facing flag should ever collide with it.
+const workerArg = "__churntomo_worker__"
+
+// Envelope kinds: a whole matrix cell, or a day range of one cell's
+// measurement schedule.
+const (
+	jobKindCell = "cell"
+	jobKindDays = "days"
+)
+
+// jobEnvelope is one self-contained distributed job. Exactly one source
+// reference applies to a cell job: none (synthesize from Config.Scenario),
+// SourcePath (replay a dataset file), or SourceData (an inline format-v1
+// dataset). Day jobs carry only Config and the [DayLo, DayHi) range.
+type jobEnvelope struct {
+	Kind    string `json:"kind"`
+	Config  Config `json:"config"`
+	MinCNFs int    `json:"min_cnfs,omitempty"`
+	// MemoryMB is the per-worker soft memory budget hint, applied via the
+	// runtime's memory limit; 0 leaves the runtime default.
+	MemoryMB int `json:"memory_mb,omitempty"`
+
+	SourcePath string `json:"source_path,omitempty"`
+	SourceData []byte `json:"source_data,omitempty"`
+
+	DayLo int `json:"day_lo,omitempty"`
+	DayHi int `json:"day_hi,omitempty"`
+}
+
+// wireEvent is an Event crossing the pipe; the coordinator re-tags Cell
+// with the job's cell index on receipt.
+type wireEvent struct {
+	Stage  Stage      `json:"stage"`
+	Day    int        `json:"day"`
+	Window int        `json:"window"`
+	Source string     `json:"source,omitempty"`
+	Err    string     `json:"err,omitempty"`
+	Stats  EventStats `json:"stats"`
+}
+
+// wireEventOf flattens an Event for the pipe.
+func wireEventOf(ev Event) wireEvent {
+	w := wireEvent{Stage: ev.Stage, Day: ev.Day, Window: ev.Window, Source: ev.Source, Stats: ev.Stats}
+	if ev.Err != nil {
+		w.Err = ev.Err.Error()
+	}
+	return w
+}
+
+// eventFromWire reconstructs an Event; Cell is the coordinator's to set.
+func eventFromWire(w wireEvent) Event {
+	ev := Event{Stage: w.Stage, Cell: -1, Day: w.Day, Window: w.Window, Source: w.Source, Stats: w.Stats}
+	if w.Err != "" {
+		ev.Err = errors.New(w.Err)
+	}
+	return ev
+}
+
+// wireCellResult is a cell job's result payload: exactly the CellSummary
+// matrix aggregation reads. ASes carries the cell world's complete AS
+// metadata table — not just the identified ASNs — because the aggregate
+// resolves censor names against the first cell that knows an AS, and that
+// lookup must see the same table a full in-process Pipeline would.
+type wireCellResult struct {
+	CNFs          int                       `json:"cnfs"`
+	UniqueCNFs    int                       `json:"unique_cnfs"`
+	Identified    map[ASN]*IdentifiedCensor `json:"identified,omitempty"`
+	LeakASes      int                       `json:"leak_ases"`
+	LeakCountries int                       `json:"leak_countries"`
+	ASes          []ASInfo                  `json:"ases,omitempty"`
+}
+
+// summaryFromWire converts the pipe shape into the aggregation shape.
+func summaryFromWire(w *wireCellResult) *CellSummary {
+	s := &CellSummary{
+		CNFs: w.CNFs, UniqueCNFs: w.UniqueCNFs,
+		Identified:    w.Identified,
+		LeakASes:      w.LeakASes,
+		LeakCountries: w.LeakCountries,
+	}
+	if s.Identified == nil {
+		s.Identified = map[ASN]*IdentifiedCensor{}
+	}
+	s.ASes = make(map[ASN]ASInfo, len(w.ASes))
+	for _, as := range w.ASes {
+		s.ASes[as.ASN] = as
+	}
+	return s
+}
+
+// MaybeWorker turns the current process into a distributed worker when it
+// was spawned as one — a coordinator's default worker command re-executes
+// its own binary with a magic first argument — and never returns in that
+// case. Call it first thing in main, before flag parsing, in any binary
+// that runs distributed experiments without WithWorkerBinary; it is a
+// no-op in a normal invocation. cmd/churnlab does exactly this.
+func MaybeWorker() {
+	if len(os.Args) < 2 || os.Args[1] != workerArg {
+		return
+	}
+	if err := ServeWorker(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "churntomo worker:", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// ServeWorker runs the worker loop over the given pipe pair: read job
+// envelopes, execute them with the same Experiment cell runner an
+// in-process run uses, and stream back events and typed results, until the
+// coordinator closes the pipe. It is the whole main of a dedicated worker
+// binary (cmd/churnworker) and the engine behind MaybeWorker.
+func ServeWorker(r io.Reader, w io.Writer) error {
+	return distrib.Serve(r, w, runWorkerJob)
+}
+
+// runWorkerJob executes one envelope. A returned error travels back as a
+// fail frame — a deterministic job failure, distinct from a crash.
+func runWorkerJob(_ int, payload []byte, emit func([]byte)) ([]byte, error) {
+	var env jobEnvelope
+	if err := json.Unmarshal(payload, &env); err != nil {
+		return nil, fmt.Errorf("churntomo: worker: decoding job envelope: %w", err)
+	}
+	if env.MemoryMB > 0 {
+		debug.SetMemoryLimit(int64(env.MemoryMB) << 20)
+	}
+	switch env.Kind {
+	case jobKindCell:
+		return runWorkerCell(&env, emit)
+	case jobKindDays:
+		return runWorkerDays(&env)
+	default:
+		return nil, fmt.Errorf("churntomo: worker: unknown job kind %q", env.Kind)
+	}
+}
+
+// runWorkerCell runs one whole matrix cell — the same runCell path an
+// in-process matrix uses — and condenses the pipeline into the summary the
+// coordinator merges. Cell events stream back live through emit.
+func runWorkerCell(env *jobEnvelope, emit func([]byte)) ([]byte, error) {
+	cfg := env.Config
+	cfg.Progress = nil
+	we := &Experiment{base: cfg, minCNFs: env.MinCNFs}
+	switch {
+	case env.SourcePath != "":
+		we.source = &FileSource{Path: env.SourcePath}
+	case len(env.SourceData) > 0:
+		f, err := dataset.Decode(bytes.NewReader(env.SourceData))
+		if err != nil {
+			return nil, fmt.Errorf("churntomo: worker: decoding inline dataset: %w", err)
+		}
+		we.source = fileToPublic(f)
+	}
+	we.observers = []Observer{func(ev Event) {
+		b, err := json.Marshal(wireEventOf(ev))
+		if err != nil {
+			return // an unmarshalable event is progress lost, not a failed cell
+		}
+		emit(b)
+	}}
+	cr, err := we.runCell(context.Background(), cfg, -1)
+	if err != nil {
+		return nil, err
+	}
+	p := cr.pipe
+	out := wireCellResult{CNFs: len(p.Outcomes), Identified: p.Identified}
+	for _, o := range p.Outcomes {
+		if o.Class == sat.Unique {
+			out.UniqueCNFs++
+		}
+	}
+	if p.Leakage != nil {
+		out.LeakASes = p.Leakage.LeakToOtherASes()
+		out.LeakCountries = p.Leakage.LeakToOtherCountries()
+	}
+	if p.Graph != nil {
+		for i := range p.Graph.ASes {
+			as := &p.Graph.ASes[i]
+			out.ASes = append(out.ASes, ASInfo{
+				ASN: as.ASN, Name: as.Name, Country: as.Country, Class: as.Class.String(),
+			})
+		}
+	}
+	return json.Marshal(&out)
+}
+
+// runWorkerDays measures the [DayLo, DayHi) slice of one cell's schedule
+// and returns it as a format-v1 dataset whose day batches outside the
+// range are empty. Because a day's randomness depends only on (seed, day
+// index), the slice is bit-identical to the same days of a full
+// single-process run, whichever worker measures it.
+func runWorkerDays(env *jobEnvelope) ([]byte, error) {
+	cfg := env.Config
+	cfg.Progress = nil
+	spec, err := resolveScenario(cfg.Scenario)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Scenario = spec.Name
+	// The substrate build is silent: the coordinator built the same world
+	// itself and already narrated those stages.
+	p, err := prepareSpecCtx(context.Background(), cfg, spec, func(Event) {})
+	if err != nil {
+		return nil, err
+	}
+	shards, err := iclab.RunDaysCtx(context.Background(), p.Scenario, p.Config.platformConfig(), env.DayLo, env.DayHi)
+	if err != nil {
+		return nil, err
+	}
+	f := &dataset.File{Header: headerOf(p), Days: make([][]iclab.Record, p.Scenario.Days())}
+	copy(f.Days[env.DayLo:env.DayHi], shards)
+	var buf bytes.Buffer
+	if err := dataset.Encode(&buf, f); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
