@@ -9,11 +9,11 @@ GO ?= go
 # Per-target fuzzing budget for `make fuzz`; raise for real hunts.
 FUZZTIME ?= 30s
 
-.PHONY: all ci vet build test race bench bench-json bench-scaling profile docs lint api-check scenario-check dataset-check check-dist cover fuzz fuzz-smoke clean
+.PHONY: all ci vet build test race bench bench-json bench-scaling profile docs lint lint-fixtures api-check scenario-check dataset-check check-dist cover fuzz fuzz-smoke clean
 
 all: ci
 
-ci: build lint race docs scenario-check dataset-check check-dist cover fuzz-smoke bench
+ci: build lint lint-fixtures race docs scenario-check dataset-check check-dist cover fuzz-smoke bench
 
 vet:
 	$(GO) vet ./...
@@ -22,14 +22,24 @@ build:
 	$(GO) build ./...
 
 # Invariant gate: churnvet (cmd/churnvet, internal/lint) type-checks the
-# whole module and enforces the determinism and concurrency invariants —
-# no ambient nondeterminism in deterministic packages, named unique RNG
-# stream constants, no map-order leaks into output, `go` only in
-# internal/parallel, and a sealed public-API boundary. Suppressions need
-# a written reason (//churnvet:ok <analyzer> -- <reason>); malformed ones
-# are themselves findings.
+# whole module and runs all ten analyzers — the syntactic tier (no
+# ambient nondeterminism in deterministic packages, named unique RNG
+# stream constants, no map-order leaks into output, `go` only in the
+# sanctioned concurrency packages, a sealed public-API boundary) and the
+# flow-sensitive CFG tier (ctx plumbed to every blocking op and no fresh
+# context roots, locks released on every path and never held across a
+# blocking op or copied by value, no discarded errors / ==-compared
+# sentinels / %v-wrapped chains, every sanctioned `go` joined before its
+# spawner returns). Suppressions need a written reason (//churnvet:ok
+# <analyzer> -- <reason>); malformed ones are themselves findings, and
+# `churnvet -audit` lists the whole waiver inventory.
 lint:
 	$(GO) run ./cmd/churnvet ./...
+
+# The analyzer suite's own gate: fixture + CFG + CLI tests with coverage
+# floors above the repo-wide cover gate (see scripts/check-lint-fixtures.sh).
+lint-fixtures:
+	sh scripts/check-lint-fixtures.sh
 
 # Public-API gate: the examples must build as external consumers would and
 # must not import churntomo/internal packages — the Result/Event surface

@@ -5,18 +5,25 @@
 //
 // Usage:
 //
-//	churnvet [-C dir] [-only analyzer[,analyzer...]] [-list] [./...]
+//	churnvet [-C dir] [-only analyzer[,analyzer...]] [-format text|json] [-list] [-audit] [./...]
 //
 // The optional `./...` argument is accepted for symmetry with the go
 // tool; churnvet always analyzes the whole module containing -C
-// (default: the module enclosing the current directory). `make lint`
-// wires the full suite into `make ci`; scripts/check-api.sh runs
-// `churnvet -only internalimport` as the public-API gate.
+// (default: the module enclosing the current directory). `-format json`
+// emits every finding — suppressed ones included, flagged — as a JSON
+// array for tooling; the exit code still reflects only unsuppressed
+// findings. `-audit` lists every //churnvet:ok suppression in the
+// module with its analyzer, location, and recorded reason, so the
+// waiver inventory stays reviewable. `make lint` wires the full suite
+// into `make ci`; scripts/check-api.sh runs `churnvet -only
+// internalimport` as the public-API gate.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -25,38 +32,52 @@ import (
 )
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() int {
-	fs := flag.NewFlagSet("churnvet", flag.ExitOnError)
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("churnvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	dir := fs.String("C", ".", "directory inside the module to analyze")
 	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	format := fs.String("format", "text", "output format: text or json")
 	list := fs.Bool("list", false, "list registered analyzers and exit")
-	fs.Parse(os.Args[1:])
+	audit := fs.Bool("audit", false, "list every //churnvet:ok suppression in the module and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
+	if *format != "text" && *format != "json" {
+		fmt.Fprintf(stderr, "churnvet: unknown -format %q (want text or json)\n", *format)
+		return 2
+	}
 	if *list {
 		for _, a := range lint.Analyzers() {
-			fmt.Printf("%-15s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-15s %s\n", a.Name, a.Doc)
 		}
 		return 0
 	}
 	for _, arg := range fs.Args() {
 		if arg != "./..." {
-			fmt.Fprintf(os.Stderr, "churnvet: unexpected argument %q (the whole module is always analyzed)\n", arg)
+			fmt.Fprintf(stderr, "churnvet: unexpected argument %q (the whole module is always analyzed)\n", arg)
 			return 2
 		}
 	}
 	root, err := findModuleRoot(*dir)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "churnvet:", err)
+		fmt.Fprintln(stderr, "churnvet:", err)
 		return 2
 	}
 	mod, err := lint.Load(root)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "churnvet:", err)
+		fmt.Fprintln(stderr, "churnvet:", err)
 		return 2
 	}
+
+	if *audit {
+		return runAudit(mod, root, *format, stdout)
+	}
+
 	var names []string
 	if *only != "" {
 		for _, n := range strings.Split(*only, ",") {
@@ -65,23 +86,108 @@ func run() int {
 			}
 		}
 	}
-	findings, err := lint.Run(mod, names)
+	findings, err := lint.RunAll(mod, names)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "churnvet:", err)
+		fmt.Fprintln(stderr, "churnvet:", err)
 		return 2
 	}
-	for _, f := range findings {
-		// Report module-relative paths so output is stable across checkouts.
-		if rel, err := filepath.Rel(root, f.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-			f.Pos.Filename = rel
-		}
-		fmt.Println(f.String())
+	// Report module-relative paths so output is stable across checkouts.
+	for i := range findings {
+		findings[i].Pos.Filename = relPath(root, findings[i].Pos.Filename)
 	}
-	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "churnvet: %d finding(s)\n", len(findings))
+	active := 0
+	for _, f := range findings {
+		if !f.Suppressed {
+			active++
+		}
+	}
+
+	switch *format {
+	case "json":
+		type jsonFinding struct {
+			File       string `json:"file"`
+			Line       int    `json:"line"`
+			Column     int    `json:"column"`
+			Analyzer   string `json:"analyzer"`
+			Message    string `json:"message"`
+			Suppressed bool   `json:"suppressed"`
+		}
+		out := make([]jsonFinding, 0, len(findings))
+		for _, f := range findings {
+			out = append(out, jsonFinding{
+				File:       f.Pos.Filename,
+				Line:       f.Pos.Line,
+				Column:     f.Pos.Column,
+				Analyzer:   f.Analyzer,
+				Message:    f.Message,
+				Suppressed: f.Suppressed,
+			})
+		}
+		if err := writeJSON(stdout, out); err != nil {
+			fmt.Fprintln(stderr, "churnvet:", err)
+			return 2
+		}
+	default:
+		for _, f := range findings {
+			if f.Suppressed {
+				continue
+			}
+			fmt.Fprintln(stdout, f.String())
+		}
+	}
+	if active > 0 {
+		fmt.Fprintf(stderr, "churnvet: %d finding(s)\n", active)
 		return 1
 	}
 	return 0
+}
+
+// runAudit lists every suppression directive in the module. A
+// suppression inventory that can be diffed in review is the other half
+// of allowing suppressions at all.
+func runAudit(mod *lint.Module, root, format string, stdout io.Writer) int {
+	sups := lint.Suppressions(mod)
+	if format == "json" {
+		type jsonSuppression struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Analyzer string `json:"analyzer"`
+			Reason   string `json:"reason"`
+		}
+		out := make([]jsonSuppression, 0, len(sups))
+		for _, s := range sups {
+			out = append(out, jsonSuppression{
+				File:     relPath(root, s.Pos.Filename),
+				Line:     s.Pos.Line,
+				Analyzer: s.Analyzer,
+				Reason:   s.Reason,
+			})
+		}
+		if err := writeJSON(stdout, out); err != nil {
+			return 2
+		}
+		return 0
+	}
+	for _, s := range sups {
+		fmt.Fprintf(stdout, "%s:%d: [%s] %s\n", relPath(root, s.Pos.Filename), s.Pos.Line, s.Analyzer, s.Reason)
+	}
+	fmt.Fprintf(stdout, "%d suppression(s)\n", len(sups))
+	return 0
+}
+
+func writeJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// relPath rewrites an absolute finding path to a module-relative one
+// when the file sits under the module root.
+func relPath(root, filename string) string {
+	if rel, err := filepath.Rel(root, filename); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return filename
 }
 
 // findModuleRoot walks up from dir to the nearest directory containing

@@ -526,6 +526,7 @@ func (e *Experiment) matrixConfigs() []Config {
 // the sweep; a done ctx stops dispatching further cells.
 func (e *Experiment) runMatrixCells(ctx context.Context, cfgs []Config) []MatrixResult {
 	results := make([]MatrixResult, len(cfgs))
+	//churnvet:ok errflow -- a done ctx surfaces per cell: runCell returns ctx.Err into each MatrixResult, so the sweep-level error would only duplicate what every cell already carries
 	_ = parallel.ForEachCtx(ctx, e.matrixWorkers, len(cfgs), func(i int) {
 		cfg := cfgs[i]
 		cr, err := e.runCell(ctx, cfg, i)

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"compress/gzip"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -151,7 +152,7 @@ func (h *Header) fillTables() {
 func Encode(w io.Writer, f *File) error {
 	zw := gzip.NewWriter(w)
 	if err := encodePlain(zw, f); err != nil {
-		zw.Close()
+		zw.Close() //churnvet:ok errflow -- error path: the encode error being returned outranks a close failure on an already-broken stream
 		return err
 	}
 	return zw.Close()
@@ -427,7 +428,7 @@ func Decode(r io.Reader) (*File, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dataset: not a gzipped dataset: %w", err)
 	}
-	defer zr.Close()
+	defer zr.Close() //churnvet:ok errflow -- read path: gzip reader close frees state only; a decode error from decodePlain already dominates
 	return decodePlain(zr)
 }
 
@@ -470,7 +471,7 @@ func decodePlain(r io.Reader) (*File, error) {
 	for {
 		line, err := readLineInto(br, lineBuf)
 		lineBuf = line[:0]
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			break
 		}
 		if err != nil {
@@ -503,7 +504,7 @@ func decodePlain(r io.Reader) (*File, error) {
 // a paper-scale dataset outgrows a Scanner's default buffer).
 func readLine(br *bufio.Reader) ([]byte, error) {
 	line, err := br.ReadBytes('\n')
-	if len(line) > 0 && err == io.EOF {
+	if len(line) > 0 && errors.Is(err, io.EOF) {
 		return line, nil // unterminated final line
 	}
 	if err != nil {
@@ -521,9 +522,9 @@ func readLineInto(br *bufio.Reader, buf []byte) ([]byte, error) {
 		frag, err := br.ReadSlice('\n')
 		buf = append(buf, frag...)
 		switch {
-		case err == bufio.ErrBufferFull:
+		case errors.Is(err, bufio.ErrBufferFull):
 			continue // long line: keep accumulating
-		case err == io.EOF && len(buf) > 0:
+		case errors.Is(err, io.EOF) && len(buf) > 0:
 			return buf, nil // unterminated final line
 		default:
 			return buf, err
@@ -538,8 +539,8 @@ func WriteFile(path string, f *File) error {
 		return fmt.Errorf("dataset: %w", err)
 	}
 	if err := Encode(out, f); err != nil {
-		out.Close()
-		os.Remove(path)
+		out.Close()     //churnvet:ok errflow -- best-effort cleanup on the error path; the encode error is returned
+		os.Remove(path) //churnvet:ok errflow -- best-effort removal of the half-written file; the encode error is returned
 		return err
 	}
 	if err := out.Close(); err != nil {
@@ -554,6 +555,6 @@ func ReadFile(path string) (*File, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dataset: %w", err)
 	}
-	defer in.Close()
+	defer in.Close() //churnvet:ok errflow -- read-only fd: close cannot lose data, and Decode's error already dominates
 	return Decode(in)
 }

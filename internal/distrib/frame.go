@@ -47,6 +47,7 @@ func writeFrame(w io.Writer, typ byte, job uint32, payload []byte) error {
 // readFrame reads one frame, rejecting oversized length prefixes.
 func readFrame(r io.Reader) (typ byte, job uint32, payload []byte, err error) {
 	var hdr [9]byte
+	//churnvet:ok ctxflow -- pipe reads unblock when the peer dies or closes the pipe: the coordinator's cancellation path is killing the child (stop/CommandContext), and the worker side's is coordinator EOF
 	if _, err = io.ReadFull(r, hdr[:]); err != nil {
 		return 0, 0, nil, err
 	}
@@ -58,6 +59,7 @@ func readFrame(r io.Reader) (typ byte, job uint32, payload []byte, err error) {
 	}
 	if n > 0 {
 		payload = make([]byte, n)
+		//churnvet:ok ctxflow -- same as the header read: process death or pipe close is the cancellation path for frame reads
 		if _, err = io.ReadFull(r, payload); err != nil {
 			return 0, 0, nil, err
 		}

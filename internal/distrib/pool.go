@@ -126,6 +126,7 @@ func Run(ctx context.Context, o Options, jobs [][]byte) ([]Outcome, error) {
 			}
 		}()
 	}
+	//churnvet:ok ctxflow -- the Wait is bounded by cancellation already: every driver re-checks ctx.Err before each job and exits, and its deferred stop kills the child, so a done ctx unblocks this join rather than racing it
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
 		return outcomes, err
@@ -232,6 +233,7 @@ func (d *driver) start() error {
 	// timer converts that hang into a killed process and a retryable
 	// spawn error. Process supervision is inherently wall-clock — the
 	// timeout races a real child's startup, not anything seeded.
+	//churnvet:ok errflow -- watchdog kill is best-effort: the process may already have exited, and the hello read below reports the real failure
 	timer := time.AfterFunc(d.opts.HelloTimeout, func() { _ = cmd.Process.Kill() }) //churnvet:ok nondet -- process supervision needs a wall-clock watchdog: a non-worker child may never speak the hello frame, and the kill turns that hang into a retryable error; nothing deterministic reads this clock
 	defer timer.Stop()
 	typ, version, _, err := readFrame(d.stdout)
@@ -256,9 +258,9 @@ func (d *driver) stop() {
 	if d.cmd == nil {
 		return
 	}
-	_ = d.stdin.Close()
-	_ = d.cmd.Process.Kill()
-	_ = d.cmd.Wait()
+	_ = d.stdin.Close()      //churnvet:ok errflow -- best-effort teardown: the pipe may already be closed by a dead child
+	_ = d.cmd.Process.Kill() //churnvet:ok errflow -- best-effort teardown: kill of an already-exited process reports an error by design
+	_ = d.cmd.Wait()         //churnvet:ok errflow -- the reap must run regardless of exit status; job-level errors were already captured from the frame protocol
 	d.cmd, d.stdin, d.stdout = nil, nil, nil
 }
 

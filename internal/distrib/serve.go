@@ -2,6 +2,7 @@ package distrib
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 )
@@ -25,7 +26,7 @@ func Serve(r io.Reader, w io.Writer, run func(job int, payload []byte, emit func
 	}
 	for {
 		typ, job, payload, err := readFrame(br)
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			return nil // coordinator closed the pipe: done
 		}
 		if err != nil {

@@ -1,0 +1,572 @@
+package lint
+
+// An intraprocedural control-flow graph over go/ast, the substrate for
+// the flow-sensitive analyzer tier (ctxflow, lockflow, errflow,
+// goroutinejoin). The builder is deliberately small and stdlib-only: it
+// covers exactly the control constructs this module's code uses —
+// if/else, for, range, switch, type switch, select, labeled
+// break/continue, goto, fallthrough, defer, return, and stmt-level
+// panic — and makes no attempt at interprocedural or exceptional flow
+// beyond "panic edges to exit".
+//
+// Block nodes are only non-compound statements and controlling
+// expressions: a compound statement's children live in their own blocks,
+// so walking a block's nodes never double-visits. Nested function
+// literals are separate functions with their own CFGs — analyzers walk
+// block nodes with inspectShallow, which refuses to descend into a
+// *ast.FuncLit.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// cfgBlock is one basic block: nodes executed straight-line, in source
+// order, then a transfer to one of succs.
+type cfgBlock struct {
+	index int
+	kind  string // "entry", "if.then", "for.head", ... (stable, pinned by cfg_test)
+	nodes []ast.Node
+	succs []*cfgBlock
+	live  bool // reachable from entry
+
+	// rng is set on a range statement's head block: the block where the
+	// range expression is evaluated and each iteration's blocking
+	// receive happens when ranging over a channel. The body statements
+	// are NOT under it — they live in the range.body block.
+	rng *ast.RangeStmt
+	// sel is set on a select statement's head block; the comm clauses'
+	// bodies live in their own blocks.
+	sel *ast.SelectStmt
+	// comm is a select clause's communication statement (nil for the
+	// default clause). It is deliberately kept out of nodes: the send or
+	// receive it contains belongs to the select, not to straight-line
+	// code, and analyzers that hunt bare channel operations must not see
+	// it twice.
+	comm ast.Stmt
+}
+
+func (b *cfgBlock) addSucc(s *cfgBlock) {
+	b.succs = append(b.succs, s)
+}
+
+// funcCFG is one function body's control-flow graph. entry and exit are
+// virtual: entry precedes the first statement, and every return, final
+// fall-off and stmt-level panic edges to exit.
+type funcCFG struct {
+	entry, exit *cfgBlock
+	blocks      []*cfgBlock // all blocks, creation order; blocks[i].index == i
+	defers      []*ast.DeferStmt
+	// fallsOff reports that some path reaches exit by running off the
+	// closing brace rather than through a return (only possible in
+	// functions without results).
+	fallsOff bool
+	// finalBlock is the block that falls off the end when fallsOff is
+	// set — the place an at-function-end dataflow check anchors to.
+	finalBlock *cfgBlock
+	// end is the body's closing brace, the position a falls-off-the-end
+	// finding anchors to.
+	end token.Pos
+}
+
+// cfgTarget is one entry of the break/continue target stacks.
+type cfgTarget struct {
+	label string
+	block *cfgBlock
+}
+
+type cfgBuilder struct {
+	g        *funcCFG
+	cur      *cfgBlock // nil after a terminating statement: following code is unreachable
+	brk      []cfgTarget
+	cont     []cfgTarget
+	labels   map[string]*cfgBlock
+	curLabel string    // pending label for the next breakable statement
+	fall     *cfgBlock // fallthrough target while emitting a switch clause
+}
+
+// buildCFG constructs the CFG of one function body and computes
+// reachability.
+func buildCFG(body *ast.BlockStmt) *funcCFG {
+	g := &funcCFG{end: body.Rbrace}
+	b := &cfgBuilder{g: g, labels: map[string]*cfgBlock{}}
+	g.entry = b.newBlock("entry")
+	g.exit = b.newBlock("exit")
+	b.cur = g.entry
+	for _, s := range body.List {
+		b.stmt(s)
+	}
+	final := b.cur
+	if final != nil {
+		final.addSucc(g.exit)
+		b.cur = nil
+	}
+	g.markLive()
+	// Falling off the end only counts when the final block is actually
+	// reachable (a select whose every case returns leaves a dead join).
+	g.fallsOff = final != nil && final.live
+	if g.fallsOff {
+		g.finalBlock = final
+	}
+	return g
+}
+
+// markLive flags every block reachable from entry.
+func (g *funcCFG) markLive() {
+	var visit func(b *cfgBlock)
+	visit = func(b *cfgBlock) {
+		if b.live {
+			return
+		}
+		b.live = true
+		for _, s := range b.succs {
+			visit(s)
+		}
+	}
+	visit(g.entry)
+}
+
+func (b *cfgBuilder) newBlock(kind string) *cfgBlock {
+	blk := &cfgBlock{index: len(b.g.blocks), kind: kind}
+	b.g.blocks = append(b.g.blocks, blk)
+	return blk
+}
+
+// use returns the current block, opening an unreachable one when control
+// cannot reach here (code after return/goto/panic still gets blocks, with
+// live == false).
+func (b *cfgBuilder) use() *cfgBlock {
+	if b.cur == nil {
+		b.cur = b.newBlock("dead")
+	}
+	return b.cur
+}
+
+func (b *cfgBuilder) add(n ast.Node) {
+	blk := b.use()
+	blk.nodes = append(blk.nodes, n)
+}
+
+// jump ends the current block with an edge to target (when control is
+// live) and leaves the builder with no current block.
+func (b *cfgBuilder) jump(target *cfgBlock) {
+	if b.cur != nil {
+		b.cur.addSucc(target)
+	}
+	b.cur = nil
+}
+
+// moveTo edges the current block to next and continues building there.
+func (b *cfgBuilder) moveTo(next *cfgBlock) {
+	if b.cur != nil {
+		b.cur.addSucc(next)
+	}
+	b.cur = next
+}
+
+// takeLabel consumes the pending label a LabeledStmt recorded for the
+// breakable statement being entered.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.curLabel
+	b.curLabel = ""
+	return l
+}
+
+// labelBlock returns the block a label names, creating it on first
+// reference (forward gotos reference labels not yet seen).
+func (b *cfgBuilder) labelBlock(name string) *cfgBlock {
+	if blk, ok := b.labels[name]; ok {
+		return blk
+	}
+	blk := b.newBlock("label." + name)
+	b.labels[name] = blk
+	return blk
+}
+
+func (b *cfgBuilder) breakTarget(label string) *cfgBlock {
+	for i := len(b.brk) - 1; i >= 0; i-- {
+		if label == "" || b.brk[i].label == label {
+			return b.brk[i].block
+		}
+	}
+	return b.g.exit // unmatched label: impossible in type-checked code
+}
+
+func (b *cfgBuilder) continueTarget(label string) *cfgBlock {
+	for i := len(b.cont) - 1; i >= 0; i-- {
+		if label == "" || b.cont[i].label == label {
+			return b.cont[i].block
+		}
+	}
+	return b.g.exit
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		for _, s2 := range st.List {
+			b.stmt(s2)
+		}
+	case *ast.LabeledStmt:
+		lb := b.labelBlock(st.Label.Name)
+		b.moveTo(lb)
+		b.curLabel = st.Label.Name
+		b.stmt(st.Stmt)
+		b.curLabel = ""
+	case *ast.IfStmt:
+		b.ifStmt(st)
+	case *ast.ForStmt:
+		b.forStmt(st)
+	case *ast.RangeStmt:
+		b.rangeStmt(st)
+	case *ast.SwitchStmt:
+		b.switchStmt(st.Init, st.Tag, nil, st.Body, "switch")
+	case *ast.TypeSwitchStmt:
+		b.switchStmt(st.Init, nil, st.Assign, st.Body, "typeswitch")
+	case *ast.SelectStmt:
+		b.selectStmt(st)
+	case *ast.BranchStmt:
+		b.branchStmt(st)
+	case *ast.ReturnStmt:
+		b.add(st)
+		b.jump(b.g.exit)
+	case *ast.DeferStmt:
+		b.g.defers = append(b.g.defers, st)
+		b.add(st)
+	case *ast.ExprStmt:
+		b.add(st)
+		if isPanicCall(st.X) {
+			b.jump(b.g.exit)
+		}
+	default:
+		// AssignStmt, DeclStmt, GoStmt, IncDecStmt, SendStmt, EmptyStmt:
+		// straight-line nodes.
+		b.add(s)
+	}
+}
+
+func (b *cfgBuilder) ifStmt(st *ast.IfStmt) {
+	if st.Init != nil {
+		b.stmt(st.Init)
+	}
+	b.add(st.Cond)
+	cond := b.use()
+	b.cur = nil
+
+	then := b.newBlock("if.then")
+	cond.addSucc(then)
+	b.cur = then
+	b.stmt(st.Body)
+	thenEnd := b.cur
+	b.cur = nil
+
+	var elseEnd *cfgBlock
+	if st.Else != nil {
+		els := b.newBlock("if.else")
+		cond.addSucc(els)
+		b.cur = els
+		b.stmt(st.Else)
+		elseEnd = b.cur
+		b.cur = nil
+	}
+
+	join := b.newBlock("if.join")
+	if st.Else == nil {
+		cond.addSucc(join)
+	}
+	if thenEnd != nil {
+		thenEnd.addSucc(join)
+	}
+	if elseEnd != nil {
+		elseEnd.addSucc(join)
+	}
+	b.cur = join
+}
+
+func (b *cfgBuilder) forStmt(st *ast.ForStmt) {
+	label := b.takeLabel()
+	if st.Init != nil {
+		b.stmt(st.Init)
+	}
+	head := b.newBlock("for.head")
+	b.moveTo(head)
+	if st.Cond != nil {
+		b.add(st.Cond)
+	}
+	exit := b.newBlock("for.exit")
+	if st.Cond != nil {
+		head.addSucc(exit)
+	}
+	contTarget := head
+	var post *cfgBlock
+	if st.Post != nil {
+		post = b.newBlock("for.post")
+		post.nodes = append(post.nodes, st.Post)
+		post.addSucc(head)
+		contTarget = post
+	}
+	body := b.newBlock("for.body")
+	head.addSucc(body)
+
+	b.brk = append(b.brk, cfgTarget{label, exit})
+	b.cont = append(b.cont, cfgTarget{label, contTarget})
+	b.cur = body
+	b.stmt(st.Body)
+	b.jump(contTarget)
+	b.brk = b.brk[:len(b.brk)-1]
+	b.cont = b.cont[:len(b.cont)-1]
+
+	b.cur = exit
+}
+
+func (b *cfgBuilder) rangeStmt(st *ast.RangeStmt) {
+	label := b.takeLabel()
+	head := b.newBlock("range.head")
+	head.rng = st
+	head.nodes = append(head.nodes, st.X)
+	b.moveTo(head)
+	exit := b.newBlock("range.exit")
+	head.addSucc(exit)
+	body := b.newBlock("range.body")
+	head.addSucc(body)
+
+	b.brk = append(b.brk, cfgTarget{label, exit})
+	b.cont = append(b.cont, cfgTarget{label, head})
+	b.cur = body
+	b.stmt(st.Body)
+	b.jump(head)
+	b.brk = b.brk[:len(b.brk)-1]
+	b.cont = b.cont[:len(b.cont)-1]
+
+	b.cur = exit
+}
+
+// switchStmt builds both expression and type switches: init and the
+// tag/assign land in the head block, each clause gets its own block with
+// an edge from the head, fallthrough edges to the next clause's block,
+// and a missing default adds a head→join edge.
+func (b *cfgBuilder) switchStmt(init ast.Stmt, tag ast.Expr, assign ast.Stmt, body *ast.BlockStmt, kind string) {
+	label := b.takeLabel()
+	if init != nil {
+		b.stmt(init)
+	}
+	if tag != nil {
+		b.add(tag)
+	}
+	if assign != nil {
+		b.add(assign)
+	}
+	head := b.use()
+	b.cur = nil
+	join := b.newBlock(kind + ".join")
+
+	var clauses []*ast.CaseClause
+	for _, cs := range body.List {
+		clauses = append(clauses, cs.(*ast.CaseClause))
+	}
+	blocks := make([]*cfgBlock, len(clauses))
+	hasDefault := false
+	for i, cl := range clauses {
+		ck := kind + ".case"
+		if cl.List == nil {
+			ck = kind + ".default"
+			hasDefault = true
+		}
+		blocks[i] = b.newBlock(ck)
+		head.addSucc(blocks[i])
+		// Case expressions are evaluated while selecting, i.e. in the head.
+		for _, e := range cl.List {
+			head.nodes = append(head.nodes, e)
+		}
+	}
+	if !hasDefault {
+		head.addSucc(join)
+	}
+
+	b.brk = append(b.brk, cfgTarget{label, join})
+	for i, cl := range clauses {
+		if i+1 < len(blocks) {
+			b.fall = blocks[i+1]
+		} else {
+			b.fall = join // fallthrough in the last clause is a compile error; be safe
+		}
+		b.cur = blocks[i]
+		for _, s := range cl.Body {
+			b.stmt(s)
+		}
+		b.jump(join)
+	}
+	b.fall = nil
+	b.brk = b.brk[:len(b.brk)-1]
+	b.cur = join
+}
+
+func (b *cfgBuilder) selectStmt(st *ast.SelectStmt) {
+	label := b.takeLabel()
+	head := b.newBlock("select.head")
+	head.sel = st
+	b.moveTo(head)
+	b.cur = nil
+	join := b.newBlock("select.join")
+
+	b.brk = append(b.brk, cfgTarget{label, join})
+	for _, cs := range st.Body.List {
+		cl := cs.(*ast.CommClause)
+		ck := "select.case"
+		if cl.Comm == nil {
+			ck = "select.default"
+		}
+		cb := b.newBlock(ck)
+		cb.comm = cl.Comm
+		head.addSucc(cb)
+		b.cur = cb
+		for _, s := range cl.Body {
+			b.stmt(s)
+		}
+		b.jump(join)
+	}
+	b.brk = b.brk[:len(b.brk)-1]
+	// A select with no clauses blocks forever: no edge out of head, so
+	// join (and everything after) is unreachable.
+	b.cur = join
+}
+
+func (b *cfgBuilder) branchStmt(st *ast.BranchStmt) {
+	label := ""
+	if st.Label != nil {
+		label = st.Label.Name
+	}
+	switch st.Tok {
+	case token.BREAK:
+		b.jump(b.breakTarget(label))
+	case token.CONTINUE:
+		b.jump(b.continueTarget(label))
+	case token.GOTO:
+		b.jump(b.labelBlock(label))
+	case token.FALLTHROUGH:
+		if b.fall != nil {
+			b.jump(b.fall)
+		} else {
+			b.cur = nil
+		}
+	}
+}
+
+// isPanicCall reports whether e is a direct call of the panic builtin.
+// Name-based on purpose: the builder has no type info, and shadowing
+// `panic` would be its own churnvet finding if anyone ever tried.
+func isPanicCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// inspectShallow walks root like ast.Inspect but never descends into a
+// nested function literal: a FuncLit body is a different function with
+// its own CFG, and counting its operations against the enclosing
+// function's blocks would double-report every finding.
+func inspectShallow(root ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != root {
+			return false
+		}
+		return fn(n)
+	})
+}
+
+// funcUnit is one analyzable function: a declaration or a literal, with
+// its CFG.
+type funcUnit struct {
+	decl *ast.FuncDecl // nil for literals
+	lit  *ast.FuncLit  // nil for declarations
+	g    *funcCFG
+	file *ast.File
+}
+
+// name renders the unit for messages.
+func (u *funcUnit) name() string {
+	if u.decl != nil {
+		return u.decl.Name.Name
+	}
+	return "function literal"
+}
+
+// body returns the unit's body block statement.
+func (u *funcUnit) body() *ast.BlockStmt {
+	if u.decl != nil {
+		return u.decl.Body
+	}
+	return u.lit.Body
+}
+
+// funcType returns the unit's signature AST.
+func (u *funcUnit) funcType() *ast.FuncType {
+	if u.decl != nil {
+		return u.decl.Type
+	}
+	return u.lit.Type
+}
+
+// packageFuncs builds a CFG for every function body in the package —
+// declarations and literals each rooted separately, in source order.
+func packageFuncs(p *Package) []*funcUnit {
+	var units []*funcUnit
+	for _, f := range p.Files {
+		file := f
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					units = append(units, &funcUnit{decl: fn, g: buildCFG(fn.Body), file: file})
+				}
+			case *ast.FuncLit:
+				units = append(units, &funcUnit{lit: fn, g: buildCFG(fn.Body), file: file})
+			}
+			return true
+		})
+	}
+	return units
+}
+
+// reachableFrom collects the blocks reachable from b (itself included).
+func reachableFrom(b *cfgBlock) map[*cfgBlock]bool {
+	seen := map[*cfgBlock]bool{}
+	var visit func(x *cfgBlock)
+	visit = func(x *cfgBlock) {
+		if seen[x] {
+			return
+		}
+		seen[x] = true
+		for _, s := range x.succs {
+			visit(s)
+		}
+	}
+	visit(b)
+	return seen
+}
+
+// render dumps the CFG as one line per block — "#i kind(n) -> j k" —
+// for the structure pins in cfg_test.go. Dead blocks carry a "!" mark.
+func (g *funcCFG) render() string {
+	var sb strings.Builder
+	for _, b := range g.blocks {
+		mark := ""
+		if !b.live {
+			mark = "!"
+		}
+		fmt.Fprintf(&sb, "#%d%s %s(%d)", b.index, mark, b.kind, len(b.nodes))
+		if len(b.succs) > 0 {
+			sb.WriteString(" ->")
+			for _, s := range b.succs {
+				fmt.Fprintf(&sb, " %d", s.index)
+			}
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

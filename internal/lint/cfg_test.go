@@ -1,0 +1,274 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// cfgOf parses one function and builds its CFG.
+func cfgOf(t *testing.T, src string) *funcCFG {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cfg_fixture.go", "package p\n"+src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fn, ok := d.(*ast.FuncDecl); ok && fn.Body != nil {
+			return buildCFG(fn.Body)
+		}
+	}
+	t.Fatal("no function in source")
+	return nil
+}
+
+// pinCFG asserts the rendered block/edge structure. The rendering is one
+// line per block: "#index[!] kind(node count) -> succ indices", with "!"
+// marking blocks unreachable from entry.
+func pinCFG(t *testing.T, src, want string) *funcCFG {
+	t.Helper()
+	g := cfgOf(t, src)
+	got := strings.TrimSpace(g.render())
+	want = strings.TrimSpace(want)
+	if got != want {
+		t.Errorf("CFG structure mismatch\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+	return g
+}
+
+// TestCFGLabeledBreakContinue pins labeled break and continue through a
+// nested loop: continue outer re-enters the range head, break outer
+// lands on the range exit, and the inner for's own exit block is dead
+// (nothing ever falls out of an unconditioned for).
+func TestCFGLabeledBreakContinue(t *testing.T) {
+	t.Parallel()
+	pinCFG(t, `
+func f(xs []int) {
+outer:
+	for _, x := range xs {
+		for {
+			if x > 0 {
+				continue outer
+			}
+			break outer
+		}
+	}
+}`, `
+#0 entry(0) -> 2
+#1 exit(0)
+#2 label.outer(0) -> 3
+#3 range.head(1) -> 4 5
+#4 range.exit(0) -> 1
+#5 range.body(0) -> 6
+#6 for.head(0) -> 8
+#7! for.exit(0) -> 3
+#8 for.body(1) -> 9 10
+#9 if.then(0) -> 3
+#10 if.join(0) -> 4`)
+}
+
+// TestCFGGoto pins a backward goto forming a hand-rolled loop: the label
+// block gets the back edge from the then-branch.
+func TestCFGGoto(t *testing.T) {
+	t.Parallel()
+	pinCFG(t, `
+func g(n int) int {
+	i := 0
+loop:
+	if i < n {
+		i++
+		goto loop
+	}
+	return i
+}`, `
+#0 entry(1) -> 2
+#1 exit(0)
+#2 label.loop(1) -> 3 4
+#3 if.then(1) -> 2
+#4 if.join(1) -> 1`)
+}
+
+// TestCFGSelectWithDefault pins a three-way select: one clause block per
+// comm case plus the default, every clause returning, leaving the join
+// dead and the function unable to fall off the end.
+func TestCFGSelectWithDefault(t *testing.T) {
+	t.Parallel()
+	g := pinCFG(t, `
+func h(ch chan int, done chan struct{}) int {
+	select {
+	case v := <-ch:
+		return v
+	case <-done:
+		return 0
+	default:
+		return -1
+	}
+}`, `
+#0 entry(0) -> 2
+#1 exit(0)
+#2 select.head(0) -> 4 5 6
+#3! select.join(0) -> 1
+#4 select.case(1) -> 1
+#5 select.case(1) -> 1
+#6 select.default(1) -> 1`)
+	if g.fallsOff {
+		t.Error("fallsOff = true; every select clause returns")
+	}
+	head := g.blocks[2]
+	if head.sel == nil {
+		t.Error("select head block is missing its sel marker")
+	}
+	if g.blocks[4].comm == nil || g.blocks[5].comm == nil {
+		t.Error("comm clauses are missing their comm statements")
+	}
+	if g.blocks[6].comm != nil {
+		t.Error("default clause should carry no comm statement")
+	}
+}
+
+// TestCFGDeferInLoop pins a defer inside a range body: the defer node
+// stays in the loop body block, and the CFG records it in defers for the
+// exit-path analyses.
+func TestCFGDeferInLoop(t *testing.T) {
+	t.Parallel()
+	g := pinCFG(t, `
+func d(files []string, release func(string)) {
+	for _, f := range files {
+		defer release(f)
+	}
+}`, `
+#0 entry(0) -> 2
+#1 exit(0)
+#2 range.head(1) -> 3 4
+#3 range.exit(0) -> 1
+#4 range.body(1) -> 2`)
+	if len(g.defers) != 1 {
+		t.Errorf("defers = %d, want 1", len(g.defers))
+	}
+	if !g.fallsOff {
+		t.Error("fallsOff = false; the function has no return statement")
+	}
+}
+
+// TestCFGRangeOverChannel pins the range-over-channel shape: the head
+// block carries the rng marker ctxflow keys on, with the back edge from
+// the body.
+func TestCFGRangeOverChannel(t *testing.T) {
+	t.Parallel()
+	g := pinCFG(t, `
+func r(ch chan int) int {
+	sum := 0
+	for v := range ch {
+		sum += v
+	}
+	return sum
+}`, `
+#0 entry(1) -> 2
+#1 exit(0)
+#2 range.head(1) -> 3 4
+#3 range.exit(1) -> 1
+#4 range.body(1) -> 2`)
+	if g.blocks[2].rng == nil {
+		t.Error("range head block is missing its rng marker")
+	}
+}
+
+// TestCFGPanicReturn pins the panic/return interplay: a stmt-level panic
+// edges to exit like a return does, and statements after an
+// unconditional panic land in a dead block.
+func TestCFGPanicReturn(t *testing.T) {
+	t.Parallel()
+	pinCFG(t, `
+func p(ok bool) int {
+	if !ok {
+		panic("bad")
+	}
+	return 1
+}`, `
+#0 entry(1) -> 2 3
+#1 exit(0)
+#2 if.then(1) -> 1
+#3 if.join(1) -> 1`)
+
+	g := pinCFG(t, `
+func q() int {
+	panic("x")
+	return 2
+}`, `
+#0 entry(1) -> 1
+#1 exit(0)
+#2! dead(1) -> 1`)
+	if g.fallsOff {
+		t.Error("fallsOff = true after unconditional panic")
+	}
+}
+
+// TestCFGSwitchFallthrough pins fallthrough edging into the next clause
+// body and a missing default adding the head→join edge.
+func TestCFGSwitchFallthrough(t *testing.T) {
+	t.Parallel()
+	pinCFG(t, `
+func s(n int) int {
+	out := 0
+	switch n {
+	case 0:
+		out++
+		fallthrough
+	case 1:
+		out += 2
+	}
+	return out
+}`, `
+#0 entry(4) -> 3 4 2
+#1 exit(0)
+#2 switch.join(1) -> 1
+#3 switch.case(1) -> 4
+#4 switch.case(1) -> 2`)
+}
+
+// TestCFGDataflowReachesFixpoint exercises the generic driver on a loop:
+// a counting lattice capped at the block count converges and visits every
+// live block exactly once in the result map.
+func TestCFGDataflowReachesFixpoint(t *testing.T) {
+	t.Parallel()
+	g := cfgOf(t, `
+func f(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}`)
+	// A saturating path-length lattice: finite height, so the loop's back
+	// edge must converge instead of counting forever.
+	spec := &flowSpec[int]{
+		entry: 0,
+		transfer: func(b *cfgBlock, in int) int {
+			if in >= len(g.blocks) {
+				return in
+			}
+			return in + 1
+		},
+		join:  func(a, b int) int { return max(a, b) },
+		equal: func(a, b int) bool { return a == b },
+	}
+	facts := spec.run(g)
+	live := 0
+	for _, b := range g.blocks {
+		if b.live {
+			live++
+			if _, ok := facts[b]; !ok && b != g.entry {
+				t.Errorf("live block #%d %s has no fact", b.index, b.kind)
+			}
+		}
+	}
+	if _, ok := facts[g.exit]; !ok {
+		t.Error("exit block has no fact")
+	}
+	if len(facts) > live {
+		t.Errorf("facts for %d blocks, only %d live", len(facts), live)
+	}
+}

@@ -1,0 +1,291 @@
+package lint
+
+// analyzerCtxflow enforces the cancellation discipline ARCHITECTURE.md
+// promises ("ctx cancel kills all children, no hang path"):
+//
+//  1. A function in a deterministic package that takes a
+//     context.Context must actually use it — a discarded ctx is a
+//     subtree that cancellation can never reach.
+//  2. context.Background()/context.TODO() must not originate in root or
+//     internal/ outside sanctioned boundaries; minting a fresh root
+//     context severs the caller's cancellation chain. Sanctioned
+//     boundaries are: the nil-ctx compatibility guard
+//     (`if ctx == nil { ctx = context.Background() }`), deprecated
+//     shims (doc comment carries "Deprecated:") delegating to the
+//     ctx-aware API, and direct delegation to the function's own *Ctx
+//     variant.
+//  3. In the sanctioned concurrency packages, every blocking operation
+//     reachable from a function's entry — bare channel send/recv,
+//     range-over-channel, select with no default and no ctx.Done() arm,
+//     WaitGroup.Wait, exec.Cmd waits, pipe reads — must be cancellable:
+//     inside a select with a Done arm, guarded by exec.CommandContext
+//     construction, or carrying a reviewed suppression.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+var analyzerCtxflow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "context must flow: no discarded ctx params, no fresh Background/TODO outside sanctioned boundaries, no uncancellable blocking ops in concurrency packages",
+	Run:  runCtxflow,
+}
+
+func runCtxflow(m *Module) []Finding {
+	var findings []Finding
+	for _, p := range m.Pkgs {
+		if !deterministic(m, p) {
+			continue
+		}
+		units := packageFuncs(p)
+		findings = append(findings, ctxParamFindings(m, p, units)...)
+		findings = append(findings, ctxRootFindings(m, p)...)
+		if concurrencyPackage(m, p) {
+			idx := buildOriginIndex(p)
+			for _, u := range units {
+				findings = append(findings, ctxBlockingFindings(m, p, idx, u)...)
+			}
+		}
+	}
+	return findings
+}
+
+// ctxParamFindings flags context parameters that a function body never
+// reads. A closure capturing ctx counts as a use — the full body is
+// inspected, nested literals included, because cancellation through a
+// captured ctx is still cancellation.
+func ctxParamFindings(m *Module, p *Package, units []*funcUnit) []Finding {
+	var findings []Finding
+	for _, u := range units {
+		ft := u.funcType()
+		if ft.Params == nil {
+			continue
+		}
+		for _, field := range ft.Params.List {
+			if !isContextType(p, field.Type) {
+				continue
+			}
+			for _, name := range field.Names {
+				if name.Name == "_" {
+					findings = append(findings, Finding{
+						Pos:      m.Fset.Position(name.Pos()),
+						Analyzer: "ctxflow",
+						Message:  u.name() + " declares its context parameter as _; a discarded ctx makes the call subtree uncancellable — plumb it through or drop the parameter",
+					})
+					continue
+				}
+				obj := p.Info.Defs[name]
+				if obj == nil || identUsed(u.body(), p, obj) {
+					continue
+				}
+				findings = append(findings, Finding{
+					Pos:      m.Fset.Position(name.Pos()),
+					Analyzer: "ctxflow",
+					Message:  u.name() + " never uses its context parameter " + name.Name + "; pass it to the blocking work it guards or drop it",
+				})
+			}
+		}
+	}
+	return findings
+}
+
+// identUsed reports whether any identifier in body (nested function
+// literals included — closure capture is a real use) resolves to obj.
+func identUsed(body *ast.BlockStmt, p *Package, obj types.Object) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if used {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && p.Info.Uses[id] == obj {
+			used = true
+		}
+		return !used
+	})
+	return used
+}
+
+// isContextType reports whether the type expression is context.Context.
+func isContextType(p *Package, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// ctxRootFindings flags context.Background()/TODO() calls outside the
+// sanctioned boundary patterns.
+func ctxRootFindings(m *Module, p *Package) []Finding {
+	var findings []Finding
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			findings = append(findings, ctxRootInFunc(m, p, fn)...)
+		}
+	}
+	return findings
+}
+
+func ctxRootInFunc(m *Module, p *Package, fn *ast.FuncDecl) []Finding {
+	deprecated := fn.Doc != nil && strings.Contains(fn.Doc.Text(), "Deprecated:")
+	sanctioned := nilGuardSanctioned(p, fn.Body)
+	var findings []Finding
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := contextRootCall(p, call)
+		if name == "" {
+			return true
+		}
+		if deprecated || sanctioned[call] {
+			return true
+		}
+		// Direct delegation to this function's own ctx-aware variant:
+		// `func Run(...) { return RunCtx(context.Background(), ...) }` is
+		// the compatibility-shim boundary and keeps exactly one
+		// Background per legacy entry point.
+		if parent := enclosingCall(fn.Body, call); parent != nil {
+			if strings.EqualFold(calleeName(parent), fn.Name.Name+"Ctx") {
+				return true
+			}
+		}
+		findings = append(findings, Finding{
+			Pos:      m.Fset.Position(call.Pos()),
+			Analyzer: "ctxflow",
+			Message: "context." + name + " in " + fn.Name.Name + " mints a fresh root context, severing the caller's cancellation chain; " +
+				"accept a ctx parameter (or delegate through the *Ctx variant / nil-ctx guard)",
+		})
+		return true
+	})
+	return findings
+}
+
+// contextRootCall returns "Background" or "TODO" when call invokes that
+// context function, "" otherwise.
+func contextRootCall(p *Package, call *ast.CallExpr) string {
+	fn, _ := calleeFunc(p, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return ""
+	}
+	if n := fn.Name(); n == "Background" || n == "TODO" {
+		return n
+	}
+	return ""
+}
+
+// nilGuardSanctioned collects the Background/TODO calls appearing as the
+// sole assignment inside `if x == nil { x = context.Background() }` —
+// the documented compatibility guard for callers passing a nil ctx.
+func nilGuardSanctioned(p *Package, body *ast.BlockStmt) map[*ast.CallExpr]bool {
+	ok := map[*ast.CallExpr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		ifst, isIf := n.(*ast.IfStmt)
+		if !isIf || ifst.Else != nil {
+			return true
+		}
+		bin, isBin := ifst.Cond.(*ast.BinaryExpr)
+		if !isBin || bin.Op != token.EQL {
+			return true
+		}
+		var guarded ast.Expr
+		switch {
+		case isNilIdent(bin.Y):
+			guarded = bin.X
+		case isNilIdent(bin.X):
+			guarded = bin.Y
+		default:
+			return true
+		}
+		target := types.ExprString(guarded)
+		for _, s := range ifst.Body.List {
+			as, isAssign := s.(*ast.AssignStmt)
+			if !isAssign || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+				continue
+			}
+			if types.ExprString(as.Lhs[0]) != target {
+				continue
+			}
+			if call, isCall := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); isCall && contextRootCall(p, call) != "" {
+				ok[call] = true
+			}
+		}
+		return true
+	})
+	return ok
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// enclosingCall finds the innermost call expression within root that
+// carries target among its direct arguments.
+func enclosingCall(root ast.Node, target *ast.CallExpr) *ast.CallExpr {
+	var parent *ast.CallExpr
+	ast.Inspect(root, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, arg := range call.Args {
+			if ast.Unparen(arg) == target {
+				parent = call
+			}
+		}
+		return parent == nil
+	})
+	return parent
+}
+
+// ctxBlockingFindings checks every blocking op in the live blocks of one
+// concurrency-package function for a cancellation guard.
+func ctxBlockingFindings(m *Module, p *Package, idx originIndex, u *funcUnit) []Finding {
+	var findings []Finding
+	done := doneChannels(p, u)
+	for _, b := range u.g.blocks {
+		if !b.live {
+			continue
+		}
+		for _, op := range blockBlockingOps(p, b) {
+			if sel, ok := op.node.(*ast.SelectStmt); ok {
+				if selectHasDoneArm(p, sel, done) {
+					continue
+				}
+				findings = append(findings, ctxBlockingFinding(m, u, op,
+					"add a ctx.Done() arm so cancellation can preempt the wait"))
+				continue
+			}
+			if op.exec && op.recv != nil && tracesToCommandContext(p, idx, op.recv) {
+				// The context owns the child's lifetime: cancellation
+				// kills the process, which unblocks the wait.
+				continue
+			}
+			findings = append(findings, ctxBlockingFinding(m, u, op,
+				"wrap it in a select with a ctx.Done() arm (or construct via exec.CommandContext) so cancellation cannot hang the pool"))
+		}
+	}
+	return findings
+}
+
+func ctxBlockingFinding(m *Module, u *funcUnit, op blockingOp, fix string) Finding {
+	return Finding{
+		Pos:      m.Fset.Position(op.node.Pos()),
+		Analyzer: "ctxflow",
+		Message:  op.what + " in " + u.name() + " is not cancellable; " + fix,
+	}
+}

@@ -1,0 +1,55 @@
+package lint
+
+// A reusable forward-dataflow driver over funcCFG. Analyzers describe a
+// lattice — an entry fact, a transfer function over one block, a join
+// for merge points, and equality for the fixpoint test — and get back
+// the fact at every block's entry. The driver is a plain worklist
+// iteration: monotone transfer + finite lattice (every fact here is a
+// bounded map keyed by the function's lock/var identities) guarantees
+// termination.
+
+// flowSpec describes one forward dataflow problem over facts of type F.
+// Facts are treated as immutable values: transfer and join must return
+// fresh facts (or provably unaliased ones), never mutate their inputs.
+type flowSpec[F any] struct {
+	// entry is the fact at the function entry.
+	entry F
+	// transfer folds one block's nodes over the incoming fact.
+	transfer func(b *cfgBlock, in F) F
+	// join merges two facts at a control-flow merge point.
+	join func(a, b F) F
+	// equal reports fact equality, the fixpoint termination test.
+	equal func(a, b F) bool
+}
+
+// run iterates the problem to fixpoint and returns the entry fact of
+// every reached block. Blocks unreachable from entry have no fact (they
+// are absent from the map), which is exactly the "don't analyze dead
+// code" contract the analyzers want.
+func (spec *flowSpec[F]) run(g *funcCFG) map[*cfgBlock]F {
+	in := map[*cfgBlock]F{g.entry: spec.entry}
+	queued := map[*cfgBlock]bool{g.entry: true}
+	work := []*cfgBlock{g.entry}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b] = false
+		out := spec.transfer(b, in[b])
+		for _, s := range b.succs {
+			next := out
+			prev, seen := in[s]
+			if seen {
+				next = spec.join(prev, out)
+				if spec.equal(next, prev) {
+					continue
+				}
+			}
+			in[s] = next
+			if !queued[s] {
+				queued[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return in
+}

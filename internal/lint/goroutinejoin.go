@@ -1,0 +1,164 @@
+package lint
+
+// analyzerGoroutineJoin upgrades the allowlist-only goroutine check
+// with flow sensitivity inside the sanctioned packages themselves:
+// being allowed to spawn is not being allowed to leak. Every `go`
+// statement must have a reachable join — a WaitGroup.Wait, a channel
+// receive (bare, ranged, or in a select arm), or a deferred one — on
+// the spawning function's CFG paths after the spawn, so the function
+// cannot return while its children still run. Fire-and-forget
+// goroutines that outlive their spawner are exactly the leak the
+// worker pool exists to prevent.
+
+import (
+	"go/ast"
+	"strings"
+)
+
+var analyzerGoroutineJoin = &Analyzer{
+	Name: "goroutinejoin",
+	Doc:  "every `go` statement in a sanctioned package needs a reachable join on the spawning function's exit paths",
+	Run:  runGoroutineJoin,
+}
+
+func runGoroutineJoin(m *Module) []Finding {
+	var findings []Finding
+	for _, p := range m.Pkgs {
+		if _, sanctioned := sanctionedGoroutines[strings.TrimPrefix(p.Path, m.Path+"/")]; !sanctioned {
+			continue
+		}
+		for _, u := range packageFuncs(p) {
+			findings = append(findings, goroutineJoinFindings(m, p, u)...)
+		}
+	}
+	return findings
+}
+
+func goroutineJoinFindings(m *Module, p *Package, u *funcUnit) []Finding {
+	var findings []Finding
+	for _, b := range u.g.blocks {
+		if !b.live {
+			continue
+		}
+		for i, n := range b.nodes {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				continue
+			}
+			if deferredJoin(p, u.g) || goStmtJoined(p, b, i) {
+				continue
+			}
+			findings = append(findings, Finding{
+				Pos:      m.Fset.Position(g.Pos()),
+				Analyzer: "goroutinejoin",
+				Message: "goroutine spawned in " + u.name() + " has no reachable join (WaitGroup.Wait, channel receive, or pool drain) " +
+					"on the function's exit paths; an unjoined goroutine outlives its spawner and leaks",
+			})
+		}
+	}
+	return findings
+}
+
+// deferredJoin reports whether the function registers a deferred join;
+// defers run on every exit path, so a `defer wg.Wait()` covers spawns
+// wherever they sit in the CFG.
+func deferredJoin(p *Package, g *funcCFG) bool {
+	for _, d := range g.defers {
+		if nodeJoins(p, d.Call) {
+			return true
+		}
+	}
+	return false
+}
+
+// goStmtJoined reports whether any join operation is reachable after
+// node index i of block b: later nodes of b itself, then every block
+// reachable through b's successors.
+func goStmtJoined(p *Package, b *cfgBlock, i int) bool {
+	for _, n := range b.nodes[i+1:] {
+		if nodeJoins(p, n) {
+			return true
+		}
+	}
+	seen := map[*cfgBlock]bool{b: true}
+	var visit func(x *cfgBlock) bool
+	visit = func(x *cfgBlock) bool {
+		if seen[x] {
+			return false
+		}
+		seen[x] = true
+		if blockJoins(p, x) {
+			return true
+		}
+		for _, s := range x.succs {
+			if visit(s) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, s := range b.succs {
+		if visit(s) {
+			return true
+		}
+	}
+	return false
+}
+
+// blockJoins reports whether block x performs a join: a ranged or
+// selected channel receive at its head, or a joining node.
+func blockJoins(p *Package, x *cfgBlock) bool {
+	if x.rng != nil && isChanType(p, x.rng.X) {
+		return true
+	}
+	if x.sel != nil {
+		for _, cs := range x.sel.Body.List {
+			cl, ok := cs.(*ast.CommClause)
+			if !ok || cl.Comm == nil {
+				continue
+			}
+			// Any receive arm counts; a send-only select is not a join.
+			switch st := cl.Comm.(type) {
+			case *ast.ExprStmt:
+				if un, ok := ast.Unparen(st.X).(*ast.UnaryExpr); ok && un.Op.String() == "<-" {
+					return true
+				}
+			case *ast.AssignStmt:
+				if len(st.Rhs) == 1 {
+					if un, ok := ast.Unparen(st.Rhs[0]).(*ast.UnaryExpr); ok && un.Op.String() == "<-" {
+						return true
+					}
+				}
+			}
+		}
+	}
+	for _, n := range x.nodes {
+		if nodeJoins(p, n) {
+			return true
+		}
+	}
+	return false
+}
+
+// nodeJoins reports whether a straight-line node performs a join:
+// WaitGroup.Wait (immediate or deferred) or a bare channel receive.
+func nodeJoins(p *Package, n ast.Node) bool {
+	joins := false
+	inspectShallow(n, func(x ast.Node) bool {
+		if joins {
+			return false
+		}
+		switch op := x.(type) {
+		case *ast.UnaryExpr:
+			if op.Op.String() == "<-" {
+				joins = true
+			}
+		case *ast.CallExpr:
+			if fn, _ := calleeFunc(p, op); fn != nil && fn.FullName() == "(*sync.WaitGroup).Wait" {
+				joins = true
+			}
+		}
+		return !joins
+	})
+	return joins
+}

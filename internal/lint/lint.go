@@ -13,6 +13,9 @@ type Finding struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	// Suppressed marks findings silenced by a //churnvet:ok comment.
+	// Run drops them; RunAll keeps them for audit-style consumers.
+	Suppressed bool
 }
 
 // String renders the finding in the conventional file:line:col form,
@@ -31,13 +34,20 @@ type Analyzer struct {
 	Run  func(m *Module) []Finding
 }
 
-// Analyzers returns the registered suite in its canonical order.
+// Analyzers returns the registered suite in its canonical order: the
+// syntactic tier first, then the flow-sensitive tier (goroutinejoin,
+// ctxflow, lockflow, errflow) over the CFG substrate, with the
+// suppression validator last.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		analyzerNondet,
 		analyzerRNGStream,
 		analyzerMapOrder,
 		analyzerGoroutine,
+		analyzerGoroutineJoin,
+		analyzerCtxflow,
+		analyzerLockflow,
+		analyzerErrflow,
 		analyzerInternalImport,
 		analyzerSuppress,
 	}
@@ -58,6 +68,23 @@ func ByName(name string) (*Analyzer, bool) {
 // surviving findings sorted by position. Unknown analyzer names are an
 // error.
 func Run(m *Module, names []string) ([]Finding, error) {
+	all, err := RunAll(m, names)
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	for _, f := range all {
+		if !f.Suppressed {
+			findings = append(findings, f)
+		}
+	}
+	return findings, nil
+}
+
+// RunAll executes the named analyzers like Run but keeps suppressed
+// findings in the result, marked, so audit-style consumers (-format
+// json, -audit) can show what the suppressions are holding back.
+func RunAll(m *Module, names []string) ([]Finding, error) {
 	var selected []*Analyzer
 	if len(names) == 0 {
 		selected = Analyzers()
@@ -76,9 +103,7 @@ func Run(m *Module, names []string) ([]Finding, error) {
 		for _, f := range a.Run(m) {
 			// Malformed-suppression findings are not themselves
 			// suppressible; everything else honors //churnvet:ok.
-			if a.Name != suppressName && sup.matches(a.Name, f.Pos) {
-				continue
-			}
+			f.Suppressed = a.Name != suppressName && sup.matches(a.Name, f.Pos)
 			findings = append(findings, f)
 		}
 	}

@@ -105,6 +105,34 @@ func testFixture(t *testing.T, fixture string, analyzers ...string) {
 	}
 }
 
+// testFixtureSuppressed runs the named analyzers over a fixture whose
+// violations are all suppressed: Run must report nothing, and RunAll
+// must surface exactly wantSuppressed findings flagged Suppressed.
+func testFixtureSuppressed(t *testing.T, fixture string, wantSuppressed int, analyzers ...string) {
+	t.Helper()
+	m := fixtureModule(t, fixture)
+	findings, err := Run(m, analyzers)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("suppressed fixture %s still reports: %s", fixture, f)
+	}
+	all, err := RunAll(m, analyzers)
+	if err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	suppressed := 0
+	for _, f := range all {
+		if f.Suppressed {
+			suppressed++
+		}
+	}
+	if suppressed != wantSuppressed {
+		t.Errorf("RunAll(%s) marked %d findings suppressed, want %d", fixture, suppressed, wantSuppressed)
+	}
+}
+
 func TestNondet(t *testing.T) {
 	t.Parallel()
 	testFixture(t, "nondet", "nondet")
@@ -123,6 +151,46 @@ func TestMapOrder(t *testing.T) {
 func TestGoroutine(t *testing.T) {
 	t.Parallel()
 	testFixture(t, "goroutine", "goroutine")
+}
+
+func TestCtxflow(t *testing.T) {
+	t.Parallel()
+	testFixture(t, "ctxflow", "ctxflow")
+}
+
+func TestCtxflowSuppressed(t *testing.T) {
+	t.Parallel()
+	testFixtureSuppressed(t, "ctxflowok", 4, "ctxflow")
+}
+
+func TestLockflow(t *testing.T) {
+	t.Parallel()
+	testFixture(t, "lockflow", "lockflow")
+}
+
+func TestLockflowSuppressed(t *testing.T) {
+	t.Parallel()
+	testFixtureSuppressed(t, "lockflowok", 2, "lockflow")
+}
+
+func TestErrflow(t *testing.T) {
+	t.Parallel()
+	testFixture(t, "errflow", "errflow")
+}
+
+func TestErrflowSuppressed(t *testing.T) {
+	t.Parallel()
+	testFixtureSuppressed(t, "errflowok", 2, "errflow")
+}
+
+func TestGoroutineJoin(t *testing.T) {
+	t.Parallel()
+	testFixture(t, "goroutinejoin", "goroutinejoin")
+}
+
+func TestGoroutineJoinSuppressed(t *testing.T) {
+	t.Parallel()
+	testFixtureSuppressed(t, "goroutinejoinok", 1, "goroutinejoin")
 }
 
 func TestInternalImport(t *testing.T) {

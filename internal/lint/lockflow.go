@@ -1,0 +1,427 @@
+package lint
+
+// analyzerLockflow enforces the locking discipline on every CFG path:
+//
+//  1. No mutex held at a blocking operation — a lock held across a
+//     channel wait or pipe read turns one slow peer into a stalled
+//     module (every other goroutine queues on the lock behind it).
+//  2. Lock/unlock pairing on all paths: every Lock is released on every
+//     return path (defer recognized), no unlock of a lock not held, no
+//     re-lock of a lock already held (self-deadlock).
+//  3. No by-value copies of types containing a lock or WaitGroup —
+//     a copied mutex guards nothing.
+//
+// The pairing analysis is a forward dataflow over a may/must-held
+// lattice keyed by the lock's expression spelling, so aliasing through
+// assignment is out of scope on purpose: the repo's locks are all
+// addressed as fields of a stable receiver.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"maps"
+	"sort"
+)
+
+var analyzerLockflow = &Analyzer{
+	Name: "lockflow",
+	Doc:  "lock/unlock pairing on all CFG paths, no lock held at a blocking op, no by-value lock copies",
+	Run:  runLockflow,
+}
+
+const (
+	lockMay  uint8 = 1 << iota // held on some path into here
+	lockMust                   // held on every path into here
+)
+
+// lockFact maps a lock key — the receiver's expression spelling, with
+// ":r" appended for read locks — to its may/must bits.
+type lockFact map[string]uint8
+
+// lockMethodOps classifies the sync locking methods by effect.
+var lockMethodOps = map[string]string{
+	"(*sync.Mutex).Lock":      "lock",
+	"(*sync.Mutex).Unlock":    "unlock",
+	"(*sync.Mutex).TryLock":   "trylock",
+	"(*sync.RWMutex).Lock":    "lock",
+	"(*sync.RWMutex).Unlock":  "unlock",
+	"(*sync.RWMutex).TryLock": "trylock",
+	"(*sync.RWMutex).RLock":   "rlock",
+	"(*sync.RWMutex).RUnlock": "runlock",
+	"(sync.Locker).Lock":      "lock",
+	"(sync.Locker).Unlock":    "unlock",
+}
+
+func runLockflow(m *Module) []Finding {
+	var findings []Finding
+	for _, p := range m.Pkgs {
+		for _, u := range packageFuncs(p) {
+			findings = append(findings, lockPairFindings(m, p, u)...)
+		}
+		findings = append(findings, lockCopyFindings(m, p)...)
+	}
+	return findings
+}
+
+// lockOp is one lock-method call found in a node, in source order.
+type lockOp struct {
+	key  string // lock spelling, ":r"-suffixed for read locks
+	op   string // "lock", "unlock", "rlock", "runlock", "trylock"
+	call *ast.CallExpr
+}
+
+// nodeLockOps extracts the lock-method calls a node performs. Deferred
+// calls are not included — the caller accounts for them at exit.
+func nodeLockOps(p *Package, n ast.Node) []lockOp {
+	var ops []lockOp
+	inspectShallow(n, func(x ast.Node) bool {
+		if _, isDefer := x.(*ast.DeferStmt); isDefer && x != n {
+			return false
+		}
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn, recv := calleeFunc(p, call)
+		if fn == nil || recv == nil {
+			return true
+		}
+		op, isLockOp := lockMethodOps[fn.FullName()]
+		if !isLockOp {
+			return true
+		}
+		key := types.ExprString(recv)
+		if op == "rlock" || op == "runlock" {
+			key += ":r"
+		}
+		ops = append(ops, lockOp{key: key, op: op, call: call})
+		return true
+	})
+	return ops
+}
+
+// deferredUnlockKeys collects the lock keys released by the function's
+// defer statements. Conditional defers are credited unconditionally —
+// an over-approximation that keeps `if locked { defer mu.Unlock() }`
+// quiet; the analysis prefers a missed leak to a false alarm here.
+func deferredUnlockKeys(p *Package, g *funcCFG) map[string]bool {
+	keys := map[string]bool{}
+	for _, d := range g.defers {
+		fn, recv := calleeFunc(p, d.Call)
+		if fn == nil || recv == nil {
+			continue
+		}
+		switch lockMethodOps[fn.FullName()] {
+		case "unlock":
+			keys[types.ExprString(recv)] = true
+		case "runlock":
+			keys[types.ExprString(recv)+":r"] = true
+		}
+	}
+	return keys
+}
+
+// lockTransfer folds one block over a fact. When report is non-nil it
+// also emits findings: held-at-blocking-op, unpaired unlock, re-lock,
+// and held-at-return. The fixpoint pass runs it silent; the reporting
+// pass replays each block once with its converged entry fact.
+func lockTransfer(p *Package, b *cfgBlock, in lockFact, deferred map[string]bool, report func(pos token.Pos, msg string)) lockFact {
+	fact := maps.Clone(in)
+	if fact == nil {
+		fact = lockFact{}
+	}
+	if report != nil {
+		// Block-level blocking points (select heads, range-over-channel)
+		// happen before any node in the block runs.
+		if b.sel != nil && !selectHasDefault(b.sel) {
+			reportHeld(fact, nil, "select", b.sel.Pos(), report)
+		}
+		if b.rng != nil && isChanType(p, b.rng.X) {
+			reportHeld(fact, nil, "range over channel", b.rng.Pos(), report)
+		}
+	}
+	for _, n := range b.nodes {
+		if _, isDefer := n.(*ast.DeferStmt); isDefer {
+			continue
+		}
+		if report != nil {
+			for _, op := range nodeBlockingOps(p, n) {
+				reportHeld(fact, nil, op.what, op.node.Pos(), report)
+			}
+			if ret, isRet := n.(*ast.ReturnStmt); isRet {
+				reportHeld(fact, deferred, "", ret.Pos(), func(pos token.Pos, key string) {
+					report(pos, "lock "+key+" still held at return with no unlock or defer on this path")
+				})
+			}
+		}
+		for _, op := range nodeLockOps(p, n) {
+			switch op.op {
+			case "lock", "rlock":
+				if report != nil && fact[op.key]&lockMay != 0 && op.op == "lock" {
+					report(op.call.Pos(), "lock "+displayKey(op.key)+" acquired while already held on some path into here (self-deadlock)")
+				}
+				fact[op.key] = lockMay | lockMust
+			case "trylock":
+				fact[op.key] |= lockMay
+			case "unlock", "runlock":
+				if report != nil && fact[op.key] == 0 {
+					report(op.call.Pos(), "unlock of "+displayKey(op.key)+" which is not held on any path into here")
+				}
+				delete(fact, op.key)
+			}
+		}
+	}
+	return fact
+}
+
+// reportHeld invokes report for every held key. With what non-empty it
+// renders the held-at-blocking-op message; otherwise it passes the key
+// through for the caller to phrase. Keys in skip (the deferred-released
+// set) are exempt.
+func reportHeld(fact lockFact, skip map[string]bool, what string, pos token.Pos, report func(token.Pos, string)) {
+	keys := make([]string, 0, len(fact))
+	for k, bits := range fact {
+		if bits&lockMay == 0 || skip[k] {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if what == "" {
+			report(pos, k)
+			continue
+		}
+		report(pos, "lock "+displayKey(k)+" held across "+what+"; a blocked peer stalls every goroutine queued on the lock — release before blocking")
+	}
+}
+
+// displayKey strips the read-lock suffix for messages.
+func displayKey(k string) string {
+	if len(k) > 2 && k[len(k)-2:] == ":r" {
+		return k[:len(k)-2] + " (read lock)"
+	}
+	return k
+}
+
+// lockPairFindings runs the pairing/blocking dataflow over one function.
+func lockPairFindings(m *Module, p *Package, u *funcUnit) []Finding {
+	g := u.g
+	deferred := deferredUnlockKeys(p, g)
+	spec := &flowSpec[lockFact]{
+		entry: lockFact{},
+		transfer: func(b *cfgBlock, in lockFact) lockFact {
+			return lockTransfer(p, b, in, deferred, nil)
+		},
+		join: func(a, b lockFact) lockFact {
+			out := lockFact{}
+			for k, va := range a {
+				vb := b[k]
+				bits := (va | vb) & lockMay
+				if va&lockMust != 0 && vb&lockMust != 0 {
+					bits |= lockMust
+				}
+				if bits != 0 {
+					out[k] = bits
+				}
+			}
+			for k, vb := range b {
+				if _, ok := a[k]; ok {
+					continue
+				}
+				if bits := vb & lockMay; bits != 0 {
+					out[k] = bits
+				}
+			}
+			return out
+		},
+		equal: func(a, b lockFact) bool { return maps.Equal(a, b) },
+	}
+	facts := spec.run(g)
+
+	var findings []Finding
+	report := func(pos token.Pos, msg string) {
+		findings = append(findings, Finding{
+			Pos:      m.Fset.Position(pos),
+			Analyzer: "lockflow",
+			Message:  msg + " (in " + u.name() + ")",
+		})
+	}
+	for _, b := range g.blocks {
+		in, reached := facts[b]
+		if !reached {
+			continue
+		}
+		out := lockTransfer(p, b, in, deferred, report)
+		if b == g.finalBlock {
+			reportHeld(out, deferred, "", g.end, func(pos token.Pos, key string) {
+				report(pos, "lock "+key+" still held when "+u.name()+" falls off the end with no unlock or defer")
+			})
+		}
+	}
+	return findings
+}
+
+// lockTypeNames are the sync types that must never be copied after
+// first use; a struct containing one inherits the restriction.
+var lockTypeNames = map[string]bool{
+	"sync.Mutex": true, "sync.RWMutex": true, "sync.WaitGroup": true,
+	"sync.Once": true, "sync.Cond": true, "sync.Pool": true, "sync.Map": true,
+}
+
+// lockInType returns the name of the sync type t contains by value
+// (through structs and arrays, never through pointers or references),
+// or "".
+func lockInType(t types.Type) string {
+	return lockInTypeRec(t, map[types.Type]bool{})
+}
+
+func lockInTypeRec(t types.Type, seen map[types.Type]bool) string {
+	if t == nil || seen[t] {
+		return ""
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && lockTypeNames[obj.Pkg().Path()+"."+obj.Name()] {
+			return obj.Pkg().Path() + "." + obj.Name()
+		}
+		return lockInTypeRec(named.Underlying(), seen)
+	}
+	switch tt := t.(type) {
+	case *types.Struct:
+		for i := 0; i < tt.NumFields(); i++ {
+			if name := lockInTypeRec(tt.Field(i).Type(), seen); name != "" {
+				return name
+			}
+		}
+	case *types.Array:
+		return lockInTypeRec(tt.Elem(), seen)
+	}
+	return ""
+}
+
+// isLvalueRead reports whether e reads an existing addressable value —
+// the copies worth flagging. Fresh values (composite literals, calls,
+// conversions) are not copies of a lock anyone else holds.
+func isLvalueRead(p *Package, e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		_, isVar := p.Info.Uses[x].(*types.Var)
+		return isVar
+	case *ast.SelectorExpr:
+		_, isVar := p.Info.Uses[x.Sel].(*types.Var)
+		return isVar
+	case *ast.IndexExpr, *ast.StarExpr:
+		return true
+	}
+	return false
+}
+
+// lockCopyFindings flags by-value lock copies: value receivers and
+// parameters of lock-containing types, assignments and call arguments
+// copying an existing lock-containing value, and range value variables
+// copying lock-containing elements.
+func lockCopyFindings(m *Module, p *Package) []Finding {
+	var findings []Finding
+	flag := func(pos token.Pos, msg string) {
+		findings = append(findings, Finding{Pos: m.Fset.Position(pos), Analyzer: "lockflow", Message: msg})
+	}
+	checkFieldList(p, flag)
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.AssignStmt:
+				if len(x.Lhs) != len(x.Rhs) {
+					return true
+				}
+				for i, rhs := range x.Rhs {
+					if !isLvalueRead(p, rhs) {
+						continue
+					}
+					if name := exprLockType(p, rhs); name != "" {
+						flag(x.Rhs[i].Pos(), "assignment copies "+types.ExprString(rhs)+" containing "+name+" by value; a copied lock guards nothing — use a pointer")
+					}
+				}
+			case *ast.CallExpr:
+				for _, arg := range x.Args {
+					if !isLvalueRead(p, arg) {
+						continue
+					}
+					if name := exprLockType(p, arg); name != "" {
+						flag(arg.Pos(), "call passes "+types.ExprString(arg)+" containing "+name+" by value; a copied lock guards nothing — pass a pointer")
+					}
+				}
+			case *ast.RangeStmt:
+				if x.Value == nil {
+					return true
+				}
+				if name := exprLockType(p, x.Value); name != "" {
+					flag(x.Value.Pos(), "range value copies elements containing "+name+" by value; index into the collection instead")
+				}
+			}
+			return true
+		})
+	}
+	return findings
+}
+
+// checkFieldList flags value receivers and parameters of
+// lock-containing types on every function declaration and literal.
+func checkFieldList(p *Package, flag func(token.Pos, string)) {
+	check := func(fl *ast.FieldList, role string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			tv, ok := p.Info.Types[field.Type]
+			if !ok || tv.Type == nil {
+				continue
+			}
+			if _, isPtr := tv.Type.(*types.Pointer); isPtr {
+				continue
+			}
+			if name := lockInType(tv.Type); name != "" {
+				flag(field.Type.Pos(), role+" of type containing "+name+" is passed by value; a copied lock guards nothing — use a pointer")
+			}
+		}
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				check(fn.Recv, "receiver")
+				check(fn.Type.Params, "parameter")
+			case *ast.FuncLit:
+				check(fn.Type.Params, "parameter")
+			}
+			return true
+		})
+	}
+}
+
+// exprLockType returns the contained sync type name when e's type holds
+// a lock by value. Range variables in define mode live in Defs rather
+// than Types, so identifiers fall back to object resolution.
+func exprLockType(p *Package, e ast.Expr) string {
+	var t types.Type
+	if tv, ok := p.Info.Types[e]; ok && tv.Type != nil {
+		t = tv.Type
+	} else if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		obj := p.Info.Defs[id]
+		if obj == nil {
+			obj = p.Info.Uses[id]
+		}
+		if obj != nil {
+			t = obj.Type()
+		}
+	}
+	if t == nil {
+		return ""
+	}
+	if _, isPtr := t.(*types.Pointer); isPtr {
+		return ""
+	}
+	return lockInType(t)
+}

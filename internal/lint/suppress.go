@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/token"
+	"sort"
 	"strings"
 )
 
@@ -18,7 +19,7 @@ var analyzerSuppress = &Analyzer{
 	Run: func(m *Module) []Finding {
 		var findings []Finding
 		forEachDirective(m, func(pos token.Position, text string) {
-			if _, msg := parseSuppression(text); msg != "" {
+			if _, _, msg := parseSuppression(text); msg != "" {
 				findings = append(findings, Finding{Pos: pos, Analyzer: suppressName, Message: msg})
 			}
 		})
@@ -31,6 +32,7 @@ var analyzerSuppress = &Analyzer{
 // end-of-line form) or the line directly below it (the standalone form).
 type suppression struct {
 	analyzer string
+	reason   string
 	file     string
 	line     int
 }
@@ -52,11 +54,40 @@ func (s suppressionSet) matches(analyzer string, pos token.Position) bool {
 func collectSuppressions(m *Module) suppressionSet {
 	set := make(suppressionSet)
 	forEachDirective(m, func(pos token.Position, text string) {
-		if analyzer, msg := parseSuppression(text); msg == "" {
-			set[pos.Filename] = append(set[pos.Filename], suppression{analyzer: analyzer, file: pos.Filename, line: pos.Line})
+		if analyzer, reason, msg := parseSuppression(text); msg == "" {
+			set[pos.Filename] = append(set[pos.Filename], suppression{analyzer: analyzer, reason: reason, file: pos.Filename, line: pos.Line})
 		}
 	})
 	return set
+}
+
+// Suppression is one well-formed //churnvet:ok comment, exported for
+// the churnvet -audit listing: the analyzer it silences, the written
+// justification, and where it sits.
+type Suppression struct {
+	Analyzer string
+	Reason   string
+	Pos      token.Position
+}
+
+// Suppressions lists every well-formed suppression in the module,
+// sorted by position, so the suppression inventory stays reviewable
+// instead of accumulating silently.
+func Suppressions(m *Module) []Suppression {
+	var sups []Suppression
+	forEachDirective(m, func(pos token.Position, text string) {
+		if analyzer, reason, msg := parseSuppression(text); msg == "" {
+			sups = append(sups, Suppression{Analyzer: analyzer, Reason: reason, Pos: pos})
+		}
+	})
+	sort.Slice(sups, func(i, j int) bool {
+		a, b := sups[i], sups[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+	return sups
 }
 
 // forEachDirective invokes fn for every //churnvet:* comment in the
@@ -79,44 +110,48 @@ func forEachDirective(m *Module, fn func(pos token.Position, text string)) {
 }
 
 // parseSuppression parses `churnvet:ok <analyzer> -- <reason>` and
-// returns the analyzer name, or a non-empty problem description when the
-// comment is malformed.
-func parseSuppression(text string) (analyzer, problem string) {
+// returns the analyzer name and trimmed reason, or a non-empty problem
+// description when the comment is malformed.
+func parseSuppression(text string) (analyzer, reason, problem string) {
 	rest, ok := strings.CutPrefix(text, "churnvet:ok")
 	if !ok {
 		directive := strings.Fields(text)[0]
-		return "", "unknown churnvet directive " + quote(directive) + " (only //churnvet:ok is recognized)"
+		return "", "", "unknown churnvet directive " + quote(directive) + " (only //churnvet:ok is recognized)"
 	}
 	if rest != "" && !strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "\t") {
 		// e.g. churnvet:okay...
 		directive := strings.Fields(text)[0]
-		return "", "unknown churnvet directive " + quote(directive) + " (only //churnvet:ok is recognized)"
+		return "", "", "unknown churnvet directive " + quote(directive) + " (only //churnvet:ok is recognized)"
 	}
-	body, reason, found := strings.Cut(rest, "--")
+	body, rawReason, found := strings.Cut(rest, "--")
 	name := strings.TrimSpace(body)
 	if name == "" {
-		return "", "suppression names no analyzer (want //churnvet:ok <analyzer> -- <reason>)"
+		return "", "", "suppression names no analyzer (want //churnvet:ok <analyzer> -- <reason>)"
 	}
 	if len(strings.Fields(name)) != 1 {
-		return "", "suppression must name exactly one analyzer, got " + quote(name)
+		return "", "", "suppression must name exactly one analyzer, got " + quote(name)
 	}
 	if !suppressible(name) {
-		return "", "suppression names unknown analyzer " + quote(name) + " (have " + strings.Join(suppressibleNames(), ", ") + ")"
+		return "", "", "suppression names unknown analyzer " + quote(name) + " (have " + strings.Join(suppressibleNames(), ", ") + ")"
 	}
 	if !found {
-		return "", "suppression for " + name + " is missing the `-- <reason>` clause"
+		return "", "", "suppression for " + name + " is missing the `-- <reason>` clause"
 	}
-	if strings.TrimSpace(reason) == "" {
-		return "", "suppression for " + name + " has an empty reason (a written justification is required)"
+	reason = strings.TrimSpace(rawReason)
+	if reason == "" {
+		return "", "", "suppression for " + name + " has an empty reason (a written justification is required)"
 	}
-	return name, ""
+	return name, reason, ""
 }
 
 // suppressibleList names the analyzers whose findings may be silenced
 // with //churnvet:ok; the suppress analyzer itself deliberately is not.
 // Kept as a static list (rather than derived from Analyzers) to avoid an
 // initialization cycle; TestRegistry pins the two in sync.
-var suppressibleList = []string{"nondet", "rngstream", "maporder", "goroutine", "internalimport"}
+var suppressibleList = []string{
+	"nondet", "rngstream", "maporder", "goroutine",
+	"goroutinejoin", "ctxflow", "lockflow", "errflow", "internalimport",
+}
 
 func suppressible(name string) bool {
 	for _, n := range suppressibleList {

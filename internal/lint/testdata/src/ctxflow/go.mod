@@ -1,0 +1,3 @@
+module churnvet.fixture/ctxflow
+
+go 1.22

@@ -1,0 +1,19 @@
+// Package fixture carries the same ctxflow violations as the firing
+// fixture, each silenced by a reviewed suppression: Run must report
+// nothing, RunAll must report them all as suppressed.
+package fixture
+
+import "context"
+
+// Detached mints a root context on purpose.
+func Detached() error {
+	ctx := context.Background() //churnvet:ok ctxflow -- fixture: detached maintenance task whose lifetime is the process
+	return ctx.Err()
+}
+
+// Ignores takes a ctx it never reads.
+//
+//churnvet:ok ctxflow -- fixture: interface-mandated signature; the implementation is purely in-memory
+func Ignores(ctx context.Context) int {
+	return 1
+}

@@ -1,0 +1,3 @@
+module churnvet.fixture/ctxflowok
+
+go 1.22

@@ -1,0 +1,15 @@
+// Package parallel holds suppressed blocking-op violations.
+package parallel
+
+import "sync"
+
+// Join documents why its Wait cannot hang.
+func Join(wg *sync.WaitGroup) {
+	wg.Wait() //churnvet:ok ctxflow -- fixture: every worker exits on channel close, so the join is bounded
+}
+
+// Pump documents why its send cannot block.
+func Pump(ch chan int) {
+	//churnvet:ok ctxflow -- fixture: the channel is buffered to the exact producer count
+	ch <- 1
+}

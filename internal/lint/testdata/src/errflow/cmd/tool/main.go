@@ -1,0 +1,11 @@
+// Command tool shows the discard scope: cmd/ binaries are interface
+// glue, outside the deterministic packages, so a dropped error here is
+// not a finding (identity comparisons and %v-wrapping still are,
+// module-wide, but this file has none).
+package main
+
+import "os"
+
+func main() {
+	_ = os.Remove("scratch") // no finding: cmd/ is outside the discard scope
+}

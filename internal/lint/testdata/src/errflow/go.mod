@@ -1,0 +1,3 @@
+module churnvet.fixture/errflow
+
+go 1.22

@@ -1,0 +1,20 @@
+// Package fixture carries suppressed errflow violations: Run must
+// report nothing, RunAll must surface them as suppressed.
+package fixture
+
+import (
+	"io"
+	"os"
+)
+
+// Cleanup drops removal errors on a best-effort scratch path.
+func Cleanup(path string) {
+	_ = os.Remove(path) //churnvet:ok errflow -- fixture: best-effort scratch cleanup; a leftover file is harmless
+}
+
+// AtEOF compares identity against a reader contract that documents the
+// unwrapped sentinel.
+func AtEOF(err error) bool {
+	//churnvet:ok errflow -- fixture: legacy reader contract returns io.EOF unwrapped by documented guarantee
+	return err == io.EOF
+}

@@ -1,0 +1,3 @@
+module churnvet.fixture/errflowok
+
+go 1.22

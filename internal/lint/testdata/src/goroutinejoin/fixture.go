@@ -1,0 +1,11 @@
+// Package fixture pins the goroutinejoin scope: the root package is
+// not a sanctioned concurrency package, so even a blatant
+// fire-and-forget spawn here belongs to the coarse goroutine
+// allowlist, not to join analysis.
+package fixture
+
+// Detached spawns without a join; no finding here because join
+// discipline only applies inside sanctioned packages.
+func Detached() {
+	go func() {}()
+}

@@ -1,0 +1,3 @@
+module churnvet.fixture/goroutinejoin
+
+go 1.22

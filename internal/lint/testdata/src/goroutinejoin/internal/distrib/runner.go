@@ -1,0 +1,10 @@
+// Package distrib pins that join discipline covers every sanctioned
+// concurrency package, not just the pool.
+package distrib
+
+// Serve leaks the handler goroutine past its spawner.
+func Serve(conns []int) {
+	for range conns {
+		go func() {}() // want "no reachable join"
+	}
+}

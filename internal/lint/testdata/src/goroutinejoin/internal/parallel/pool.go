@@ -1,0 +1,71 @@
+// Package parallel exercises goroutinejoin inside a sanctioned
+// concurrency package: every spawn needs a reachable join.
+package parallel
+
+import "sync"
+
+func work(wg *sync.WaitGroup) { wg.Done() }
+
+// Leak spawns and returns immediately.
+func Leak() {
+	go func() {}() // want "no reachable join"
+}
+
+// LoopLeak leaks from inside a loop with no join after it.
+func LoopLeak(n int) {
+	for i := 0; i < n; i++ {
+		go func() {}() // want "no reachable join"
+	}
+}
+
+// Joined waits on the spawned worker before returning.
+func Joined() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go work(&wg)
+	wg.Wait()
+}
+
+// DeferJoined registers the join before spawning; defers run on every
+// exit path.
+func DeferJoined() {
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	wg.Add(1)
+	go work(&wg)
+}
+
+// ChanJoined blocks on the result channel.
+func ChanJoined() int {
+	ch := make(chan int)
+	go func() { ch <- 1 }()
+	return <-ch
+}
+
+// DrainJoined ranges over the results.
+func DrainJoined() int {
+	ch := make(chan int, 4)
+	go func() {
+		for i := 0; i < 4; i++ {
+			ch <- i
+		}
+		close(ch)
+	}()
+	sum := 0
+	for v := range ch {
+		sum += v
+	}
+	return sum
+}
+
+// SelectJoined receives in a select arm.
+func SelectJoined(stop chan struct{}) int {
+	ch := make(chan int)
+	go func() { ch <- 1 }()
+	select {
+	case v := <-ch:
+		return v
+	case <-stop:
+		return 0
+	}
+}

@@ -1,0 +1,3 @@
+module churnvet.fixture/goroutinejoinok
+
+go 1.22

@@ -1,0 +1,9 @@
+// Package parallel carries a suppressed goroutinejoin violation: Run
+// must report nothing, RunAll must surface it as suppressed.
+package parallel
+
+// Watchdog spawns a process-lifetime goroutine by design.
+func Watchdog() {
+	//churnvet:ok goroutinejoin -- fixture: process-lifetime watchdog; joined implicitly at exit, never by the spawner
+	go func() {}()
+}

@@ -1,0 +1,121 @@
+// Package fixture exercises lockflow: pairing on all CFG paths,
+// blocking while holding, and by-value lock copies.
+package fixture
+
+import "sync"
+
+// Counter is a lock-guarded value whose type must never be copied.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Double locks a mutex it already holds.
+func Double(mu *sync.Mutex) {
+	mu.Lock()
+	mu.Lock() // want "acquired while already held on some path into here"
+	mu.Unlock()
+}
+
+// LeakReturn forgets the unlock on the early-return path.
+func LeakReturn(mu *sync.Mutex, x bool) {
+	mu.Lock()
+	if x {
+		return // want "still held at return with no unlock or defer on this path"
+	}
+	mu.Unlock()
+}
+
+// LeakEnd falls off the closing brace with the lock held.
+func LeakEnd(mu *sync.Mutex) { mu.Lock() } // want "still held when LeakEnd falls off the end"
+
+// DeferGood releases through defer on every path; no finding.
+func DeferGood(mu *sync.Mutex, x bool) int {
+	mu.Lock()
+	defer mu.Unlock()
+	if x {
+		return 1
+	}
+	return 2
+}
+
+// BranchGood unlocks explicitly on both paths; no finding.
+func BranchGood(mu *sync.Mutex, x bool) {
+	mu.Lock()
+	if x {
+		mu.Unlock()
+		return
+	}
+	mu.Unlock()
+}
+
+// Stray unlocks a mutex this function never locked.
+func Stray(mu *sync.Mutex) {
+	mu.Unlock() // want "not held on any path into here"
+}
+
+// HoldAcrossRecv parks on a channel with the lock held.
+func HoldAcrossRecv(mu *sync.Mutex, ch chan int) int {
+	mu.Lock()
+	v := <-ch // want "held across bare channel receive"
+	mu.Unlock()
+	return v
+}
+
+// HoldAcrossSelect parks on a select with the lock held.
+func HoldAcrossSelect(mu *sync.Mutex, ch chan int) {
+	mu.Lock()
+	defer mu.Unlock()
+	select { // want "held across select"
+	case <-ch:
+	}
+}
+
+// ReadGood pairs the read lock through defer; no finding.
+func ReadGood(mu *sync.RWMutex) {
+	mu.RLock()
+	defer mu.RUnlock()
+}
+
+// TryGood releases only when the TryLock succeeded; no finding.
+func TryGood(mu *sync.Mutex) bool {
+	if mu.TryLock() {
+		defer mu.Unlock()
+		return true
+	}
+	return false
+}
+
+// CopyValue copies a lock-containing struct out of an lvalue.
+func CopyValue(c *Counter) int {
+	v := *c // want "assignment copies \\*c containing sync.Mutex by value"
+	return v.n
+}
+
+// ByValueParam receives a lock-containing struct by value.
+func ByValueParam(c Counter) int { // want "parameter of type containing sync.Mutex is passed by value"
+	return c.n
+}
+
+// ByValueRecv binds a lock-containing receiver by value.
+func (c Counter) ByValueRecv() int { // want "receiver of type containing sync.Mutex is passed by value"
+	return c.n
+}
+
+// RangeCopy copies lock-containing elements through the range value.
+func RangeCopy(cs []Counter) int {
+	n := 0
+	for _, c := range cs { // want "range value copies elements containing sync.Mutex"
+		n += c.n
+	}
+	return n
+}
+
+// PointerGood moves the same values around by pointer; no finding.
+func PointerGood(cs []*Counter) int {
+	n := 0
+	for _, c := range cs {
+		n += c.n
+	}
+	return n
+}

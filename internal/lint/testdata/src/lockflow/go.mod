@@ -1,0 +1,3 @@
+module churnvet.fixture/lockflow
+
+go 1.22

@@ -1,0 +1,20 @@
+// Package fixture carries suppressed lockflow violations: Run must
+// report nothing, RunAll must report them all as suppressed.
+package fixture
+
+import "sync"
+
+// Handoff intentionally returns with the lock held: the caller
+// documented as the owner releases it.
+func Handoff(mu *sync.Mutex) {
+	mu.Lock()
+	//churnvet:ok lockflow -- fixture: lock handoff protocol; the caller releases after finishing the guarded read
+}
+
+// WaitLocked blocks while holding the lock by protocol.
+func WaitLocked(mu *sync.Mutex, ch chan int) int {
+	mu.Lock()
+	defer mu.Unlock()
+	v := <-ch //churnvet:ok lockflow -- fixture: the sender never takes this lock, so the parked receive cannot deadlock
+	return v
+}

@@ -1,0 +1,3 @@
+module churnvet.fixture/lockflowok
+
+go 1.22

@@ -236,7 +236,8 @@ func solvableKeys(groups map[Key]*builderGroup, cfg *BuildConfig) []Key {
 // deterministically and identical at any worker count.
 func Build(records []iclab.Record, cfg BuildConfig) []*Instance {
 	cfg.fillDefaults()
-	groups, _ := buildGroups(context.Background(), records, &cfg)
+	//churnvet:ok ctxflow -- Build is the ctx-free kernel entry (benchmarks and the incremental solver call it synchronously); BuildAndSolveCtx is the cancellable path
+	groups, _ := buildGroups(context.Background(), records, &cfg) //churnvet:ok errflow -- buildGroups can only fail through ctx cancellation, and Background never cancels
 	keys := solvableKeys(groups, &cfg)
 	out := make([]*Instance, len(keys))
 	parallel.ForEach(cfg.Workers, len(keys), func(i int) {

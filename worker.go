@@ -187,6 +187,7 @@ func runWorkerCell(env *jobEnvelope, emit func([]byte)) ([]byte, error) {
 		}
 		emit(b)
 	}}
+	//churnvet:ok ctxflow -- worker subprocess root: cancellation reaches a worker as a process kill from the coordinator's CommandContext, not as a ctx
 	cr, err := we.runCell(context.Background(), cfg, -1)
 	if err != nil {
 		return nil, err
@@ -228,10 +229,12 @@ func runWorkerDays(env *jobEnvelope) ([]byte, error) {
 	cfg.Scenario = spec.Name
 	// The substrate build is silent: the coordinator built the same world
 	// itself and already narrated those stages.
+	//churnvet:ok ctxflow -- worker subprocess root: cancellation reaches a worker as a process kill from the coordinator's CommandContext, not as a ctx
 	p, err := prepareSpecCtx(context.Background(), cfg, spec, func(Event) {})
 	if err != nil {
 		return nil, err
 	}
+	//churnvet:ok ctxflow -- worker subprocess root: cancellation reaches a worker as a process kill from the coordinator's CommandContext, not as a ctx
 	shards, err := iclab.RunDaysCtx(context.Background(), p.Scenario, p.Config.platformConfig(), env.DayLo, env.DayHi)
 	if err != nil {
 		return nil, err
